@@ -1,0 +1,277 @@
+package regreuse
+
+// One benchmark per table and figure of the paper's evaluation. Each runs a
+// reduced (scale-1) version of the corresponding experiment so the full
+// harness stays laptop-friendly; cmd/paper regenerates the reference-scale
+// numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/regfile"
+	"repro/internal/workloads"
+)
+
+// BenchmarkFig1SingleUse regenerates the Figure 1 analysis (single-use
+// consumer fractions) across all workloads.
+func BenchmarkFig1SingleUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Motivation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suites := AggregateMotivation(rows)
+		fp := suiteRow(suites, SPECfp)
+		b.ReportMetric(fp.SingleUseRedef+fp.SingleUseOther, "specfp-singleuse-%")
+		in := suiteRow(suites, SPECint)
+		b.ReportMetric(in.SingleUseRedef+in.SingleUseOther, "specint-singleuse-%")
+	}
+}
+
+// BenchmarkFig2Consumers regenerates Figure 2 (consumer-count distribution).
+func BenchmarkFig2Consumers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Motivation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suites := AggregateMotivation(rows)
+		b.ReportMetric(suiteRow(suites, SPECfp).ConsumerPct[0], "specfp-one-use-%")
+	}
+}
+
+// BenchmarkFig3ReuseDepth regenerates Figure 3 (reuse-chain depth buckets).
+func BenchmarkFig3ReuseDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Motivation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suites := AggregateMotivation(rows)
+		fp := suiteRow(suites, SPECfp)
+		b.ReportMetric(fp.ReusablePct[0], "specfp-one-reuse-%")
+		b.ReportMetric(fp.ReusablePct[1], "specfp-two-reuses-%")
+	}
+}
+
+// BenchmarkTable2Area regenerates Table II (area model).
+func BenchmarkTable2Area(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows := AreaTable()
+		total = rows[len(rows)-1].MM2
+	}
+	b.ReportMetric(total*1e3, "overhead-milli-mm2")
+}
+
+// BenchmarkTable3EqualArea regenerates Table III (equal-area configs).
+func BenchmarkTable3EqualArea(b *testing.B) {
+	var regs int
+	for i := 0; i < b.N; i++ {
+		for _, row := range EqualAreaTable() {
+			regs = row.Hybrid.Total()
+		}
+	}
+	b.ReportMetric(float64(regs), "hybrid-regs-at-112")
+}
+
+// BenchmarkFig9Coverage regenerates Figure 9 (shadow-bank occupancy
+// percentiles over the SPECfp-like suite).
+func BenchmarkFig9Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := OccupancyStudy(1, SPECfp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(curves[0].Regs[4]), "regs-1shadow-p99")
+	}
+}
+
+// BenchmarkFig10Speedup regenerates a reduced Figure 10 sweep (three sizes,
+// the SPECfp-like suite) and reports the mid-size geomean speedup.
+func BenchmarkFig10Speedup(b *testing.B) {
+	names := []string{"dgemm", "poly_horner", "daxpy_chain", "nbody"}
+	for i := 0; i < b.N; i++ {
+		pts, err := SpeedupSweep(SweepOptions{Sizes: []int{56, 64, 96}, Scale: 1, Workloads: names})
+		if err != nil {
+			b.Fatal(err)
+		}
+		curves := AggregateSweep(pts)
+		for _, c := range curves {
+			if c.Suite == SPECfp {
+				b.ReportMetric((c.Speedup[1]-1)*100, "specfp-speedup-%-at-64")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11IPC regenerates the Figure 11 IPC curves (reduced) and
+// reports the equal-IPC register-file saving.
+func BenchmarkFig11IPC(b *testing.B) {
+	names := []string{"dgemm", "poly_horner", "daxpy_chain", "nbody"}
+	for i := 0; i < b.N; i++ {
+		pts, err := SpeedupSweep(SweepOptions{Sizes: []int{48, 56, 64, 80}, Scale: 1, Workloads: names})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range AggregateSweep(pts) {
+			if c.Suite == SPECfp {
+				if saving, ok := EqualIPCSaving(c, 64); ok {
+					b.ReportMetric(saving, "equal-ipc-saving-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Predictor regenerates Figure 12 (type-predictor outcome
+// classification).
+func BenchmarkFig12Predictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := PredictorBreakdown(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Suite == SPECfp {
+				b.ReportMetric(r.ReuseRight+r.NormalRight, "specfp-pred-correct-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReuseDepth compares reuse-chain caps 1/2/3 (the N-bit
+// counter trade-off of §IV-A) on a chain-heavy workload.
+func BenchmarkAblationReuseDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3} {
+		b.Run(benchName("depth", depth), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunWorkload("poly_horner", 1, Config{
+					Scheme:     Reuse,
+					ReuseDepth: depth,
+					FPRegs:     area.EqualAreaConfig(56, 64),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = res.IPC
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed per scheme
+// (simulated instructions per wall-clock second).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, scheme := range []Scheme{Baseline, Reuse} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			w, _ := workloads.ByName("dgemm", 1)
+			p := w.Program()
+			var insts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core := pipeline.New(pipeline.DefaultConfig(pipeline.Scheme(scheme)), p)
+				if err := core.Run(); err != nil {
+					b.Fatal(err)
+				}
+				insts += core.Stats().Committed
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+		})
+	}
+}
+
+// BenchmarkEmulatorThroughput measures the functional emulator's speed.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	w, _ := workloads.ByName("dgemm", 1)
+	p := w.Program()
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := emu.New(p)
+		n, err := s.RunToHalt(1<<32, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += n
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func suiteRow(rows []SuiteMotivation, s Suite) SuiteMotivation {
+	for _, r := range rows {
+		if r.Suite == s {
+			return r
+		}
+	}
+	return SuiteMotivation{}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "-" + string(rune('0'+v))
+}
+
+// BenchmarkExtEnergy regenerates the energy-model extension comparison.
+func BenchmarkExtEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := EnergyComparison("poly_horner", 1, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Relative, "relative-RF-energy")
+	}
+}
+
+// BenchmarkExtEarlyRelease regenerates the related-work scheme comparison
+// (§VII): baseline vs early release vs the paper's reuse.
+func BenchmarkExtEarlyRelease(b *testing.B) {
+	for _, scheme := range []Scheme{Baseline, EarlyRelease, Reuse} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Scheme: scheme}
+				if scheme == Baseline {
+					cfg.FPRegs = regfile.Uniform(56, 0)
+				} else {
+					cfg.FPRegs = area.EqualAreaConfig(56, 64)
+				}
+				res, err := RunWorkload("poly_horner", 1, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkExtMemSpeculation compares conservative disambiguation against
+// Alpha-style store-wait speculation on a store-heavy workload.
+func BenchmarkExtMemSpeculation(b *testing.B) {
+	for _, spec := range []bool{false, true} {
+		name := "conservative"
+		if spec {
+			name = "speculative"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				w, _ := workloads.ByName("qsortint", 1)
+				cfg := pipeline.DefaultConfig(pipeline.Baseline)
+				cfg.MemSpeculation = spec
+				core := pipeline.New(cfg, w.Program())
+				if err := core.Run(); err != nil {
+					b.Fatal(err)
+				}
+				cycles = core.Stats().Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}

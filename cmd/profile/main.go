@@ -1,0 +1,74 @@
+// Command profile runs the paper's motivational trace analyses (Figures
+// 1-3) over the workload suites using the architectural emulator.
+//
+// Usage:
+//
+//	profile            # all figures, per-suite averages
+//	profile -fig 1     # Figure 1 only
+//	profile -detail    # per-workload rows instead of suite averages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	regreuse "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure to print: 1, 2, 3 (0 = all)")
+		scale  = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
+		detail = flag.Bool("detail", false, "per-workload rows instead of suite averages")
+	)
+	flag.Parse()
+
+	rows, err := regreuse.Motivation(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *detail {
+		t := stats.NewTable("workload", "suite", "singleuse-redef%", "singleuse-other%",
+			"reuse d1%", "d2%", "d3%", "d4+%")
+		for _, r := range rows {
+			a, b := r.Report.SingleUsePct()
+			rp := r.Report.ReusablePct()
+			t.Row(r.Workload, string(r.Suite), a, b, rp[0], rp[1], rp[2], rp[3])
+		}
+		fmt.Print(t)
+		return
+	}
+
+	suites := regreuse.AggregateMotivation(rows)
+	if *fig == 0 || *fig == 1 {
+		fmt.Println("Figure 1: % of instructions that are the sole consumer of a value")
+		t := stats.NewTable("suite", "redefining%", "other%", "total%")
+		for _, s := range suites {
+			t.Row(string(s.Suite), s.SingleUseRedef, s.SingleUseOther, s.SingleUseRedef+s.SingleUseOther)
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+	if *fig == 0 || *fig == 2 {
+		fmt.Println("Figure 2: % of consumed values by consumer count")
+		t := stats.NewTable("suite", "1", "2", "3", "4", "5", "6+")
+		for _, s := range suites {
+			t.Row(string(s.Suite), s.ConsumerPct[0], s.ConsumerPct[1], s.ConsumerPct[2],
+				s.ConsumerPct[3], s.ConsumerPct[4], s.ConsumerPct[5])
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+	if *fig == 0 || *fig == 3 {
+		fmt.Println("Figure 3: % of dest-register instructions that can reuse, by chain depth")
+		t := stats.NewTable("suite", "one reuse", "two", "three", "more")
+		for _, s := range suites {
+			t.Row(string(s.Suite), s.ReusablePct[0], s.ReusablePct[1], s.ReusablePct[2], s.ReusablePct[3])
+		}
+		fmt.Print(t)
+	}
+}

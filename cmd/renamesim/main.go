@@ -1,0 +1,128 @@
+// Command renamesim simulates one workload on the out-of-order core under
+// either renaming scheme and prints detailed statistics.
+//
+// Usage:
+//
+//	renamesim -workload dgemm -scheme reuse -intregs 64 -fpregs 64 -scale 4
+//	renamesim -list
+//	renamesim -asm program.s -scheme baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	regreuse "repro"
+	"repro/internal/area"
+	"repro/internal/asm"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "dgemm", "workload name (see -list)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		scheme   = flag.String("scheme", "reuse", "renaming scheme: baseline | reuse | early")
+		scale    = flag.Int("scale", 1, "workload scale (1 = small, 4 = reference)")
+		intRegs  = flag.Int("intregs", 128, "integer physical registers (baseline-equivalent size)")
+		fpRegs   = flag.Int("fpregs", 128, "floating-point physical registers (baseline-equivalent size)")
+		asmFile  = flag.String("asm", "", "run an assembly file instead of a named workload")
+		oracle   = flag.Bool("oracle", true, "run the lockstep architectural oracle")
+		irq      = flag.Uint64("interrupt", 0, "timer interrupt period in cycles (0 = off)")
+		depth    = flag.Int("reusedepth", 0, "cap reuse-chain depth 1..3 (0 = paper default 3)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range regreuse.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := regreuse.Config{
+		CheckOracle:    *oracle,
+		InterruptEvery: *irq,
+		ReuseDepth:     *depth,
+	}
+	switch *scheme {
+	case "baseline":
+		cfg.Scheme = regreuse.Baseline
+		cfg.IntRegs = regfile.Uniform(*intRegs, 0)
+		cfg.FPRegs = regfile.Uniform(*fpRegs, 0)
+	case "reuse":
+		cfg.Scheme = regreuse.Reuse
+		cfg.IntRegs = area.EqualAreaConfig(*intRegs, 64)
+		cfg.FPRegs = area.EqualAreaConfig(*fpRegs, 64)
+	case "early":
+		cfg.Scheme = regreuse.EarlyRelease
+		cfg.IntRegs = area.EqualAreaConfig(*intRegs, 64)
+		cfg.FPRegs = area.EqualAreaConfig(*fpRegs, 64)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	var (
+		res regreuse.Result
+		err error
+	)
+	if *asmFile != "" {
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		p, aerr := asm.Assemble(string(src))
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, aerr)
+			os.Exit(1)
+		}
+		res, err = regreuse.RunProgram(p, cfg)
+	} else {
+		res, err = regreuse.RunWorkload(*workload, *scale, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (%s scheme, int %v, fp %v)\n",
+		res.Workload, res.Scheme, cfg.IntRegs, cfg.FPRegs)
+	t := stats.NewTable("metric", "value")
+	t.Row("cycles", res.Cycles)
+	t.Row("instructions", res.Insts)
+	t.Row("IPC", res.IPC)
+	t.Row("branch MPKI", res.MPKI)
+	t.Row("checksum ok", res.ChecksumOK)
+	t.Row("allocations", res.Allocations)
+	t.Row("reuses", res.Reuses)
+	if res.Allocations+res.Reuses > 0 {
+		t.Row("reuse fraction", stats.Pct(float64(res.Reuses)/float64(res.Allocations+res.Reuses)))
+	}
+	t.Row("reuse same-logical", res.ReuseSameLog)
+	t.Row("reuse speculative", res.ReusePredict)
+	t.Row("reuses ver1/2/3", fmt.Sprintf("%d/%d/%d", res.ReusesByVer[1], res.ReusesByVer[2], res.ReusesByVer[3]))
+	t.Row("repair micro-ops", res.MicroOps)
+	t.Row("rename stalls (no reg)", res.StallNoReg)
+	t.Row("rename stalls (ROB)", res.StallROB)
+	t.Row("rename stalls (IQ)", res.StallIQ)
+	t.Row("page faults", res.PageFaults)
+	t.Row("interrupts", res.Interrupts)
+	t.Row("shadow recoveries", res.ShadowRecoveries)
+	h := res.Hier
+	if h != nil {
+		t.Row("L1I miss rate", stats.Pct(h.L1I.MissRate()))
+		t.Row("L1D miss rate", stats.Pct(h.L1D.MissRate()))
+		t.Row("L2 miss rate", stats.Pct(h.L2.MissRate()))
+		t.Row("TLB misses", h.TLB.Misses)
+		t.Row("DRAM accesses", h.DRAM.Accesses)
+		t.Row("DRAM row-hit rate", stats.Pct(h.DRAM.RowHitRate()))
+		if h.Pref != nil {
+			t.Row("prefetches issued", h.Pref.Issued)
+		}
+	}
+	fmt.Print(t)
+}

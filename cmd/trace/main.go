@@ -1,0 +1,96 @@
+// Command trace runs a workload (or an assembly file) on the simulated core
+// and prints the committed-instruction trace with cycle numbers and renaming
+// decisions — the quickest way to watch the reuse scheme share physical
+// registers.
+//
+//	trace -workload dgemm -n 40
+//	trace -asm prog.s -scheme reuse -n 100 -skip 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "quickstart", "workload name, or use -asm")
+		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
+		scheme   = flag.String("scheme", "reuse", "baseline | reuse")
+		n        = flag.Uint64("n", 50, "number of committed instructions to print")
+		skip     = flag.Uint64("skip", 0, "instructions to skip before printing")
+	)
+	flag.Parse()
+
+	var p *prog.Program
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, err = asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		w, ok := workloads.ByName(*workload, 1)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; available: %v\n", *workload, workloads.Names())
+			os.Exit(2)
+		}
+		p = w.Program()
+	}
+
+	sch := pipeline.Reuse
+	if *scheme == "baseline" {
+		sch = pipeline.Baseline
+	}
+	cfg := pipeline.DefaultConfig(sch)
+	cfg.MaxInsts = *skip + *n
+	var printed, seen uint64
+	cfg.CommitHook = func(ev pipeline.CommitEvent) {
+		seen++
+		if seen <= *skip || printed >= *n {
+			return
+		}
+		printed++
+		mark := "      "
+		switch {
+		case ev.Micro:
+			mark = "repair"
+		case ev.Reused:
+			mark = "reuse "
+		case ev.DestTag != "":
+			mark = "alloc "
+		}
+		line := fmt.Sprintf("cyc %-8d %s  %#06x  %-28s", ev.Cycle, mark, ev.PC, ev.Inst)
+		if ev.DestTag != "" && !ev.Micro {
+			line += " -> " + ev.DestTag
+		}
+		if ev.IsBranch {
+			if ev.Taken {
+				line += "  [taken]"
+			} else {
+				line += "  [not taken]"
+			}
+		}
+		fmt.Println(line)
+	}
+	core := pipeline.New(cfg, p)
+	if err := core.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := core.Stats()
+	fmt.Printf("\n%d instructions, %d cycles, IPC %.3f (%s scheme)\n",
+		st.Committed, st.Cycles, st.IPC(), sch)
+}

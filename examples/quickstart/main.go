@@ -1,0 +1,67 @@
+// Quickstart: assemble a small program, run it under both renaming schemes,
+// and print IPC plus reuse statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regreuse "repro"
+	"repro/internal/asm"
+)
+
+// The paper's Figure 4 instruction chain, wrapped in a loop: I1, I4, I5 and
+// I6 form a read-after-write chain in which every value has exactly one
+// consumer, so the reuse scheme keeps the whole chain in one physical
+// register.
+const src = `
+	movi x2, #3
+	movi x3, #5
+	movi x4, #7
+	movi x20, #10000       ; loop count
+loop:
+	add  x1, x2, x3        ; I1
+	ld_slot:
+	ldr  x6, [x9, #0]      ; I2 (ld r3 <- m(x1) in the figure)
+	mul  x7, x6, x4        ; I3
+	add  x1, x1, x4        ; I4: single consumer of I1, redefines r1
+	mul  x1, x1, x1        ; I5: single consumer of I4, redefines r1
+	mul  x1, x1, x6        ; I6: single consumer of I5, redefines r1
+	add  x5, x1, x7        ; I7
+	sub  x2, x5, x1        ; I8
+	andi x2, x2, #7
+	addi x2, x2, #1
+	subi x20, x20, #1
+	bne  x20, xzr, loop
+	mov  x10, x5
+	halt
+`
+
+func main() {
+	// Give the load in the loop a valid address.
+	program, err := asm.Assemble("	la x9, data\n" + src + "\n.data\ndata: .word 11\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, scheme := range []regreuse.Scheme{regreuse.Baseline, regreuse.Reuse} {
+		res, err := regreuse.RunProgram(program, regreuse.Config{
+			Scheme:      scheme,
+			CheckOracle: true, // lockstep-check against the architectural emulator
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  cycles=%-7d IPC=%.3f  allocations=%-6d reuses=%-6d",
+			scheme, res.Cycles, res.IPC, res.Allocations, res.Reuses)
+		if scheme == regreuse.Reuse {
+			fmt.Printf("  (chains: %d v1, %d v2, %d v3)",
+				res.ReusesByVer[1], res.ReusesByVer[2], res.ReusesByVer[3])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe reuse scheme renames the I4/I5/I6 chain onto one physical")
+	fmt.Println("register (versions .1/.2/.3), cutting allocations roughly in half.")
+}

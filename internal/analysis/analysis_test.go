@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/workloads"
+)
+
+func analyzeSrc(t *testing.T, src string) Report {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(emu.New(p), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSingleUseChainDetected(t *testing.T) {
+	// The paper's Figure 4 instruction sequence (straight line).
+	r := analyzeSrc(t, `
+	movi x2, #1
+	movi x3, #2
+	movi x4, #3
+	add  x1, x2, x3        ; I1: x1 single-use by I4 (which redefines x1)
+	movi x3, #9            ; I2
+	mul  x2, x3, x4        ; I3
+	add  x1, x1, x4        ; I4: redefining sole consumer
+	mul  x1, x1, x1        ; I5: redefining sole consumer
+	mul  x1, x1, x3        ; I6
+	add  x5, x1, x2        ; I7
+	sub  x2, x5, x1        ; I8
+	halt
+	`)
+	if r.SingleUseRedef < 2 {
+		t.Errorf("redefining single-use consumers = %d, want >= 2 (I4, I5)", r.SingleUseRedef)
+	}
+	// Chain I1->I4->I5->I6 yields reuses at depth 1, 2, 3.
+	if r.ReuseAtDepth[1] == 0 || r.ReuseAtDepth[2] == 0 || r.ReuseAtDepth[3] == 0 {
+		t.Errorf("reuse depth buckets = %v, want all of 1..3 populated", r.ReuseAtDepth)
+	}
+}
+
+func TestConsumerHistogram(t *testing.T) {
+	r := analyzeSrc(t, `
+	movi x1, #5            ; consumed 3 times
+	add  x2, x1, x1        ; one consumer event (deduplicated same reg)
+	add  x3, x1, xzr
+	add  x4, x1, xzr
+	movi x5, #1            ; consumed once
+	add  x6, x5, xzr
+	movi x7, #1            ; never consumed
+	halt
+	`)
+	// x1's def: consumers = 3 (x2-inst counts once, then x3, x4 insts).
+	if r.ConsumerHist[3] == 0 {
+		t.Errorf("histogram %v: expected a 3-consumer value", r.ConsumerHist)
+	}
+	if r.ConsumerHist[0] == 0 {
+		t.Errorf("histogram %v: expected an unconsumed value (x7)", r.ConsumerHist)
+	}
+	if r.ConsumerHist[1] == 0 {
+		t.Errorf("histogram %v: expected a single-consumer value", r.ConsumerHist)
+	}
+}
+
+func TestStoreConsumerHasNoDest(t *testing.T) {
+	// A value solely consumed by a store must not count in Figure 1
+	// (stores have no destination register).
+	r := analyzeSrc(t, `
+	la   x1, buf
+	movi x2, #5
+	str  x2, [x1, #0]
+	halt
+.data
+buf: .space 8
+	`)
+	if r.SingleUseRedef != 0 {
+		t.Errorf("store counted as redefining single-use consumer")
+	}
+}
+
+func TestPercentHelpers(t *testing.T) {
+	if Percent(1, 0) != 0 {
+		t.Error("Percent with zero denominator")
+	}
+	if Percent(25, 100) != 25 {
+		t.Error("Percent arithmetic")
+	}
+}
+
+// TestSuiteLevelShape checks the paper's central motivational claim on our
+// synthetic suites: SPECfp-like kernels have a substantially higher
+// single-use fraction than 30%, and reuse opportunity decreases with chain
+// depth (Figure 3's stair shape).
+func TestSuiteLevelShape(t *testing.T) {
+	sums := map[workloads.Suite][2]float64{}
+	counts := map[workloads.Suite]int{}
+	for _, w := range workloads.Small() {
+		r, err := Analyze(emu.New(w.Program()), 50_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		a, b := r.SingleUsePct()
+		s := sums[w.Suite]
+		s[0] += a + b
+		pct := r.ReusablePct()
+		s[1] += pct[0]
+		sums[w.Suite] = s
+		counts[w.Suite]++
+
+		if pct[0] < pct[1]-5 {
+			t.Errorf("%s: depth-1 reuse (%.1f%%) unexpectedly below depth-2 (%.1f%%)", w.Name, pct[0], pct[1])
+		}
+	}
+	for suite, s := range sums {
+		avg := s[0] / float64(counts[suite])
+		t.Logf("%s: avg single-use instructions = %.1f%%, depth-1 reuse = %.1f%%",
+			suite, avg, s[1]/float64(counts[suite]))
+		if avg < 15 {
+			t.Errorf("suite %s: single-use fraction %.1f%% is implausibly low", suite, avg)
+		}
+	}
+	fp := sums[workloads.SPECfp][0] / float64(counts[workloads.SPECfp])
+	if fp < 35 {
+		t.Errorf("SPECfp-like single-use fraction = %.1f%%, want >= 35%% (paper: >50%%)", fp)
+	}
+}

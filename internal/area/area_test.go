@@ -1,0 +1,117 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/regfile"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %g, want %g (±%.0f%%)", what, got, want, tol*100)
+	}
+}
+
+func TestTable2Calibration(t *testing.T) {
+	rows := Table2()
+	approx(t, rows[0].MM2, 0.2834, 0.01, "int RF area")
+	approx(t, rows[1].MM2, 0.4988, 0.15, "fp RF area") // 2x bits => ~2x area
+	approx(t, rows[2].MM2, 5.08e-4, 0.01, "PRT area")
+	approx(t, rows[3].MM2, 1.48e-3, 0.01, "IQ overhead area")
+	approx(t, rows[4].MM2, 3.1e-3, 0.01, "predictor area")
+	approx(t, rows[5].MM2, 5.085e-3, 0.02, "total overhead")
+}
+
+func TestShadowCellsCheaperThanPorts(t *testing.T) {
+	// A shadow cell must cost far less than a fully ported register bit.
+	ported := RegFileArea(1, 64, ReadPorts, WritePorts)
+	shadow := ShadowArea(1, 64)
+	if shadow >= ported/10 {
+		t.Errorf("shadow cell (%.2e) not at least 10x cheaper than ported register (%.2e)", shadow, ported)
+	}
+}
+
+func TestAreaScalesWithPorts(t *testing.T) {
+	small := RegFileArea(128, 64, 2, 1)
+	big := RegFileArea(128, 64, 8, 4)
+	if big <= small {
+		t.Error("area must grow with port count")
+	}
+	// Shadow overhead fraction shrinks as ports grow (paper §IV-C1).
+	fracSmall := ShadowArea(128, 64) / small
+	fracBig := ShadowArea(128, 64) / big
+	if fracBig >= fracSmall {
+		t.Error("relative shadow overhead should shrink with port count")
+	}
+}
+
+func TestTable3ConfigsAreValid(t *testing.T) {
+	for _, n := range Table3Sizes() {
+		cfg := EqualAreaConfig(n, 64)
+		if cfg.Total() >= n {
+			t.Errorf("baseline %d: hybrid has %d registers, expected fewer than baseline", n, cfg.Total())
+		}
+		if err := Validate(n, cfg, 64); err != nil {
+			t.Errorf("baseline %d: %v", n, err)
+		}
+		// All hybrid configurations must back 32 logical registers.
+		if cfg.Total() < 34 {
+			t.Errorf("baseline %d: hybrid %v too small to rename", n, cfg)
+		}
+	}
+}
+
+func TestPaperTable3Preserved(t *testing.T) {
+	want := map[int]regfile.BankSizes{
+		48:  {28, 4, 4, 4},
+		64:  {36, 6, 6, 6},
+		112: {75, 8, 8, 8},
+	}
+	for n, w := range want {
+		got, ok := PaperTable3(n)
+		if !ok || got != w {
+			t.Errorf("PaperTable3(%d) = %v/%v, want %v", n, got, ok, w)
+		}
+	}
+	if _, ok := PaperTable3(50); ok {
+		t.Error("PaperTable3 invented a row")
+	}
+}
+
+func TestDerivedConfigsRicherThanPaper(t *testing.T) {
+	// Under this repository's calibrated area model shadow cells are cheap,
+	// so the derived equal-area configurations keep more registers than the
+	// paper's conservative Table III.
+	for _, n := range Table3Sizes() {
+		derived := EqualAreaConfig(n, 64)
+		paper, _ := PaperTable3(n)
+		if derived.Total() < paper.Total() {
+			t.Errorf("size %d: derived %v (%d regs) poorer than paper %v (%d regs)",
+				n, derived, derived.Total(), paper, paper.Total())
+		}
+	}
+}
+
+func TestEqualAreaDerivedSizes(t *testing.T) {
+	// Sizes the paper does not list must still produce valid configs.
+	for _, n := range []int{52, 60, 88, 128} {
+		cfg := EqualAreaConfig(n, 64)
+		if cfg.Total() < 34 || cfg.Total() >= n {
+			t.Errorf("derived config for %d: %v (total %d)", n, cfg, cfg.Total())
+		}
+		if err := Validate(n, cfg, 64); err != nil {
+			t.Errorf("derived config for %d: %v", n, err)
+		}
+	}
+}
+
+func TestSavingsPositiveForPaperConfigs(t *testing.T) {
+	for _, n := range Table3Sizes() {
+		s := Savings(n, EqualAreaConfig(n, 64), 64)
+		if s <= 0 {
+			t.Errorf("baseline %d: savings %.3f not positive", n, s)
+		}
+	}
+}

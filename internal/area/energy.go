@@ -1,0 +1,90 @@
+package area
+
+import "repro/internal/regfile"
+
+// Energy model (CACTI-substitute, normalized units). The paper's area
+// argument extends naturally to energy: a register file of the same
+// performance but fewer registers has shorter bit/word lines (lower dynamic
+// energy per access) and less leaking area. Only *relative* energies are
+// meaningful here, so the model is expressed in normalized picojoule-like
+// units with the 128-entry, 64-bit, 6R/3W file as the 1.0 reference for a
+// read access.
+const (
+	// refRegs/refBits anchor the normalization.
+	refRegs = 128
+	refBits = 64
+	// writeFactor: a write drives both bit lines and the cell.
+	writeFactor = 1.3
+	// shadowWriteFactor: the in-parallel shadow checkpoint write charges
+	// only the local pass transistor and inverter pair (§IV-C2: "no extra
+	// latency is added to the write operation"), a small fraction of a
+	// ported write.
+	shadowWriteFactor = 0.08
+	// leakPerMM2 converts model area to a normalized leakage power so
+	// leakage can be traded against dynamic energy at a chosen runtime.
+	leakPerMM2 = 3.0
+)
+
+// accessEnergy returns the normalized dynamic energy of one read access to
+// a file with the given geometry: word-line energy grows with bits, bit-line
+// energy with the number of registers.
+func accessEnergy(regs, bits int) float64 {
+	r := float64(regs) / refRegs
+	b := float64(bits) / refBits
+	return b * (0.55 + 0.45*r) // word-line term + bit-line term, 1.0 at ref
+}
+
+// ReadEnergy returns the normalized energy of one register-file read.
+func ReadEnergy(regs, bits int) float64 { return accessEnergy(regs, bits) }
+
+// WriteEnergy returns the normalized energy of one register-file write; for
+// banked files, versioned writes additionally checkpoint into a shadow cell.
+func WriteEnergy(regs, bits int, shadowCheckpoint bool) float64 {
+	e := accessEnergy(regs, bits) * writeFactor
+	if shadowCheckpoint {
+		e += accessEnergy(regs, bits) * shadowWriteFactor
+	}
+	return e
+}
+
+// LeakagePower returns the normalized leakage power of a conventional file.
+func LeakagePower(regs, bits int) float64 {
+	return RegFileArea(regs, bits, ReadPorts, WritePorts) * leakPerMM2
+}
+
+// BankedLeakagePower returns the normalized leakage power of a hybrid file
+// (shadow cells leak too, at their smaller area).
+func BankedLeakagePower(banks regfile.BankSizes, bits int) float64 {
+	return BankedFileArea(banks, bits) * leakPerMM2
+}
+
+// FileEnergy aggregates a run's register-file energy.
+type FileEnergy struct {
+	Reads, Writes, ShadowWrites uint64
+	Dynamic                     float64 // normalized dynamic energy
+	Leakage                     float64 // normalized leakage energy over the run
+	Total                       float64
+}
+
+// ConventionalEnergy computes a run's energy for a conventional file.
+func ConventionalEnergy(regs, bits int, reads, writes, cycles uint64) FileEnergy {
+	e := FileEnergy{Reads: reads, Writes: writes}
+	e.Dynamic = float64(reads)*ReadEnergy(regs, bits) + float64(writes)*WriteEnergy(regs, bits, false)
+	e.Leakage = LeakagePower(regs, bits) * float64(cycles)
+	e.Total = e.Dynamic + e.Leakage
+	return e
+}
+
+// BankedEnergy computes a run's energy for a hybrid file; shadowWrites is
+// the number of versioned writes that checkpointed a previous value.
+func BankedEnergy(banks regfile.BankSizes, bits int, reads, writes, shadowWrites, cycles uint64) FileEnergy {
+	regs := banks.Total()
+	e := FileEnergy{Reads: reads, Writes: writes, ShadowWrites: shadowWrites}
+	plain := writes - shadowWrites
+	e.Dynamic = float64(reads)*ReadEnergy(regs, bits) +
+		float64(plain)*WriteEnergy(regs, bits, false) +
+		float64(shadowWrites)*WriteEnergy(regs, bits, true)
+	e.Leakage = BankedLeakagePower(banks, bits) * float64(cycles)
+	e.Total = e.Dynamic + e.Leakage
+	return e
+}

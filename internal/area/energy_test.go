@@ -1,0 +1,59 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/regfile"
+)
+
+func TestReadEnergyNormalization(t *testing.T) {
+	if e := ReadEnergy(128, 64); e < 0.999 || e > 1.001 {
+		t.Errorf("reference read energy = %g, want 1.0", e)
+	}
+	if ReadEnergy(48, 64) >= ReadEnergy(128, 64) {
+		t.Error("smaller file must cost less per read")
+	}
+	if ReadEnergy(128, 128) <= ReadEnergy(128, 64) {
+		t.Error("wider file must cost more per read")
+	}
+}
+
+func TestWriteEnergyOrdering(t *testing.T) {
+	plain := WriteEnergy(128, 64, false)
+	shadow := WriteEnergy(128, 64, true)
+	read := ReadEnergy(128, 64)
+	if plain <= read {
+		t.Error("write must cost more than read")
+	}
+	if shadow <= plain {
+		t.Error("checkpointing write must add energy")
+	}
+	if shadow > plain*1.15 {
+		t.Errorf("shadow checkpoint overhead too large: %g vs %g", shadow, plain)
+	}
+}
+
+func TestLeakageTracksArea(t *testing.T) {
+	if LeakagePower(48, 64) >= LeakagePower(128, 64) {
+		t.Error("leakage must grow with size")
+	}
+	hybrid := regfile.BankSizes{36, 12, 8, 5}
+	if BankedLeakagePower(hybrid, 64) >= LeakagePower(64, 64) {
+		t.Error("equal-area hybrid must not leak more than its baseline")
+	}
+}
+
+func TestRunEnergyAggregation(t *testing.T) {
+	base := ConventionalEnergy(64, 64, 1000, 500, 10000)
+	if base.Total != base.Dynamic+base.Leakage {
+		t.Error("total mismatch")
+	}
+	hyb := BankedEnergy(regfile.BankSizes{36, 12, 8, 5}, 64, 1000, 500, 100, 10000)
+	if hyb.ShadowWrites != 100 {
+		t.Error("shadow writes not recorded")
+	}
+	// Same activity, smaller file, same cycles: hybrid must cost less.
+	if hyb.Total >= base.Total {
+		t.Errorf("hybrid energy %g not below baseline %g", hyb.Total, base.Total)
+	}
+}

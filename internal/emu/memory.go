@@ -1,0 +1,96 @@
+package emu
+
+import "encoding/binary"
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian 64-bit byte-addressable memory.
+// Unwritten locations read as zero. The zero value is ready to use.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read64 loads the 8-byte little-endian word at addr. The address must be
+// 8-byte aligned; callers enforce alignment (the emulator faults first).
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		}
+		return 0
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.LoadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores an 8-byte little-endian word at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.StoreByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// PageNumber returns the page index containing addr (used by the demand-
+// paging fault model in the timing simulator).
+func (m *Memory) PageNumber(addr uint64) uint64 { return addr >> pageBits }
+
+// PageSize returns the page size in bytes.
+func PageSize() uint64 { return pageSize }
+
+// Clone returns a deep copy of the memory (used by differential tests).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		np := new([pageSize]byte)
+		*np = *p
+		c.pages[pn] = np
+	}
+	return c
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedBytes is the size of one serialized instruction. The simulator's
+// instruction cache models the architectural 4-byte PC footprint (InstBytes);
+// this fixed 12-byte record is the *serialization* format used for program
+// files and traces, wide enough to carry full 64-bit immediates.
+const EncodedBytes = 12
+
+// Encode serializes the instruction into a 12-byte record:
+//
+//	byte 0      opcode
+//	byte 1      Rd
+//	byte 2      Rs1
+//	byte 3      Rs2
+//	bytes 4-11  Imm, little-endian two's complement
+func Encode(in Inst, dst []byte) {
+	_ = dst[EncodedBytes-1]
+	dst[0] = byte(in.Op)
+	dst[1] = in.Rd
+	dst[2] = in.Rs1
+	dst[3] = in.Rs2
+	binary.LittleEndian.PutUint64(dst[4:12], uint64(in.Imm))
+}
+
+// Decode parses a 12-byte record produced by Encode. It returns an error for
+// undefined opcodes or out-of-range register indices.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < EncodedBytes {
+		return Inst{}, fmt.Errorf("isa: short instruction record (%d bytes)", len(src))
+	}
+	in := Inst{
+		Op:  Op(src[0]),
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int64(binary.LittleEndian.Uint64(src[4:12])),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", src[0])
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// Validate checks that the instruction's register indices are in range for
+// the register classes its opcode declares.
+func (in Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: undefined opcode %d", uint8(in.Op))
+	}
+	d := in.Op.Describe()
+	check := func(c RegClass, r uint8, which string) error {
+		var n uint8
+		switch c {
+		case IntReg:
+			n = NumIntRegs
+		case FPReg:
+			n = NumFPRegs
+		default:
+			return nil
+		}
+		if r >= n {
+			return fmt.Errorf("isa: %s: %s register %d out of range for %s", in.Op, which, r, c)
+		}
+		return nil
+	}
+	if err := check(d.DestClass, in.Rd, "dest"); err != nil {
+		return err
+	}
+	if err := check(d.Src1Class, in.Rs1, "src1"); err != nil {
+		return err
+	}
+	return check(d.Src2Class, in.Rs2, "src2")
+}

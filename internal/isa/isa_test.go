@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" {
+			t.Fatalf("op %d has empty name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ops %d and %d share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestDescTableComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		d := op.Describe()
+		if op == NOP || op == HALT {
+			if d.Unit != FUNone {
+				t.Errorf("%s: expected no functional unit", op)
+			}
+			continue
+		}
+		if d.Unit == FUNone {
+			t.Errorf("%s: missing functional unit assignment", op)
+		}
+		if d.Latency <= 0 {
+			t.Errorf("%s: non-positive latency %d", op, d.Latency)
+		}
+	}
+}
+
+func TestDestRegZeroDiscard(t *testing.T) {
+	in := Inst{Op: ADD, Rd: ZeroReg, Rs1: 1, Rs2: 2}
+	if c, _ := in.DestReg(); c != NoReg {
+		t.Errorf("write to xzr should report no destination, got class %v", c)
+	}
+	in.Rd = 5
+	c, r := in.DestReg()
+	if c != IntReg || r != 5 {
+		t.Errorf("DestReg = (%v,%d), want (int,5)", c, r)
+	}
+	fin := Inst{Op: FADD, Rd: 31, Rs1: 0, Rs2: 1}
+	if c, r := fin.DestReg(); c != FPReg || r != 31 {
+		t.Errorf("f31 is a real register: got (%v,%d)", c, r)
+	}
+}
+
+func TestSrcRegsSkipsZeroReg(t *testing.T) {
+	in := Inst{Op: ADD, Rd: 1, Rs1: ZeroReg, Rs2: 4}
+	srcs := in.SrcRegs(nil)
+	if len(srcs) != 1 || srcs[0] != (SrcOperand{IntReg, 4}) {
+		t.Errorf("srcs = %v, want [{int 4}]", srcs)
+	}
+	st := Inst{Op: STR, Rs1: 2, Rs2: 3, Imm: 8}
+	srcs = st.SrcRegs(nil)
+	if len(srcs) != 2 {
+		t.Errorf("store should have two register sources, got %v", srcs)
+	}
+	fst := Inst{Op: FSTR, Rs1: 2, Rs2: 3}
+	srcs = fst.SrcRegs(nil)
+	if len(srcs) != 2 || srcs[1].Class != FPReg {
+		t.Errorf("fstr sources = %v, want int base + fp data", srcs)
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	cases := []struct {
+		op       Op
+		cond     bool
+		indirect bool
+		link     bool
+	}{
+		{B, false, false, false},
+		{BL, false, false, true},
+		{BR, false, true, false},
+		{BEQ, true, false, false},
+		{BGEU, true, false, false},
+	}
+	for _, c := range cases {
+		d := c.op.Describe()
+		if !d.Branch {
+			t.Errorf("%s not marked branch", c.op)
+		}
+		if d.Cond != c.cond || d.Indirect != c.indirect || d.Link != c.link {
+			t.Errorf("%s: cond/indirect/link = %v/%v/%v, want %v/%v/%v",
+				c.op, d.Cond, d.Indirect, d.Link, c.cond, c.indirect, c.link)
+		}
+	}
+	if !BL.HasDest() {
+		t.Error("BL writes the link register and must report a destination")
+	}
+	if B.HasDest() {
+		t.Error("B has no destination")
+	}
+}
+
+// randomInst generates a valid instruction for property tests.
+func randomInst(r *rand.Rand) Inst {
+	for {
+		op := Op(r.Intn(NumOps))
+		d := op.Describe()
+		in := Inst{Op: op, Imm: r.Int63() - r.Int63()}
+		if d.DestClass != NoReg {
+			in.Rd = uint8(r.Intn(32))
+		}
+		if d.Src1Class != NoReg {
+			in.Rs1 = uint8(r.Intn(32))
+		}
+		if d.Src2Class != NoReg {
+			in.Rs2 = uint8(r.Intn(32))
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(r)
+		var buf [EncodedBytes]byte
+		Encode(in, buf[:])
+		out, err := Decode(buf[:])
+		if err != nil {
+			t.Logf("decode error for %v: %v", in, err)
+			return false
+		}
+		// Unused operand fields may round-trip as-is; compare fully since
+		// randomInst only sets declared operands.
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	var buf [EncodedBytes]byte
+	buf[0] = byte(numOps)
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("decode accepted undefined opcode")
+	}
+	if _, err := Decode(buf[:4]); err == nil {
+		t.Error("decode accepted short record")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	in := Inst{Op: ADD, Rd: 40, Rs1: 0, Rs2: 0}
+	var buf [EncodedBytes]byte
+	Encode(in, buf[:])
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("decode accepted out-of-range register")
+	}
+}
+
+func TestFloatImmRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -3.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		if got := Float64FromBits(BitsFromFloat64(f)); got != f {
+			t.Errorf("float imm round trip: %g -> %g", f, got)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add x1, x2, x3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 31, Imm: 8}, "addi x1, xzr, #8"},
+		{Inst{Op: LDR, Rd: 4, Rs1: 2, Imm: 16}, "ldr x4, [x2, #16]"},
+		{Inst{Op: STR, Rs1: 2, Rs2: 7, Imm: -8}, "str x7, [x2, #-8]"},
+		{Inst{Op: FADD, Rd: 0, Rs1: 1, Rs2: 2}, "fadd f0, f1, f2"},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 31, Imm: 0x1000}, "beq x1, xzr, 0x1000"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package memsys
+
+// StridePrefetcher is a PC-indexed stride prefetcher (Table I: degree 1).
+// Each table entry tracks the last address and stride seen by one load/store
+// PC; after two consistent strides it becomes confident and emits prefetch
+// addresses degree lines ahead.
+type StridePrefetcher struct {
+	entries []strideEntry
+	degree  int
+
+	Issued uint64
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// NewStridePrefetcher builds a direct-mapped table of the given size.
+func NewStridePrefetcher(tableSize, degree int) *StridePrefetcher {
+	if tableSize <= 0 || degree <= 0 {
+		panic("memsys: bad prefetcher config")
+	}
+	return &StridePrefetcher{entries: make([]strideEntry, tableSize), degree: degree}
+}
+
+// Observe records a demand access by the instruction at pc and returns the
+// addresses to prefetch (nil most of the time).
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	e := &p.entries[(pc>>2)%uint64(len(p.entries))]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	e.lastAddr = addr
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	for d := 1; d <= p.degree; d++ {
+		next := int64(addr) + int64(d)*e.stride
+		if next <= 0 {
+			break
+		}
+		// Only cross-line prefetches are useful.
+		if uint64(next)/LineBytes != addr/LineBytes {
+			out = append(out, uint64(next))
+			p.Issued++
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// commit retires up to CommitWidth completed instructions from the ROB head,
+// taking precise exceptions and timer interrupts at instruction boundaries.
+func (c *Core) commit() {
+	// Timer interrupt: taken at a commit boundary before any instruction
+	// of this cycle retires.
+	if c.cfg.InterruptEvery > 0 && c.cycle >= c.nextInterrupt {
+		c.takeInterrupt()
+		return
+	}
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		idx := c.robHead
+		e := &c.rob[idx]
+		if !e.completed {
+			return
+		}
+		if e.exc != excNone {
+			c.takeException(e)
+			return
+		}
+		if e.isStore {
+			c.commitStore(e)
+		}
+		if e.isLoad {
+			if len(c.lq) == 0 || c.lq[0].seq != e.seq {
+				panic("pipeline: load commit out of order with load queue")
+			}
+			c.lq = c.lq[1:]
+		}
+		if e.hasDest {
+			if c.lastRead[0] != nil {
+				// The register displaced from the retirement map is (for
+				// the baseline) released right now: measure how long its
+				// value has been dead.
+				old := c.ren(e.destClass).RetireTag(e.dest.Log)
+				idx := 0
+				if e.destClass == isa.FPReg {
+					idx = 1
+				}
+				if old.Reg != e.dest.Tag.Reg {
+					if last := c.lastRead[idx][old.Reg]; last > 0 && c.cycle > last {
+						c.stats.RecordLifetimeGap(c.cycle - last)
+					}
+				}
+			}
+			c.ren(e.destClass).Commit(e.dest)
+		}
+		if c.oracle != nil && !e.micro {
+			if err := c.checkOracle(e); err != nil {
+				c.oracleErr = err
+				return
+			}
+		}
+		if e.micro {
+			c.stats.MicroOps++
+		} else {
+			c.stats.Committed++
+		}
+		if c.cfg.CommitHook != nil {
+			ev := CommitEvent{
+				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Inst: e.inst.String(),
+				Micro: e.micro, Reused: e.dest.Reused,
+				IsBranch: e.isBranch, Taken: e.actualTaken,
+			}
+			if e.hasDest {
+				ev.DestTag = fmt.Sprintf("P%d.%d", e.dest.Tag.Reg, e.dest.Tag.Ver)
+			}
+			if e.micro {
+				ev.Inst = fmt.Sprintf("mvrepair %s <- P%d.%d", ev.DestTag, e.microFrom.Reg, e.microFrom.Ver)
+			}
+			c.cfg.CommitHook(ev)
+		}
+		c.nextCommitPC = e.nextPC
+		if e.isBranch {
+			c.releaseCkpts(e)
+		}
+		e.active = false
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		if e.halt {
+			c.halted = true
+			return
+		}
+	}
+}
+
+// commitStore retires a store: the committed memory state is updated and
+// the D-cache sees the access (timing-wise the store drains through a write
+// buffer, so commit does not stall on it).
+func (c *Core) commitStore(e *robEntry) {
+	c.mem.Write64(e.effAddr, e.resultVal)
+	c.hier.DataAccess(e.pc, e.effAddr, true, c.cycle)
+	// Retire the SQ entry (always the oldest).
+	if len(c.sq) == 0 || c.sq[0].seq != e.seq {
+		panic("pipeline: store commit out of order with store queue")
+	}
+	c.sq = c.sq[1:]
+}
+
+// takeException implements precise exceptions (§IV-B): the pipeline is
+// flushed, logical registers recover their architectural values from the
+// shadow cells, the handler cost is charged, and fetch resumes at the
+// faulting instruction (demand paging: the page is now present).
+func (c *Core) takeException(e *robEntry) {
+	switch e.exc {
+	case excPageFault:
+		c.stats.PageFaults++
+		c.pagePresent[c.mem.PageNumber(e.excAddr)] = true
+		c.flushAll(e.pc, c.cfg.PageFaultCycles)
+	case excReplay:
+		// Memory-order violation: flush and re-execute from the load; the
+		// store it raced with has committed by now, so the replayed load
+		// reads the correct value (and its wait bit keeps it conservative).
+		c.stats.MemReplays++
+		c.flushAll(e.pc, 0)
+	case excMisalign:
+		// Correct-path misaligned accesses do not occur in the workloads;
+		// reaching commit with one is a simulator or program bug.
+		panic(fmt.Sprintf("pipeline: misaligned access committed at pc=%#x addr=%#x", e.pc, e.excAddr))
+	}
+}
+
+// takeInterrupt models a timer interrupt: full flush, architectural
+// recovery, handler cost, resume at the next uncommitted instruction.
+func (c *Core) takeInterrupt() {
+	c.stats.Interrupts++
+	c.nextInterrupt = c.cycle + c.cfg.InterruptEvery
+	resume := c.nextCommitPC
+	if c.robCount > 0 {
+		resume = c.rob[c.robHead].pc
+	}
+	c.flushAll(resume, c.cfg.InterruptCycles)
+}
+
+// flushAll squashes the entire pipeline, restores architectural rename
+// state (recovering shadow-cell versions), and restarts fetch at resumePC
+// after the handler cost plus recovery cycles.
+func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
+	if traceReg >= 0 {
+		fmt.Printf("[%d] flushAll resume=%#x\n", c.cycle, resumePC)
+	}
+	for i := 0; i < c.robCount; i++ {
+		e := &c.rob[c.robIdxAt(i)]
+		if e.isBranch {
+			c.releaseCkpts(e)
+		}
+		e.active = false
+		c.stats.SquashedInsts++
+	}
+	c.robCount = 0
+	c.iq = c.iq[:0]
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHalted = false
+	c.fetchLine = ^uint64(0)
+	for cyc := range c.events {
+		delete(c.events, cyc)
+	}
+
+	recoveries := c.renI.RestoreArch() + c.renF.RestoreArch()
+	extra := uint64(0)
+	if recoveries > 0 {
+		extra = uint64((recoveries + c.cfg.RecoverWidth - 1) / c.cfg.RecoverWidth)
+		c.stats.ShadowRecoveries += uint64(recoveries)
+		c.stats.RecoveryCycles += extra
+	}
+	c.fetchPC = resumePC
+	c.fetchResumeAt = c.cycle + 1 + handlerCycles + extra
+}
+
+// releaseCkpts recycles a retired or squashed branch's renamer snapshots.
+func (c *Core) releaseCkpts(e *robEntry) {
+	if e.ckptI != nil {
+		c.renI.ReleaseCheckpoint(e.ckptI)
+		e.ckptI = nil
+	}
+	if e.ckptF != nil {
+		c.renF.ReleaseCheckpoint(e.ckptF)
+		e.ckptF = nil
+	}
+}
+
+// checkOracle steps the lockstep emulator and compares the committed
+// instruction against it: PC, destination value, and store effects.
+func (c *Core) checkOracle(e *robEntry) error {
+	if e.pc != c.oracle.PC {
+		return fmt.Errorf("pipeline: oracle divergence at seq %d: committed pc=%#x, oracle pc=%#x", e.seq, e.pc, c.oracle.PC)
+	}
+	cm, err := c.oracle.Step()
+	if err != nil {
+		return fmt.Errorf("pipeline: oracle crashed: %w", err)
+	}
+	if cm.NextPC != e.nextPC {
+		return fmt.Errorf("pipeline: oracle divergence at pc=%#x: nextPC=%#x, oracle=%#x", e.pc, e.nextPC, cm.NextPC)
+	}
+	if e.hasDest {
+		var want uint64
+		if e.destClass == isa.IntReg {
+			want = c.oracle.X[e.dest.Log]
+		} else {
+			want = math.Float64bits(c.oracle.F[e.dest.Log])
+		}
+		if e.resultVal != want {
+			return fmt.Errorf("pipeline: oracle divergence at seq %d pc=%#x (%v): dest P%d.%d=%#x, oracle=%#x",
+				e.seq, e.pc, e.inst, e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal, want)
+		}
+	}
+	if e.isStore {
+		if cm.EffAddr != e.effAddr {
+			return fmt.Errorf("pipeline: oracle divergence at pc=%#x: store addr=%#x, oracle=%#x", e.pc, e.effAddr, cm.EffAddr)
+		}
+		if got, want := c.mem.Read64(e.effAddr), c.oracle.Mem.Read64(e.effAddr); got != want {
+			return fmt.Errorf("pipeline: oracle divergence at pc=%#x: stored %#x, oracle %#x", e.pc, got, want)
+		}
+	}
+	if e.isLoad && cm.EffAddr != e.effAddr {
+		return fmt.Errorf("pipeline: oracle divergence at pc=%#x: load addr=%#x, oracle=%#x", e.pc, e.effAddr, cm.EffAddr)
+	}
+	return nil
+}
+
+// ArchRegs returns the committed architectural register state (for final-
+// state checks in tests), reading through the retirement map.
+func (c *Core) ArchRegs() (x [isa.NumIntRegs]uint64, f [isa.NumFPRegs]float64) {
+	for l := 0; l < isa.NumIntRegs-1; l++ {
+		t := c.renI.RetireTag(uint8(l))
+		x[l] = c.rfInt.Read(t.Reg, readVerFor(c, isa.IntReg, t.Reg, t.Ver))
+	}
+	for l := 0; l < isa.NumFPRegs; l++ {
+		t := c.renF.RetireTag(uint8(l))
+		f[l] = math.Float64frombits(c.rfFP.Read(t.Reg, readVerFor(c, isa.FPReg, t.Reg, t.Ver)))
+	}
+	return x, f
+}
+
+// readVerFor clamps a retirement-map version to what the register file can
+// serve: if speculative newer versions are still in flight the architectural
+// version lives in a shadow cell, which Read handles; if the speculative
+// producer has not executed yet the main cell still holds the architectural
+// version.
+func readVerFor(c *Core, class isa.RegClass, reg uint16, ver uint8) uint8 {
+	rf := c.rf(class)
+	if rf.MainVer(reg) < ver {
+		return rf.MainVer(reg)
+	}
+	return ver
+}

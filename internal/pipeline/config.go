@@ -1,0 +1,197 @@
+// Package pipeline implements the cycle-level out-of-order core used to
+// evaluate the renaming schemes: an execute-driven model with real
+// wrong-path execution, a reorder buffer, a unified issue queue with
+// (physical register, version) wakeup tags, a load/store queue with
+// store-to-load forwarding, functional-unit pools, branch checkpointing,
+// and precise exceptions/interrupts recovered through the check-pointed
+// register file.
+package pipeline
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/memsys"
+	"repro/internal/regfile"
+	"repro/internal/rename"
+)
+
+// Scheme selects the renaming scheme under evaluation.
+type Scheme int
+
+const (
+	// Baseline is the conventional merged-register-file scheme.
+	Baseline Scheme = iota
+	// Reuse is the paper's register-sharing scheme.
+	Reuse
+	// EarlyRelease is the checkpointed early-register-release comparator
+	// (Ergin et al., the paper's §VII related work): registers free at the
+	// last consumer's execution rather than at its rename.
+	EarlyRelease
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Reuse:
+		return "reuse"
+	case EarlyRelease:
+		return "early"
+	default:
+		return "baseline"
+	}
+}
+
+// Config is the core configuration. DefaultConfig reproduces Table I.
+type Config struct {
+	Scheme Scheme
+
+	// Machine widths.
+	FetchWidth  int
+	RenameWidth int // decode/dispatch width (Table I: 3)
+	IssueWidth  int
+	CommitWidth int
+
+	// Structure sizes.
+	ROBSize    int // Table I: 128
+	IQSize     int // Table I: 40
+	FetchQSize int // Table I: 32
+	LQSize     int
+	SQSize     int
+
+	// Register files: bank sizes per class (bank index = shadow cells).
+	// The baseline scheme requires all registers in bank 0.
+	IntRegs regfile.BankSizes
+	FPRegs  regfile.BankSizes
+
+	// Functional units: slots per FU class (index isa.FU).
+	FUCount [5 + 1]int
+
+	// RedirectCycles is the extra front-end refill charged on a branch
+	// misprediction redirect, tuned so the minimum total penalty matches
+	// Table I's 15 cycles.
+	RedirectCycles uint64
+	// RecoverWidth is how many shadow-cell recover commands complete per
+	// cycle during squash/exception recovery (§IV-C2).
+	RecoverWidth int
+
+	// Reuse-scheme tuning.
+	ReuseCfg      rename.ReuseConfig
+	PredictorSize int // register type predictor entries (paper: 512)
+
+	// Memory system and branch predictors.
+	Mem   memsys.Config
+	Bpred bpred.Config
+
+	// MemSpeculation enables Alpha-21264-style memory dependence
+	// speculation: loads may issue past older stores with unresolved
+	// addresses unless their PC's store-wait bit is set; an ordering
+	// violation replays from the load at commit and sets the bit. Off by
+	// default (conservative disambiguation), matching the configuration
+	// used for the recorded experiments.
+	MemSpeculation bool
+	// MemWaitTableSize is the store-wait bit table size (power of two).
+	MemWaitTableSize int
+	// MemWaitClearEvery clears the wait bits every N cycles.
+	MemWaitClearEvery uint64
+
+	// Exceptions/interrupts.
+	DemandPaging    bool   // first touch of a data page faults once
+	PageFaultCycles uint64 // handler cost
+	InterruptEvery  uint64 // timer interrupt period in cycles (0 = off)
+	InterruptCycles uint64 // handler cost
+
+	// Simulation control.
+	MaxInsts  uint64 // stop after this many committed instructions (0 = to HALT)
+	MaxCycles uint64 // hard safety limit (0 = default 2^40)
+	// CheckOracle runs the architectural emulator in lockstep and fails
+	// on any divergence in committed PCs, register writes, or stores.
+	CheckOracle bool
+	// CommitHook, when non-nil, receives every committed instruction
+	// (repair micro-ops included), for tracing tools.
+	CommitHook func(CommitEvent)
+	// DebugInvariants enables expensive per-dispatch consistency checks
+	// (dangling wakeup tags); used by tests while debugging.
+	DebugInvariants bool
+	// MeasureLifetimes records, per released physical register, the gap in
+	// cycles between the last read of its value and its release — the
+	// underutilization the paper's §II motivates with ("many cycles may
+	// happen between the last read of the register and its release").
+	MeasureLifetimes bool
+	// SampleOccupancy enables Figure 9's shadow-bank occupancy sampling
+	// (reuse scheme only; adds overhead).
+	SampleOccupancy bool
+	SamplePeriod    uint64
+}
+
+// CommitEvent describes one committed instruction for CommitHook consumers.
+type CommitEvent struct {
+	Cycle    uint64
+	Seq      uint64
+	PC       uint64
+	Inst     string
+	Micro    bool
+	Reused   bool
+	DestTag  string
+	IsBranch bool
+	Taken    bool
+}
+
+// DefaultConfig returns the Table I configuration for the given scheme with
+// 128 physical registers per file. For the reuse scheme the register file
+// uses the paper's hybrid layout for an equal-area 128-register baseline
+// budget; use WithRegs or the area package to derive other budgets.
+func DefaultConfig(s Scheme) Config {
+	cfg := Config{
+		Scheme:      s,
+		FetchWidth:  3,
+		RenameWidth: 3,
+		IssueWidth:  6,
+		CommitWidth: 3,
+		ROBSize:     128,
+		IQSize:      40,
+		FetchQSize:  32,
+		LQSize:      32,
+		SQSize:      24,
+
+		RedirectCycles: 11,
+		RecoverWidth:   2,
+
+		ReuseCfg:      rename.DefaultReuseConfig(),
+		PredictorSize: 512,
+
+		Mem:   memsys.DefaultConfig(),
+		Bpred: bpred.DefaultConfig(),
+
+		MemWaitTableSize:  1024,
+		MemWaitClearEvery: 100_000,
+
+		DemandPaging:    true,
+		PageFaultCycles: 300,
+		InterruptEvery:  0,
+		InterruptCycles: 120,
+
+		SamplePeriod: 64,
+	}
+	cfg.FUCount[1] = 2 // int ALU (also branches)
+	cfg.FUCount[2] = 1 // int mul/div
+	cfg.FUCount[3] = 2 // FP ALU
+	cfg.FUCount[4] = 1 // FP mul/div/sqrt
+	cfg.FUCount[5] = 2 // memory ports
+	if s == Baseline {
+		cfg.IntRegs = regfile.Uniform(128, 0)
+		cfg.FPRegs = regfile.Uniform(128, 0)
+	} else {
+		// Reuse and EarlyRelease both use the hybrid shadow-cell file.
+		// Equal-area hybrid layout in the spirit of Table III's 128-reg
+		// row (between its 112 and the uncut 128 budgets).
+		cfg.IntRegs = regfile.BankSizes{89, 8, 8, 8}
+		cfg.FPRegs = regfile.BankSizes{89, 8, 8, 8}
+	}
+	return cfg
+}
+
+// WithRegs returns a copy of cfg with both register files replaced.
+func (c Config) WithRegs(intRegs, fpRegs regfile.BankSizes) Config {
+	c.IntRegs = intRegs
+	c.FPRegs = fpRegs
+	return c
+}

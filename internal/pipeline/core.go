@@ -1,0 +1,397 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/regfile"
+	"repro/internal/rename"
+)
+
+type excCode uint8
+
+const (
+	excNone excCode = iota
+	excPageFault
+	excMisalign
+	// excReplay marks a load that issued past an older store to the same
+	// address (memory-order violation under MemSpeculation): the pipeline
+	// replays from the load at commit.
+	excReplay
+)
+
+// fetchRec is one instruction in the fetch queue.
+type fetchRec struct {
+	pc     uint64
+	inst   isa.Inst
+	branch bool
+	pred   bpred.Prediction
+}
+
+// robEntry is one reorder-buffer slot.
+type robEntry struct {
+	active bool
+	seq    uint64
+	pc     uint64
+	nextPC uint64
+	inst   isa.Inst
+
+	micro       bool // injected repair move micro-op (§IV-D1)
+	microFrom   rename.Tag
+	microShadow bool
+
+	hasDest   bool
+	destClass isa.RegClass
+	dest      rename.DestResult
+	resultVal uint64
+
+	completed bool
+	exc       excCode
+	excAddr   uint64
+
+	isLoad  bool
+	isStore bool
+	effAddr uint64
+
+	isBranch     bool
+	pred         bpred.Prediction
+	ckptI, ckptF rename.Checkpoint
+	actualTaken  bool
+	actualTarget uint64
+
+	halt bool
+}
+
+type iqSrc struct {
+	used  bool
+	class isa.RegClass
+	tag   rename.Tag
+	ready bool
+	val   uint64
+}
+
+type iqEntry struct {
+	robIdx int
+	seq    uint64
+	pc     uint64
+	inst   isa.Inst
+	fu     isa.FU
+	lat    int
+	unpipe bool
+
+	micro       bool
+	microShadow bool
+
+	hasDest   bool
+	destClass isa.RegClass
+	destTag   rename.Tag
+
+	isLoad, isStore, isBranch bool
+
+	src [2]iqSrc
+}
+
+type lqEntry struct {
+	seq    uint64
+	robIdx int
+	done   bool
+	addr   uint64
+}
+
+type sqEntry struct {
+	seq       uint64
+	robIdx    int
+	addrKnown bool
+	addr      uint64
+	val       uint64
+}
+
+type wbEvent struct {
+	robIdx int
+	seq    uint64
+}
+
+// Core is the simulated out-of-order processor.
+type Core struct {
+	cfg  Config
+	prog *prog.Program
+	mem  *emu.Memory // committed memory state
+	hier *memsys.Hierarchy
+	bp   *bpred.Predictor
+
+	rfInt, rfFP    *regfile.File
+	renI, renF     rename.Renamer
+	reuseI, reuseF *rename.ReuseRenamer   // non-nil for Scheme == Reuse
+	trackI, trackF rename.ActivityTracker // non-nil for Scheme == EarlyRelease
+	typePred       *rename.TypePredictor
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+	seqNext  uint64
+
+	iq     []iqEntry
+	lq     []lqEntry
+	sq     []sqEntry
+	fetchQ []fetchRec
+
+	events map[uint64][]wbEvent
+
+	fuBusy [isa.NumFUs][]uint64 // per-slot busy-until cycle
+
+	cycle         uint64
+	fetchPC       uint64
+	fetchResumeAt uint64
+	fetchHalted   bool
+	fetchLine     uint64 // last icache line fetched
+
+	nextCommitPC  uint64
+	pagePresent   map[uint64]bool
+	nextInterrupt uint64
+
+	memWait      []bool // store-wait bits (MemSpeculation)
+	memWaitClear uint64
+
+	lastSpecBoundary uint64 // early-release: last boundary notified
+
+	// lastRead[class][phys] is the cycle of the last value read of the
+	// register's current lifetime (MeasureLifetimes).
+	lastRead [2][]uint64
+
+	halted bool
+	stats  Stats
+
+	oracle    *emu.State
+	oracleErr error
+}
+
+// New builds a core running p under cfg.
+func New(cfg Config, p *prog.Program) *Core {
+	c := &Core{
+		cfg:    cfg,
+		prog:   p,
+		mem:    emu.NewMemory(),
+		hier:   memsys.New(cfg.Mem),
+		bp:     bpred.New(cfg.Bpred),
+		rob:    make([]robEntry, cfg.ROBSize),
+		events: make(map[uint64][]wbEvent),
+
+		fetchPC:      p.Entry(),
+		nextCommitPC: p.Entry(),
+		pagePresent:  make(map[uint64]bool),
+	}
+	p.InitialData(func(addr uint64, b byte) { c.mem.StoreByte(addr, b) })
+
+	c.rfInt = regfile.New(cfg.IntRegs)
+	c.rfFP = regfile.New(cfg.FPRegs)
+	switch cfg.Scheme {
+	case Baseline:
+		c.renI = rename.NewBaseline(isa.NumIntRegs, c.rfInt)
+		c.renF = rename.NewBaseline(isa.NumFPRegs, c.rfFP)
+	case Reuse:
+		c.typePred = rename.NewTypePredictor(cfg.PredictorSize)
+		c.reuseI = rename.NewReuse(cfg.ReuseCfg, isa.NumIntRegs, c.rfInt, c.typePred)
+		c.reuseF = rename.NewReuse(cfg.ReuseCfg, isa.NumFPRegs, c.rfFP, c.typePred)
+		c.renI, c.renF = c.reuseI, c.reuseF
+	case EarlyRelease:
+		ei := rename.NewEarly(isa.NumIntRegs, c.rfInt)
+		ef := rename.NewEarly(isa.NumFPRegs, c.rfFP)
+		c.renI, c.renF = ei, ef
+		c.trackI, c.trackF = ei, ef
+	}
+	// Architectural register state: stack pointer, zero elsewhere (matches
+	// emu.New). The renamers initialized logical l -> physical l.
+	c.rfInt.Write(29, 0, prog.StackTop)
+
+	for fu := 0; fu < isa.NumFUs; fu++ {
+		c.fuBusy[fu] = make([]uint64, cfg.FUCount[fu])
+	}
+	if cfg.InterruptEvery > 0 {
+		c.nextInterrupt = cfg.InterruptEvery
+	}
+	if cfg.MemSpeculation {
+		n := cfg.MemWaitTableSize
+		if n <= 0 {
+			n = 1024
+		}
+		c.memWait = make([]bool, n)
+		c.memWaitClear = cfg.MemWaitClearEvery
+	}
+	if cfg.SampleOccupancy {
+		for k := range c.stats.Occupancy {
+			c.stats.Occupancy[k] = make([]uint64, cfg.IntRegs.Total()+cfg.FPRegs.Total()+1)
+		}
+	}
+	if cfg.CheckOracle {
+		c.oracle = emu.New(p)
+	}
+	if cfg.MeasureLifetimes {
+		c.lastRead[0] = make([]uint64, cfg.IntRegs.Total())
+		c.lastRead[1] = make([]uint64, cfg.FPRegs.Total())
+	}
+	return c
+}
+
+func (c *Core) ren(class isa.RegClass) rename.Renamer {
+	if class == isa.FPReg {
+		return c.renF
+	}
+	return c.renI
+}
+
+func (c *Core) tracker(class isa.RegClass) rename.ActivityTracker {
+	if class == isa.FPReg {
+		return c.trackF
+	}
+	return c.trackI
+}
+
+func (c *Core) rf(class isa.RegClass) *regfile.File {
+	if class == isa.FPReg {
+		return c.rfFP
+	}
+	return c.rfInt
+}
+
+func (c *Core) robIdxAt(pos int) int { return (c.robHead + pos) % len(c.rob) }
+
+func (c *Core) robTailIdx() int { return c.robIdxAt(c.robCount) }
+
+// Stats returns the collected statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// RenStats returns the renamer statistics for a class.
+func (c *Core) RenStats(class isa.RegClass) *rename.Stats { return c.ren(class).Stats() }
+
+// Hierarchy exposes the memory system (for stats).
+func (c *Core) Hierarchy() *memsys.Hierarchy { return c.hier }
+
+// RegFile exposes a physical register file (for energy accounting).
+func (c *Core) RegFile(class isa.RegClass) *regfile.File { return c.rf(class) }
+
+// TypePredStats exposes the register type predictor (reuse scheme; nil for
+// the baseline).
+func (c *Core) TypePredStats() *rename.TypePredictor { return c.typePred }
+
+// Halted reports whether the program's HALT has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// Run simulates until HALT commits, the configured instruction budget is
+// reached, or the cycle safety limit trips. It returns an error only for
+// internal inconsistencies (oracle divergence, runaway simulation).
+func (c *Core) Run() error {
+	maxCycles := c.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	for !c.halted && c.cycle < maxCycles {
+		if c.cfg.MaxInsts > 0 && c.stats.Committed >= c.cfg.MaxInsts {
+			break
+		}
+		c.step()
+		if c.oracleErr != nil {
+			return c.oracleErr
+		}
+	}
+	c.stats.Cycles = c.cycle
+	if !c.halted && c.cycle >= maxCycles {
+		return fmt.Errorf("pipeline: cycle limit %d reached at pc=%#x (deadlock?)", maxCycles, c.nextCommitPC)
+	}
+	return nil
+}
+
+// step advances one cycle. Stage order within a cycle: writeback events
+// (wakeup/broadcast), commit, issue, rename/dispatch, fetch — so values
+// produced at cycle T can feed instructions issuing at T (back-to-back
+// dependent execution), and younger stages see the machine state left by
+// older ones.
+func (c *Core) step() {
+	c.processEvents()
+	if c.halted {
+		c.cycle++
+		return
+	}
+	c.commit()
+	if c.halted {
+		c.cycle++
+		return
+	}
+	if c.trackI != nil {
+		c.advanceSpecBoundary()
+	}
+	c.issue()
+	c.renameDispatch()
+	c.fetch()
+	if c.cfg.SampleOccupancy && c.cfg.Scheme == Reuse && c.cycle%c.cfg.SamplePeriod == 0 {
+		c.sampleOccupancy()
+	}
+	if c.memWait != nil && c.memWaitClear > 0 && c.cycle >= c.memWaitClear {
+		for i := range c.memWait {
+			c.memWait[i] = false
+		}
+		c.memWaitClear = c.cycle + c.cfg.MemWaitClearEvery
+	}
+	c.cycle++
+}
+
+// advanceSpecBoundary computes the sequence number below which no
+// unresolved branch remains and notifies the early-release trackers.
+func (c *Core) advanceSpecBoundary() {
+	boundary := c.seqNext
+	for i := 0; i < c.robCount; i++ {
+		e := &c.rob[c.robIdxAt(i)]
+		if e.isBranch && !e.completed {
+			boundary = e.seq
+			break
+		}
+	}
+	if boundary != c.lastSpecBoundary {
+		c.lastSpecBoundary = boundary
+		c.trackI.NoteSpecBoundary(boundary)
+		c.trackF.NoteSpecBoundary(boundary)
+	}
+}
+
+func (c *Core) sampleOccupancy() {
+	c.stats.OccupancySamples++
+	for k := 1; k <= regfile.MaxShadow; k++ {
+		n := c.reuseI.LiveVersionCount(uint8(k)) + c.reuseF.LiveVersionCount(uint8(k))
+		if n >= len(c.stats.Occupancy[k]) {
+			n = len(c.stats.Occupancy[k]) - 1
+		}
+		c.stats.Occupancy[k][n]++
+	}
+}
+
+// DebugDump renders the stuck-state diagnostics used while developing the
+// simulator: ROB head, issue queue and queue occupancies.
+func (c *Core) DebugDump() string {
+	s := fmt.Sprintf("cycle=%d committed=%d robCount=%d iq=%d lq=%d sq=%d fetchQ=%d fetchPC=%#x resumeAt=%d halted=%v\n",
+		c.cycle, c.stats.Committed, c.robCount, len(c.iq), len(c.lq), len(c.sq), len(c.fetchQ), c.fetchPC, c.fetchResumeAt, c.fetchHalted)
+	for i := 0; i < c.robCount && i < 6; i++ {
+		e := &c.rob[c.robIdxAt(i)]
+		s += fmt.Sprintf("  rob[%d] seq=%d pc=%#x %v completed=%v exc=%d micro=%v\n", i, e.seq, e.pc, e.inst, e.completed, e.exc, e.micro)
+	}
+	for i, ent := range c.iq {
+		if i >= 8 {
+			break
+		}
+		s += fmt.Sprintf("  iq[%d] seq=%d pc=%#x %v srcs=[%v %v] fu=%v\n", i, ent.seq, ent.pc, ent.inst,
+			ent.src[0], ent.src[1], ent.fu)
+	}
+	s += fmt.Sprintf("  freeInt=%d freeFP=%d\n", c.renI.FreeRegs(), c.renF.FreeRegs())
+	if c.cfg.Scheme == Reuse {
+		for l := 0; l < 8; l++ {
+			s += fmt.Sprintf("  int map x%d: %+v\n", l, c.renI.PeekSrc(uint8(l)))
+		}
+	}
+	s += fmt.Sprintf("  events pending: %d cycles\n", len(c.events))
+	for fu, slots := range c.fuBusy {
+		s += fmt.Sprintf("  fu%d busy: %v\n", fu, slots)
+	}
+	return s
+}

@@ -1,0 +1,377 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// issue selects up to IssueWidth ready instructions from the issue queue,
+// oldest first, subject to functional-unit availability, executes them
+// functionally, and schedules their writeback events.
+func (c *Core) issue() {
+	issued := 0
+	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; {
+		ent := &c.iq[i]
+		if !c.entryReady(ent) {
+			i++
+			continue
+		}
+		slot := c.freeFUSlot(ent.fu)
+		if slot < 0 {
+			i++
+			continue
+		}
+		lat, ok := c.execute(ent)
+		if !ok {
+			// Load blocked by memory disambiguation; try again later.
+			i++
+			continue
+		}
+		if ent.unpipe {
+			c.fuBusy[ent.fu][slot] = c.cycle + uint64(lat)
+		} else {
+			c.fuBusy[ent.fu][slot] = c.cycle + 1
+		}
+		c.schedule(c.cycle+uint64(lat), wbEvent{robIdx: ent.robIdx, seq: ent.seq})
+		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		issued++
+	}
+}
+
+func (c *Core) entryReady(ent *iqEntry) bool {
+	for i := range ent.src {
+		if ent.src[i].used && !ent.src[i].ready {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) freeFUSlot(fu isa.FU) int {
+	for s, busyUntil := range c.fuBusy[fu] {
+		if busyUntil <= c.cycle {
+			return s
+		}
+	}
+	return -1
+}
+
+// execute computes the entry's result and returns its total latency. For
+// loads it performs disambiguation, forwarding, and the cache access;
+// ok=false means the load cannot issue yet (an older store address is
+// unknown).
+func (c *Core) execute(ent *iqEntry) (int, bool) {
+	e := &c.rob[ent.robIdx]
+	v0, v1 := ent.src[0].val, ent.src[1].val
+
+	switch {
+	case ent.micro:
+		e.resultVal = v0
+		return ent.lat, true
+
+	case ent.isLoad:
+		addr := v0 + uint64(ent.inst.Imm)
+		lat, val, exc, ok := c.loadAccess(ent, addr)
+		if !ok {
+			return 0, false
+		}
+		e.effAddr = addr
+		e.exc = exc
+		e.excAddr = addr
+		e.resultVal = val
+		for j := range c.lq {
+			if c.lq[j].seq == ent.seq {
+				c.lq[j].done = true
+				c.lq[j].addr = addr
+				break
+			}
+		}
+		return lat, true
+
+	case ent.isStore:
+		addr := v0 + uint64(ent.inst.Imm)
+		e.effAddr = addr
+		e.resultVal = v1 // store data
+		if addr%8 != 0 {
+			e.exc = excMisalign
+			e.excAddr = addr
+		} else if c.pageAbsent(addr) {
+			e.exc = excPageFault
+			e.excAddr = addr
+		}
+		// Record the address/data so younger loads can forward.
+		for j := len(c.sq) - 1; j >= 0; j-- {
+			if c.sq[j].seq == ent.seq {
+				c.sq[j].addrKnown = true
+				c.sq[j].addr = addr
+				c.sq[j].val = v1
+				break
+			}
+		}
+		if c.memWait != nil && e.exc == excNone {
+			c.checkOrderViolation(ent.seq, addr)
+		}
+		return ent.lat, true
+
+	case ent.isBranch:
+		taken, target := branchOutcome(ent.inst, ent.pc, v0, v1)
+		e.actualTaken = taken
+		e.actualTarget = target
+		if taken {
+			e.nextPC = target
+		}
+		if ent.inst.Op == isa.BL {
+			e.resultVal = ent.pc + isa.InstBytes
+		}
+		return ent.lat, true
+
+	default:
+		e.resultVal = emu.ExecOps(ent.inst, v0, v1, ent.pc)
+		return ent.lat, true
+	}
+}
+
+func branchOutcome(in isa.Inst, pc, v0, v1 uint64) (bool, uint64) {
+	d := in.Op.Describe()
+	switch {
+	case d.Cond:
+		if emu.CondTaken(in.Op, v0, v1) {
+			return true, uint64(in.Imm)
+		}
+		return false, pc + isa.InstBytes
+	case d.Indirect:
+		return true, v0
+	default: // B, BL
+		return true, uint64(in.Imm)
+	}
+}
+
+// loadAccess performs disambiguation and the memory access for a load.
+// Without memory speculation, the load conservatively waits until every
+// older store address is known. With it (Alpha-21264-style), the load may
+// issue past unresolved stores unless its PC's store-wait bit is set; a
+// later ordering violation replays the load from commit.
+func (c *Core) loadAccess(ent *iqEntry, addr uint64) (lat int, val uint64, exc excCode, ok bool) {
+	if addr%8 != 0 {
+		return 2, 0, excMisalign, true
+	}
+	speculate := c.memWait != nil && !c.memWait[c.memWaitIdx(ent.pc)]
+	var fwd *sqEntry
+	for j := len(c.sq) - 1; j >= 0; j-- {
+		s := &c.sq[j]
+		if s.seq >= ent.seq {
+			continue
+		}
+		if !s.addrKnown {
+			if !speculate {
+				return 0, 0, excNone, false
+			}
+			continue // speculate past the unresolved store
+		}
+		if s.addr == addr && fwd == nil {
+			fwd = s
+		}
+	}
+	if c.pageAbsent(addr) {
+		return 2, 0, excPageFault, true
+	}
+	if fwd != nil {
+		// Store-to-load forwarding: AGU + one forwarding cycle.
+		return 2, fwd.val, excNone, true
+	}
+	memLat, _ := c.hier.DataAccess(ent.pc, addr, false, c.cycle)
+	return 1 + int(memLat), c.mem.Read64(addr), excNone, true
+}
+
+func (c *Core) memWaitIdx(pc uint64) int {
+	return int((pc >> 2) % uint64(len(c.memWait)))
+}
+
+// checkOrderViolation fires when a store resolves its address: any younger
+// load that already executed against the same address read stale data. The
+// oldest such load is marked for replay at commit and its store-wait bit is
+// set so future instances issue conservatively.
+func (c *Core) checkOrderViolation(storeSeq, addr uint64) {
+	for j := range c.lq {
+		l := &c.lq[j]
+		if l.seq <= storeSeq || !l.done || l.addr != addr {
+			continue
+		}
+		e := &c.rob[l.robIdx]
+		if !e.active || e.seq != l.seq || e.exc != excNone {
+			continue
+		}
+		e.exc = excReplay
+		e.excAddr = addr
+		c.memWait[c.memWaitIdx(e.pc)] = true
+		c.stats.MemOrderViolations++
+		return // oldest violator; everything younger replays with it
+	}
+}
+
+func (c *Core) pageAbsent(addr uint64) bool {
+	if !c.cfg.DemandPaging {
+		return false
+	}
+	return !c.pagePresent[c.mem.PageNumber(addr)]
+}
+
+func (c *Core) schedule(cycle uint64, ev wbEvent) {
+	c.events[cycle] = append(c.events[cycle], ev)
+}
+
+// processEvents handles this cycle's writebacks: register-file writes,
+// wakeup broadcasts into the IQ, completion marking, and branch resolution.
+func (c *Core) processEvents() {
+	evs, any := c.events[c.cycle]
+	if !any {
+		return
+	}
+	delete(c.events, c.cycle)
+	for _, ev := range evs {
+		e := &c.rob[ev.robIdx]
+		if !e.active || e.seq != ev.seq {
+			continue // squashed
+		}
+		if e.hasDest {
+			if traceReg >= 0 && int(e.dest.Tag.Reg) == traceReg {
+				fmt.Printf("[%d] writeback seq=%d %v -> P%d.%d class=%v\n", c.cycle, e.seq, e.inst, e.dest.Tag.Reg, e.dest.Tag.Ver, e.destClass)
+			}
+			c.rf(e.destClass).Write(e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal)
+			c.broadcast(e.destClass, e.dest.Tag, e.resultVal)
+			if t := c.tracker(e.destClass); t != nil {
+				t.NoteWriteback(e.dest.Tag)
+			}
+		}
+		e.completed = true
+		if e.isBranch {
+			c.resolveBranch(ev.robIdx)
+		}
+	}
+}
+
+// broadcast wakes IQ entries waiting on (class, tag) and captures the value.
+func (c *Core) broadcast(class isa.RegClass, tag rename.Tag, val uint64) {
+	for i := range c.iq {
+		ent := &c.iq[i]
+		for s := range ent.src {
+			src := &ent.src[s]
+			if src.used && !src.ready && src.class == class && src.tag == tag {
+				src.ready = true
+				src.val = val
+				if t := c.tracker(class); t != nil {
+					t.NoteSrcConsumed(tag)
+				}
+				c.noteValueRead(class, tag.Reg)
+			}
+		}
+	}
+}
+
+// resolveBranch trains the predictor and squashes on a misprediction.
+func (c *Core) resolveBranch(robIdx int) {
+	e := &c.rob[robIdx]
+	c.bp.Resolve(e.pc, e.inst, e.pred, e.actualTaken, e.actualTarget)
+
+	predictedNext := e.pc + isa.InstBytes
+	if e.pred.Taken && e.pred.Target != 0 {
+		predictedNext = e.pred.Target
+	}
+	actualNext := e.pc + isa.InstBytes
+	if e.actualTaken {
+		actualNext = e.actualTarget
+	}
+	if predictedNext == actualNext {
+		return
+	}
+	c.stats.Mispredicts++
+	if traceReg >= 0 {
+		fmt.Printf("[%d] squash after seq=%d pc=%#x\n", c.cycle, e.seq, e.pc)
+	}
+	c.squashAfter(robIdx, actualNext)
+}
+
+// squashAfter removes every instruction younger than the ROB entry at
+// branchIdx, restores the renaming checkpoints (issuing shadow-cell recover
+// commands), repairs the branch predictor, and redirects fetch.
+func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
+	e := &c.rob[branchIdx]
+	bseq := e.seq
+
+	// Position of the branch within the ROB window.
+	pos := -1
+	for i := 0; i < c.robCount; i++ {
+		if c.robIdxAt(i) == branchIdx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic("pipeline: squash from entry outside ROB")
+	}
+	for i := pos + 1; i < c.robCount; i++ {
+		dead := &c.rob[c.robIdxAt(i)]
+		if dead.isBranch {
+			c.releaseCkpts(dead)
+		}
+		dead.active = false
+		c.stats.SquashedInsts++
+	}
+	c.robCount = pos + 1
+
+	// Issue queue, load queue, store queue, fetch queue. Squashed entries
+	// with unconsumed source slots must be un-noted so the early-release
+	// scheme's pending-reader counters stay exact.
+	kept := c.iq[:0]
+	for _, ent := range c.iq {
+		if ent.seq <= bseq {
+			kept = append(kept, ent)
+			continue
+		}
+		if c.trackI != nil {
+			for i := range ent.src {
+				if ent.src[i].used && !ent.src[i].ready {
+					c.tracker(ent.src[i].class).NoteSrcConsumed(ent.src[i].tag)
+				}
+			}
+		}
+	}
+	c.iq = kept
+	for len(c.lq) > 0 && c.lq[len(c.lq)-1].seq > bseq {
+		c.lq = c.lq[:len(c.lq)-1]
+	}
+	for len(c.sq) > 0 && c.sq[len(c.sq)-1].seq > bseq {
+		c.sq = c.sq[:len(c.sq)-1]
+	}
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHalted = false
+	c.fetchLine = ^uint64(0)
+
+	if c.trackI != nil {
+		c.trackI.SquashTo(bseq)
+		c.trackF.SquashTo(bseq)
+	}
+
+	// Renamer checkpoints + shadow-cell recovery cost (§IV-C2).
+	recoveries := c.renI.Restore(e.ckptI) + c.renF.Restore(e.ckptF)
+	extra := uint64(0)
+	if recoveries > 0 {
+		extra = uint64((recoveries + c.cfg.RecoverWidth - 1) / c.cfg.RecoverWidth)
+		c.stats.ShadowRecoveries += uint64(recoveries)
+		c.stats.RecoveryCycles += extra
+	}
+
+	// Branch predictor state.
+	d := e.inst.Op.Describe()
+	c.bp.Restore(e.pred.Snapshot, d.Cond, e.actualTaken)
+	if d.Link {
+		// The surviving call's RAS push must be replayed.
+		c.bp.PushCallRestore(e.pc + isa.InstBytes)
+	}
+
+	c.fetchPC = resumePC
+	c.fetchResumeAt = c.cycle + 1 + c.cfg.RedirectCycles + extra
+}

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// genRandomProgram emits a structured random program that terminates by
+// construction: counted loops with straight-line bodies and forward skips
+// only. It exercises integer/FP ALU traffic, loads/stores into a small
+// arena, reuse chains, branches, and cross-class conversions.
+func genRandomProgram(r *rand.Rand) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	intRegs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fpRegs := []int{0, 1, 2, 3, 4, 5}
+	ir := func() int { return intRegs[r.Intn(len(intRegs))] }
+	fr := func() int { return fpRegs[r.Intn(len(fpRegs))] }
+
+	w("	la   x20, arena")
+	for _, x := range intRegs {
+		w("	movi x%d, #%d", x, r.Intn(1<<16)-1<<15)
+	}
+	for _, f := range fpRegs {
+		w("	fmovi f%d, #%g", f, r.Float64()*4-2)
+	}
+
+	label := 0
+	emitBody := func(n int) {
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0, 1, 2: // integer ALU
+				ops := []string{"add", "sub", "and", "orr", "eor", "mul", "slt", "sltu"}
+				w("	%s x%d, x%d, x%d", ops[r.Intn(len(ops))], ir(), ir(), ir())
+			case 3: // integer immediate
+				ops := []string{"addi", "andi", "orri", "eori", "slti"}
+				w("	%s x%d, x%d, #%d", ops[r.Intn(len(ops))], ir(), ir(), r.Intn(256))
+			case 4: // shift by bounded immediate
+				ops := []string{"lsli", "lsri", "asri"}
+				w("	%s x%d, x%d, #%d", ops[r.Intn(len(ops))], ir(), ir(), r.Intn(63))
+			case 5: // FP arithmetic (div/sqrt included: IEEE is deterministic)
+				ops := []string{"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"}
+				w("	%s f%d, f%d, f%d", ops[r.Intn(len(ops))], fr(), fr(), fr())
+			case 6: // store then load through the arena
+				a, v := ir(), ir()
+				w("	andi x17, x%d, #504", a) // 8-aligned offset inside 512B
+				w("	add  x17, x17, x20")
+				w("	str  x%d, [x17, #0]", v)
+				w("	ldr  x%d, [x17, #0]", ir())
+			case 7: // conversions between files
+				if r.Intn(2) == 0 {
+					w("	scvtf f%d, x%d", fr(), ir())
+				} else {
+					w("	fcvtzs x%d, f%d", ir(), fr())
+				}
+			case 8: // forward conditional skip
+				lbl := fmt.Sprintf("skip%d", label)
+				label++
+				w("	beq  x%d, x%d, %s", ir(), ir(), lbl)
+				w("	addi x%d, x%d, #1", ir(), ir())
+				w("	eor  x%d, x%d, x%d", ir(), ir(), ir())
+				w("%s:", lbl)
+			case 9: // division (deterministic edge semantics)
+				ops := []string{"sdiv", "udiv", "rem"}
+				w("	%s x%d, x%d, x%d", ops[r.Intn(len(ops))], ir(), ir(), ir())
+			}
+		}
+	}
+
+	// Outer repetition loop so each program runs tens of thousands of
+	// dynamic instructions — enough for interrupts, mispredictions, page
+	// faults and register-pressure stalls to actually occur.
+	w("	movi x21, #%d", 100+r.Intn(200))
+	w("outer:")
+	blocks := 2 + r.Intn(3)
+	for bi := 0; bi < blocks; bi++ {
+		if r.Intn(2) == 0 {
+			// Counted loop.
+			w("	movi x19, #%d", 2+r.Intn(6))
+			w("loop%d:", bi)
+			emitBody(3 + r.Intn(8))
+			w("	subi x19, x19, #1")
+			w("	bne  x19, xzr, loop%d", bi)
+		} else {
+			emitBody(4 + r.Intn(10))
+		}
+	}
+
+	w("	subi x21, x21, #1")
+	w("	bne  x21, xzr, outer")
+
+	// Fold state into x10.
+	w("	movi x10, #0")
+	for _, x := range intRegs {
+		w("	add  x10, x10, x%d", x)
+	}
+	for _, f := range fpRegs {
+		w("	fcvtzs x18, f%d", f)
+		w("	eor  x10, x10, x18")
+	}
+	w("	halt")
+	w(".data")
+	w("arena: .space 512")
+	return b.String()
+}
+
+// TestRandomProgramsDifferential generates random programs and requires the
+// pipeline (both schemes, stressed configurations) to commit exactly the
+// emulator's instruction stream and final state. This is the repository's
+// main property-based correctness gate.
+func TestRandomProgramsDifferential(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genRandomProgram(r)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Logf("seed %d: assembler rejected generated program: %v", seed, err)
+			return false
+		}
+		// Architectural reference.
+		ref := emu.New(p)
+		if _, err := ref.RunToHalt(3_000_000, nil); err != nil {
+			t.Logf("seed %d: emulator: %v", seed, err)
+			return false
+		}
+
+		for _, scheme := range []Scheme{Baseline, Reuse, EarlyRelease} {
+			cfg := DefaultConfig(scheme)
+			cfg.CheckOracle = true
+			cfg.MaxCycles = 40_000_000
+			cfg.InterruptEvery = 777         // stress flush/recovery paths
+			cfg.MemSpeculation = seed%2 == 0 // alternate disambiguation modes
+			if scheme == Baseline {
+				cfg.IntRegs = regfile.Uniform(44, 0)
+				cfg.FPRegs = regfile.Uniform(44, 0)
+			} else {
+				// Reuse and EarlyRelease share the hybrid layout.
+				cfg.IntRegs = regfile.BankSizes{34, 4, 3, 3}
+				cfg.FPRegs = regfile.BankSizes{34, 4, 3, 3}
+			}
+			core := New(cfg, p)
+			if err := core.Run(); err != nil {
+				t.Logf("seed %d %v: %v\nprogram:\n%s", seed, scheme, err, src)
+				return false
+			}
+			if !core.Halted() {
+				t.Logf("seed %d %v: did not halt", seed, scheme)
+				return false
+			}
+			x, fregs := core.ArchRegs()
+			for l := 0; l < isa.NumIntRegs-1; l++ {
+				if x[l] != ref.X[l] {
+					t.Logf("seed %d %v: x%d = %#x, want %#x", seed, scheme, l, x[l], ref.X[l])
+					return false
+				}
+			}
+			for l := 0; l < isa.NumFPRegs; l++ {
+				if fregs[l] != ref.F[l] && !(fregs[l] != fregs[l] && ref.F[l] != ref.F[l]) {
+					t.Logf("seed %d %v: f%d = %v, want %v", seed, scheme, l, fregs[l], ref.F[l])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}

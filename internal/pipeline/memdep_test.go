@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// memSpecCfg enables Alpha-style memory dependence speculation.
+func memSpecCfg(s Scheme) Config {
+	cfg := DefaultConfig(s)
+	cfg.MemSpeculation = true
+	cfg.CheckOracle = true
+	cfg.MaxCycles = 100_000_000
+	return cfg
+}
+
+// TestMemSpeculationViolationAndReplay builds the canonical violating
+// pattern: a store whose address resolves slowly (dependent on a long
+// divide) followed immediately by a load to the same address. The load
+// speculates past the store the first time, is caught, replays, and sets
+// its wait bit.
+func TestMemSpeculationViolationAndReplay(t *testing.T) {
+	src := `
+	la   x1, buf
+	movi x2, #0
+	movi x20, #40          ; iterations
+	movi x5, #7777
+	movi x6, #3
+loop:
+	sdiv x7, x5, x6        ; slow chain ...
+	sdiv x7, x7, x6
+	andi x7, x7, #0        ; -> 0
+	add  x8, x1, x7        ; store address, ready late
+	addi x2, x2, #1
+	str  x2, [x8, #0]      ; store to buf
+	ldr  x9, [x1, #0]      ; same address: must see x2
+	add  x10, x10, x9
+	subi x20, x20, #1
+	bne  x20, xzr, loop
+	halt
+.data
+buf: .space 8
+	`
+	for _, s := range []Scheme{Baseline, Reuse} {
+		c := runScheme(t, src, s, func(cfg *Config) {
+			cfg.MemSpeculation = true
+		})
+		x, _ := c.ArchRegs()
+		want := uint64(40 * 41 / 2)
+		if x[10] != want {
+			t.Errorf("%v: x10 = %d, want %d", s, x[10], want)
+		}
+		st := c.Stats()
+		if st.MemOrderViolations == 0 {
+			t.Errorf("%v: expected at least one ordering violation", s)
+		}
+		if st.MemReplays == 0 {
+			t.Errorf("%v: expected replays", s)
+		}
+		// The wait bit must stop the violation storm: far fewer replays
+		// than iterations.
+		if st.MemReplays > 20 {
+			t.Errorf("%v: %d replays for 40 iterations; wait bit not learning", s, st.MemReplays)
+		}
+	}
+}
+
+// TestMemSpeculationDifferential runs memory-heavy workloads with
+// speculation on, oracle enabled: correctness must be unaffected.
+func TestMemSpeculationDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential in -short mode")
+	}
+	for _, name := range []string{"qsortint", "rle", "radixsort", "treeins", "jacobi2d"} {
+		w, ok := workloads.ByName(name, 1)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		for _, s := range []Scheme{Baseline, Reuse} {
+			core := New(memSpecCfg(s), w.Program())
+			if err := core.Run(); err != nil {
+				t.Fatalf("%s/%v: %v", name, s, err)
+			}
+			x, _ := core.ArchRegs()
+			if x[workloads.CheckReg] != w.Want {
+				t.Errorf("%s/%v: checksum %#x, want %#x", name, s, x[workloads.CheckReg], w.Want)
+			}
+		}
+	}
+}
+
+// TestMemSpeculationHelps checks the performance motivation: a pointer-heavy
+// workload with slow store addresses should commit in fewer cycles with
+// speculation than with conservative disambiguation.
+func TestMemSpeculationHelps(t *testing.T) {
+	src := `
+	la   x1, buf
+	movi x20, #500
+	movi x5, #999999
+	movi x6, #7
+loop:
+	sdiv x7, x5, x6        ; slow address for the store
+	andi x7, x7, #56
+	add  x8, x1, x7
+	str  x20, [x8, #0]
+	ldr  x9, [x1, #256]    ; independent load, different cache line
+	add  x10, x10, x9
+	subi x20, x20, #1
+	bne  x20, xzr, loop
+	halt
+.data
+buf: .space 512
+	`
+	run := func(spec bool) uint64 {
+		c := runScheme(t, src, Baseline, func(cfg *Config) {
+			cfg.MemSpeculation = spec
+		})
+		return c.Stats().Cycles
+	}
+	conservative := run(false)
+	speculative := run(true)
+	t.Logf("conservative=%d cycles, speculative=%d cycles", conservative, speculative)
+	if speculative >= conservative {
+		t.Errorf("memory speculation did not help: %d >= %d", speculative, conservative)
+	}
+}
+
+// TestWaitBitsClearPeriodically verifies the periodic reset.
+func TestWaitBitsClearPeriodically(t *testing.T) {
+	cfg := DefaultConfig(Baseline)
+	cfg.MemSpeculation = true
+	cfg.MemWaitTableSize = 16
+	cfg.MemWaitClearEvery = 100
+	w, _ := workloads.ByName("qsortint", 1)
+	c := New(cfg, w.Program())
+	// Force a bit set, run a while, and check it clears.
+	c.memWait[3] = true
+	cfg2 := c.cfg
+	_ = cfg2
+	for i := 0; i < 300 && !c.halted; i++ {
+		c.step()
+	}
+	if c.memWait[3] {
+		t.Error("wait bit not cleared after the clear interval")
+	}
+}

@@ -1,0 +1,411 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/rename"
+)
+
+// fetch follows the predicted path through real program memory, so
+// wrong-path instructions enter the pipeline and consume rename/issue/
+// register resources exactly as they would in hardware.
+func (c *Core) fetch() {
+	if c.cycle < c.fetchResumeAt || c.fetchHalted {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) >= c.cfg.FetchQSize {
+			return
+		}
+		line := c.fetchPC / memsys.LineBytes
+		if line != c.fetchLine {
+			lat := c.hier.FetchLatency(c.fetchPC, c.cycle)
+			c.fetchLine = line
+			if lat > c.hier.L1I.HitLatency() {
+				// Miss: block the front end until the line arrives.
+				c.fetchResumeAt = c.cycle + lat
+				c.stats.FetchStallIcache += lat
+				return
+			}
+		}
+		inst, ok := c.prog.Fetch(c.fetchPC)
+		if !ok {
+			// Wrong path ran off the text section; wait for the squash.
+			c.fetchHalted = true
+			return
+		}
+		rec := fetchRec{pc: c.fetchPC, inst: inst}
+		next := c.fetchPC + isa.InstBytes
+		if inst.Op.Describe().Branch {
+			rec.branch = true
+			rec.pred = c.bp.Predict(c.fetchPC, inst)
+			if rec.pred.Taken && rec.pred.Target != 0 {
+				next = rec.pred.Target
+			}
+		}
+		c.fetchQ = append(c.fetchQ, rec)
+		c.stats.FetchedInsts++
+		c.fetchPC = next
+		if inst.Op == isa.HALT {
+			c.fetchHalted = true
+			return
+		}
+	}
+}
+
+// srcOperands extracts the register source operands of an instruction as IQ
+// source slots (slot 0 = Rs1, slot 1 = Rs2), skipping absent operands and
+// the integer zero register.
+func srcOperands(in isa.Inst) [2]iqSrc {
+	var s [2]iqSrc
+	d := in.Op.Describe()
+	if d.Src1Class != isa.NoReg && !(d.Src1Class == isa.IntReg && in.Rs1 == isa.ZeroReg) {
+		s[0] = iqSrc{used: true, class: d.Src1Class}
+	}
+	if d.Src2Class != isa.NoReg && !(d.Src2Class == isa.IntReg && in.Rs2 == isa.ZeroReg) {
+		s[1] = iqSrc{used: true, class: d.Src2Class}
+	}
+	return s
+}
+
+// renameDispatch renames and dispatches up to RenameWidth instructions from
+// the fetch queue into the ROB, IQ and LSQ. A blocking condition stalls the
+// whole stage for the cycle (in-order front end).
+func (c *Core) renameDispatch() {
+	for slot := 0; slot < c.cfg.RenameWidth && len(c.fetchQ) > 0; slot++ {
+		rec := c.fetchQ[0]
+		if c.robCount == len(c.rob) {
+			c.stats.StallROB++
+			return
+		}
+		d := rec.inst.Op.Describe()
+
+		// NOP and HALT occupy a ROB slot and complete immediately.
+		if rec.inst.Op == isa.NOP || rec.inst.Op == isa.HALT {
+			e := c.newROBEntry(rec)
+			e.completed = true
+			e.halt = rec.inst.Op == isa.HALT
+			c.fetchQ = c.fetchQ[1:]
+			continue
+		}
+
+		// Stolen source mappings must be repaired by a move micro-op
+		// before the instruction can read them (§IV-D1).
+		if c.cfg.Scheme == Reuse {
+			if stolenLog, stolenClass, found := c.findStolenSrc(rec.inst); found {
+				if len(c.iq) >= c.cfg.IQSize {
+					c.stats.StallIQ++
+					return
+				}
+				rep, ok := c.ren(stolenClass).RepairSteal(stolenLog)
+				if !ok {
+					c.countNoRegStall(stolenClass)
+					return
+				}
+				c.dispatchMicro(rec.pc, stolenClass, rep)
+				continue // retry the same instruction in the next slot
+			}
+		}
+
+		// Structural checks before any renaming side effects.
+		if len(c.iq) >= c.cfg.IQSize {
+			c.stats.StallIQ++
+			return
+		}
+		if d.Load && len(c.lq) >= c.cfg.LQSize {
+			c.stats.StallLSQ++
+			return
+		}
+		if d.Store && len(c.sq) >= c.cfg.SQSize {
+			c.stats.StallLSQ++
+			return
+		}
+
+		// Collect source tags (peek: no side effects yet).
+		srcs := srcOperands(rec.inst)
+		regs := [2]uint8{rec.inst.Rs1, rec.inst.Rs2}
+		for i := range srcs {
+			if srcs[i].used {
+				srcs[i].tag = c.ren(srcs[i].class).PeekSrc(regs[i]).Tag
+			}
+		}
+		// Early-release tracking: register the pending source slots before
+		// the destination rename can unmap one of them (a redefining
+		// consumer must not release its own source prematurely).
+		if c.trackI != nil {
+			c.trackI.NoteRenamed(c.seqNext)
+			c.trackF.NoteRenamed(c.seqNext)
+			for i := range srcs {
+				if srcs[i].used {
+					c.tracker(srcs[i].class).NoteSrcSlot(srcs[i].tag)
+				}
+			}
+		}
+
+		// Rename the destination (reuse decision + allocation).
+		destClass, destLog := rec.inst.DestReg()
+		var destRes rename.DestResult
+		if destClass != isa.NoReg {
+			srcLogs := sameClassSrcLogs(rec.inst, destClass)
+			res, ok := c.ren(destClass).RenameDest(rec.pc, destLog, srcLogs)
+			if !ok {
+				if c.trackI != nil {
+					// Abandon the noted slots; the retry re-notes them.
+					for i := range srcs {
+						if srcs[i].used {
+							c.tracker(srcs[i].class).NoteSrcConsumed(srcs[i].tag)
+						}
+					}
+				}
+				c.countNoRegStall(destClass)
+				return
+			}
+			destRes = res
+			// Mark reads of sources in the other class.
+			for i := range srcs {
+				if srcs[i].used && srcs[i].class != destClass {
+					c.ren(srcs[i].class).MarkSrcRead(regs[i])
+				}
+			}
+		} else {
+			// No destination: mark all source reads (dedup per class+reg).
+			seen := map[[2]uint8]bool{}
+			for i := range srcs {
+				if !srcs[i].used {
+					continue
+				}
+				key := [2]uint8{uint8(srcs[i].class), regs[i]}
+				if !seen[key] {
+					seen[key] = true
+					c.ren(srcs[i].class).MarkSrcRead(regs[i])
+				}
+			}
+		}
+
+		e := c.newROBEntry(rec)
+		if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == uint16(traceReg) {
+			fmt.Printf("[%d] seq=%d pc=%#x %v -> dest %+v\n", c.cycle, e.seq, rec.pc, rec.inst, destRes)
+		}
+		if destClass != isa.NoReg {
+			e.hasDest = true
+			e.destClass = destClass
+			e.dest = destRes
+		}
+		e.isLoad = d.Load
+		e.isStore = d.Store
+		if rec.branch {
+			e.isBranch = true
+			e.pred = rec.pred
+			// Checkpoint *after* renaming the branch itself: the branch
+			// survives its own misprediction.
+			e.ckptI = c.renI.Checkpoint()
+			e.ckptF = c.renF.Checkpoint()
+			c.stats.Branches++
+		}
+
+		// Build the IQ entry with captured-ready operands.
+		ent := iqEntry{
+			robIdx:    c.lastROBIdx(),
+			seq:       e.seq,
+			pc:        rec.pc,
+			inst:      rec.inst,
+			fu:        d.Unit,
+			lat:       d.Latency,
+			unpipe:    isUnpipelined(rec.inst.Op),
+			hasDest:   e.hasDest,
+			destClass: destClass,
+			isLoad:    d.Load,
+			isStore:   d.Store,
+			isBranch:  rec.branch,
+			src:       srcs,
+		}
+		if e.hasDest {
+			ent.destTag = destRes.Tag
+		}
+		for i := range ent.src {
+			if ent.src[i].used {
+				c.captureIfReady(&ent.src[i], false)
+				if c.cfg.DebugInvariants && !ent.src[i].ready {
+					c.assertInFlightProducer(ent.src[i], rec, e.seq)
+				}
+			} else {
+				ent.src[i].ready = true
+			}
+		}
+		if traceSeqLo < traceSeqHi && e.seq >= traceSeqLo && e.seq < traceSeqHi {
+			fmt.Printf("[cyc %d] seq=%d %v srcs=[%v,%v] dest=%v\n",
+				c.cycle, e.seq, rec.inst, ent.src[0], ent.src[1], destRes)
+		}
+		c.iq = append(c.iq, ent)
+		if d.Load {
+			c.lq = append(c.lq, lqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+		}
+		if d.Store {
+			c.sq = append(c.sq, sqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+		}
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// findStolenSrc returns the first source whose mapping was stolen.
+func (c *Core) findStolenSrc(in isa.Inst) (uint8, isa.RegClass, bool) {
+	d := in.Op.Describe()
+	if d.Src1Class != isa.NoReg && !(d.Src1Class == isa.IntReg && in.Rs1 == isa.ZeroReg) {
+		if c.ren(d.Src1Class).PeekSrc(in.Rs1).Stolen {
+			return in.Rs1, d.Src1Class, true
+		}
+	}
+	if d.Src2Class != isa.NoReg && !(d.Src2Class == isa.IntReg && in.Rs2 == isa.ZeroReg) {
+		if c.ren(d.Src2Class).PeekSrc(in.Rs2).Stolen {
+			return in.Rs2, d.Src2Class, true
+		}
+	}
+	return 0, isa.NoReg, false
+}
+
+// sameClassSrcLogs returns the deduplicated source logical registers of the
+// destination's class (the reuse candidates).
+func sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
+	d := in.Op.Describe()
+	var out []uint8
+	if d.Src1Class == destClass && !(destClass == isa.IntReg && in.Rs1 == isa.ZeroReg) {
+		out = append(out, in.Rs1)
+	}
+	if d.Src2Class == destClass && !(destClass == isa.IntReg && in.Rs2 == isa.ZeroReg) {
+		if len(out) == 0 || out[0] != in.Rs2 {
+			out = append(out, in.Rs2)
+		}
+	}
+	return out
+}
+
+// dispatchMicro injects a repair move micro-op (§IV-D1) into ROB and IQ.
+func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
+	e := c.newROBEntry(fetchRec{pc: pc, inst: isa.Inst{Op: isa.NOP}})
+	e.micro = true
+	e.microFrom = rep.From
+	e.microShadow = rep.Checkpointed
+	e.hasDest = true
+	e.destClass = class
+	e.dest = rep.Dest
+
+	lat := 1
+	if rep.Checkpointed {
+		// The value sits in a shadow cell: the three-step recover-and-move
+		// sequence of Figure 8.
+		lat = 3
+	}
+	ent := iqEntry{
+		robIdx:      c.lastROBIdx(),
+		seq:         e.seq,
+		pc:          pc,
+		fu:          isa.FUIntALU,
+		lat:         lat,
+		micro:       true,
+		microShadow: rep.Checkpointed,
+		hasDest:     true,
+		destClass:   class,
+		destTag:     rep.Dest.Tag,
+	}
+	ent.src[0] = iqSrc{used: true, class: class, tag: rep.From}
+	ent.src[1] = iqSrc{ready: true}
+	c.captureIfReady(&ent.src[0], true)
+	c.iq = append(c.iq, ent)
+}
+
+// captureIfReady implements dispatch-time data capture: if the operand's
+// value has been produced, read it from the register file now.
+func (c *Core) captureIfReady(s *iqSrc, micro bool) {
+	rf := c.rf(s.class)
+	if !rf.Produced(s.tag.Reg, s.tag.Ver) {
+		return
+	}
+	if !micro && c.trackI == nil && rf.MainVer(s.tag.Reg) > s.tag.Ver {
+		// Only repair micro-ops may read superseded versions (they come
+		// from shadow cells, which have no ports). Under the early-release
+		// scheme this cannot happen either: a register is only reallocated
+		// after every consumer of the old version has captured it.
+		panic("pipeline: non-micro consumer of a superseded register version")
+	}
+	s.ready = true
+	s.val = rf.Read(s.tag.Reg, s.tag.Ver)
+	if t := c.tracker(s.class); t != nil {
+		t.NoteSrcConsumed(s.tag)
+	}
+	c.noteValueRead(s.class, s.tag.Reg)
+}
+
+// noteValueRead timestamps a register read for the lifetime-gap study.
+func (c *Core) noteValueRead(class isa.RegClass, reg uint16) {
+	if c.lastRead[0] == nil {
+		return
+	}
+	idx := 0
+	if class == isa.FPReg {
+		idx = 1
+	}
+	c.lastRead[idx][reg] = c.cycle
+}
+
+// newROBEntry appends an entry at the ROB tail and returns it.
+func (c *Core) newROBEntry(rec fetchRec) *robEntry {
+	idx := c.robTailIdx()
+	c.robCount++
+	e := &c.rob[idx]
+	*e = robEntry{
+		active: true,
+		seq:    c.seqNext,
+		pc:     rec.pc,
+		nextPC: rec.pc + isa.InstBytes,
+		inst:   rec.inst,
+	}
+	c.seqNext++
+	return e
+}
+
+// lastROBIdx returns the index of the most recently appended ROB entry.
+func (c *Core) lastROBIdx() int { return c.robIdxAt(c.robCount - 1) }
+
+func (c *Core) countNoRegStall(class isa.RegClass) {
+	if class == isa.FPReg {
+		c.stats.StallNoRegFP++
+	} else {
+		c.stats.StallNoRegInt++
+	}
+}
+
+// assertInFlightProducer panics if a not-ready source operand has no active
+// in-flight producer in the ROB — such an instruction would wait forever.
+func (c *Core) assertInFlightProducer(s iqSrc, rec fetchRec, seq uint64) {
+	for i := 0; i < c.robCount; i++ {
+		e := &c.rob[c.robIdxAt(i)]
+		if e.active && e.hasDest && !e.completed && e.destClass == s.class && e.dest.Tag == s.tag {
+			return
+		}
+	}
+	panic(fmt.Sprintf("pipeline: cycle %d seq %d pc=%#x %v waits on %v tag %+v with no in-flight producer",
+		c.cycle, seq, rec.pc, rec.inst, s.class, s.tag))
+}
+
+// traceReg enables targeted debug tracing of one physical integer register
+// (-1 = off).
+var traceReg = -1
+
+// traceSeqLo/Hi bound a sequence-number window for rename tracing (0,0=off).
+var traceSeqLo, traceSeqHi uint64
+
+// TraceSeqWindow enables rename tracing for seq in [lo, hi).
+func TraceSeqWindow(lo, hi uint64) { traceSeqLo, traceSeqHi = lo, hi }
+
+func isUnpipelined(op isa.Op) bool {
+	switch op {
+	case isa.SDIV, isa.UDIV, isa.REM, isa.FDIV, isa.FSQRT:
+		return true
+	}
+	return false
+}
+
+// TraceReg turns on debug tracing for one physical integer register.
+func TraceReg(p int) { traceReg = p }

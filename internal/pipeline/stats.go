@@ -1,0 +1,104 @@
+package pipeline
+
+import "repro/internal/regfile"
+
+// Stats aggregates everything the experiment harnesses need.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64 // architectural instructions (micro-ops excluded)
+	MicroOps  uint64 // committed repair micro-ops
+
+	// Front end.
+	FetchedInsts     uint64
+	FetchStallIcache uint64
+
+	// Rename-stage stall cycles by cause (a cycle is charged once, to the
+	// first blocking cause).
+	StallNoRegInt uint64
+	StallNoRegFP  uint64
+	StallROB      uint64
+	StallIQ       uint64
+	StallLSQ      uint64
+
+	// Branches.
+	Branches    uint64
+	Mispredicts uint64
+
+	// Speculation.
+	SquashedInsts    uint64
+	RecoveryCycles   uint64 // extra redirect cycles from shadow recoveries
+	ShadowRecoveries uint64
+
+	// Exceptions and interrupts.
+	PageFaults uint64
+	Interrupts uint64
+
+	// Memory dependence speculation (MemSpeculation).
+	MemOrderViolations uint64
+	MemReplays         uint64
+
+	// Occupancy histogram for Figure 9: [k][n] = number of samples where
+	// exactly n live registers sat at version >= k (k = 1..3).
+	OccupancySamples uint64
+	Occupancy        [regfile.MaxShadow + 1][]uint64
+
+	// Register lifetime underutilization (MeasureLifetimes): the gap in
+	// cycles between a released register's last read and its release.
+	LifetimeGapCount uint64
+	LifetimeGapSum   uint64
+	LifetimeGapHist  [8]uint64 // buckets: <4, <8, <16, <32, <64, <128, <256, >=256
+}
+
+// RecordLifetimeGap files one last-read-to-release gap.
+func (s *Stats) RecordLifetimeGap(gap uint64) {
+	s.LifetimeGapCount++
+	s.LifetimeGapSum += gap
+	b := 0
+	for lim := uint64(4); b < 7 && gap >= lim; lim *= 2 {
+		b++
+	}
+	s.LifetimeGapHist[b]++
+}
+
+// MeanLifetimeGap returns the average last-read-to-release gap in cycles.
+func (s *Stats) MeanLifetimeGap() float64 {
+	if s.LifetimeGapCount == 0 {
+		return 0
+	}
+	return float64(s.LifetimeGapSum) / float64(s.LifetimeGapCount)
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MPKI returns branch mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Committed)
+}
+
+// OccupancyPercentile returns, for shadow level k, the smallest register
+// count N such that at least frac of the sampled cycles needed <= N
+// registers at version >= k (Figure 9's coverage curves).
+func (s *Stats) OccupancyPercentile(k int, frac float64) int {
+	hist := s.Occupancy[k]
+	if s.OccupancySamples == 0 || len(hist) == 0 {
+		return 0
+	}
+	target := uint64(frac * float64(s.OccupancySamples))
+	var cum uint64
+	for n, c := range hist {
+		cum += c
+		if cum >= target {
+			return n
+		}
+	}
+	return len(hist) - 1
+}

@@ -1,0 +1,109 @@
+// Package prog represents a loaded program: an instruction image, an initial
+// data image, an entry point, and a symbol table. It is the interface between
+// the assembler, the functional emulator, and the timing simulator.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Default memory layout. Text and data live in disjoint regions of a flat
+// 64-bit address space.
+const (
+	// TextBase is the address of the first instruction.
+	TextBase uint64 = 0x0000_1000
+	// DataBase is the address where the assembled data section begins.
+	DataBase uint64 = 0x0010_0000
+	// HeapBase is scratch space above the data section that workloads may
+	// use freely (the assembler never places anything here).
+	HeapBase uint64 = 0x0100_0000
+	// StackTop is the initial stack pointer handed to programs in x29.
+	StackTop uint64 = 0x0800_0000
+)
+
+// Program is an immutable loaded program.
+type Program struct {
+	insts   []isa.Inst
+	data    map[uint64]byte
+	symbols map[string]uint64
+	entry   uint64
+}
+
+// New builds a Program from the given instruction sequence (laid out
+// contiguously from TextBase), initial data bytes keyed by absolute address,
+// and symbol table. The entry point is TextBase.
+func New(insts []isa.Inst, data map[uint64]byte, symbols map[string]uint64) (*Program, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("prog: empty program")
+	}
+	for i, in := range insts {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("prog: instruction %d: %w", i, err)
+		}
+	}
+	d := make(map[uint64]byte, len(data))
+	for a, b := range data {
+		if a >= TextBase && a < TextBase+uint64(len(insts)*isa.InstBytes) {
+			return nil, fmt.Errorf("prog: data byte at %#x overlaps text", a)
+		}
+		d[a] = b
+	}
+	s := make(map[string]uint64, len(symbols))
+	for k, v := range symbols {
+		s[k] = v
+	}
+	return &Program{insts: insts, data: d, symbols: s, entry: TextBase}, nil
+}
+
+// Entry returns the entry-point PC.
+func (p *Program) Entry() uint64 { return p.entry }
+
+// NumInsts returns the static instruction count.
+func (p *Program) NumInsts() int { return len(p.insts) }
+
+// TextEnd returns the first address past the text section.
+func (p *Program) TextEnd() uint64 { return TextBase + uint64(len(p.insts)*isa.InstBytes) }
+
+// Fetch returns the instruction at pc. ok is false when pc lies outside the
+// text section or is misaligned — the simulator treats such fetches as
+// wrong-path bubbles, and the emulator treats them as a crash.
+func (p *Program) Fetch(pc uint64) (isa.Inst, bool) {
+	if pc < TextBase || pc%isa.InstBytes != 0 {
+		return isa.Inst{}, false
+	}
+	idx := (pc - TextBase) / isa.InstBytes
+	if idx >= uint64(len(p.insts)) {
+		return isa.Inst{}, false
+	}
+	return p.insts[idx], true
+}
+
+// Symbol resolves a label to its address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.symbols[name]
+	return a, ok
+}
+
+// Symbols returns the symbol names in deterministic (sorted) order.
+func (p *Program) Symbols() []string {
+	names := make([]string, 0, len(p.symbols))
+	for n := range p.symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InitialData invokes fn for every initialized data byte. Iteration order is
+// unspecified.
+func (p *Program) InitialData(fn func(addr uint64, b byte)) {
+	for a, b := range p.data {
+		fn(a, b)
+	}
+}
+
+// DataLen returns the number of initialized data bytes.
+func (p *Program) DataLen() int { return len(p.data) }

@@ -1,0 +1,88 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mkProg(t *testing.T, insts []isa.Inst, data map[uint64]byte) *Program {
+	t.Helper()
+	p, err := New(insts, data, map[string]uint64{"start": TextBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFetchBounds(t *testing.T) {
+	p := mkProg(t, []isa.Inst{{Op: isa.NOP}, {Op: isa.HALT}}, nil)
+	if in, ok := p.Fetch(TextBase); !ok || in.Op != isa.NOP {
+		t.Errorf("fetch entry: %v %v", in, ok)
+	}
+	if in, ok := p.Fetch(TextBase + 4); !ok || in.Op != isa.HALT {
+		t.Errorf("fetch second: %v %v", in, ok)
+	}
+	if _, ok := p.Fetch(TextBase + 8); ok {
+		t.Error("fetch past end succeeded")
+	}
+	if _, ok := p.Fetch(TextBase - 4); ok {
+		t.Error("fetch before start succeeded")
+	}
+	if _, ok := p.Fetch(TextBase + 2); ok {
+		t.Error("misaligned fetch succeeded")
+	}
+	if p.TextEnd() != TextBase+8 {
+		t.Errorf("TextEnd = %#x", p.TextEnd())
+	}
+	if p.NumInsts() != 2 {
+		t.Errorf("NumInsts = %d", p.NumInsts())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	bad := []isa.Inst{{Op: isa.Op(250)}}
+	if _, err := New(bad, nil, nil); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+	overlap := map[uint64]byte{TextBase: 1}
+	if _, err := New([]isa.Inst{{Op: isa.HALT}}, overlap, nil); err == nil {
+		t.Error("data overlapping text accepted")
+	}
+}
+
+func TestSymbolsSortedAndData(t *testing.T) {
+	p, err := New([]isa.Inst{{Op: isa.HALT}},
+		map[uint64]byte{DataBase: 0xAB, DataBase + 1: 0xCD},
+		map[string]uint64{"zeta": 1, "alpha": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := p.Symbols()
+	if len(syms) != 2 || syms[0] != "alpha" || syms[1] != "zeta" {
+		t.Errorf("symbols = %v", syms)
+	}
+	if a, ok := p.Symbol("zeta"); !ok || a != 1 {
+		t.Errorf("Symbol(zeta) = %d %v", a, ok)
+	}
+	if _, ok := p.Symbol("missing"); ok {
+		t.Error("missing symbol found")
+	}
+	seen := map[uint64]byte{}
+	p.InitialData(func(addr uint64, b byte) { seen[addr] = b })
+	if seen[DataBase] != 0xAB || seen[DataBase+1] != 0xCD {
+		t.Errorf("data = %v", seen)
+	}
+	if p.DataLen() != 2 {
+		t.Errorf("DataLen = %d", p.DataLen())
+	}
+}
+
+func TestLayoutConstants(t *testing.T) {
+	if !(TextBase < DataBase && DataBase < HeapBase && HeapBase < StackTop) {
+		t.Error("memory layout regions out of order")
+	}
+}

@@ -1,0 +1,136 @@
+package regfile
+
+import "testing"
+
+func TestBankLayout(t *testing.T) {
+	f := New(BankSizes{4, 3, 2, 1})
+	if f.Size() != 10 {
+		t.Fatalf("size = %d, want 10", f.Size())
+	}
+	want := []uint8{0, 0, 0, 0, 1, 1, 1, 2, 2, 3}
+	for p, w := range want {
+		if got := f.ShadowCells(uint16(p)); got != w {
+			t.Errorf("reg %d shadow cells = %d, want %d", p, got, w)
+		}
+	}
+}
+
+func TestVersionedWriteAndShadowPush(t *testing.T) {
+	f := New(BankSizes{0, 0, 0, 2}) // two registers with 3 shadows each
+	f.Write(0, 0, 100)
+	if f.Read(0, 0) != 100 {
+		t.Fatal("version 0 read")
+	}
+	f.Write(0, 1, 200)
+	f.Write(0, 2, 300)
+	f.Write(0, 3, 400)
+	if got := f.Read(0, 3); got != 400 {
+		t.Errorf("main = %d, want 400", got)
+	}
+	// Old versions live in shadows.
+	for ver, want := range map[uint8]uint64{0: 100, 1: 200, 2: 300} {
+		if got := f.Read(0, ver); got != want {
+			t.Errorf("shadow version %d = %d, want %d", ver, got, want)
+		}
+	}
+	if f.ShadowReads != 3 {
+		t.Errorf("shadow reads = %d, want 3", f.ShadowReads)
+	}
+}
+
+func TestRollbackRecoversOldVersions(t *testing.T) {
+	f := New(BankSizes{0, 0, 2, 0})
+	f.Write(0, 0, 11)
+	f.Write(0, 1, 22)
+	f.Write(0, 2, 33)
+	if !f.Rollback(0, 1) {
+		t.Fatal("rollback reported no recovery")
+	}
+	if f.MainVer(0) != 1 || f.Read(0, 1) != 22 {
+		t.Errorf("after rollback: ver=%d val=%d, want 1/22", f.MainVer(0), f.Read(0, 1))
+	}
+	if f.Rollback(0, 1) {
+		t.Error("rollback to current version must be a no-op")
+	}
+	if !f.Rollback(0, 0) {
+		t.Fatal("second rollback failed")
+	}
+	if f.Read(0, 0) != 11 {
+		t.Errorf("recovered version 0 = %d, want 11", f.Read(0, 0))
+	}
+	if f.Recoveries != 2 {
+		t.Errorf("recoveries = %d, want 2", f.Recoveries)
+	}
+}
+
+func TestWriteAfterRollbackReusesVersion(t *testing.T) {
+	// A squash rolls the register back; a new (correct-path) reuse then
+	// produces the same version numbers again.
+	f := New(BankSizes{0, 2, 0, 0})
+	f.Write(0, 0, 1)
+	f.Write(0, 1, 2) // wrong-path version
+	f.Rollback(0, 0)
+	f.Write(0, 1, 5) // correct-path version 1
+	if f.Read(0, 1) != 5 || f.Read(0, 0) != 1 {
+		t.Errorf("got v1=%d v0=%d, want 5/1", f.Read(0, 1), f.Read(0, 0))
+	}
+}
+
+func TestResetOnAlloc(t *testing.T) {
+	f := New(BankSizes{0, 2, 0, 0})
+	f.Write(0, 0, 7)
+	f.Write(0, 1, 8)
+	f.ResetOnAlloc(0)
+	if f.MainVer(0) != 0 {
+		t.Error("reset did not clear version")
+	}
+	f.Write(0, 0, 9)
+	if f.Read(0, 0) != 9 {
+		t.Error("fresh write after reset")
+	}
+}
+
+func TestWritePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(f *File)
+	}{
+		{"skip version", func(f *File) { f.Write(0, 0, 1); f.Write(0, 2, 2) }},
+		{"stale version", func(f *File) { f.Write(0, 0, 1); f.Write(0, 1, 2); f.Write(0, 0, 3) }},
+		{"no shadow cell", func(f *File) { f.Write(4, 0, 1); f.Write(4, 1, 2) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := New(BankSizes{1, 0, 0, 4})
+			// Register 4 is in bank 3 layout: bank0 has reg... adjust:
+			// BankSizes{1,0,0,4}: reg0 bank0, regs 1..4 bank3.
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			if c.name == "no shadow cell" {
+				f = New(BankSizes{5, 0, 0, 0})
+			}
+			c.run(f)
+		})
+	}
+}
+
+func TestReadFutureVersionPanics(t *testing.T) {
+	f := New(BankSizes{0, 1, 0, 0})
+	f.Write(0, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Read(0, 1)
+}
+
+func TestUniform(t *testing.T) {
+	b := Uniform(128, 0)
+	if b.Total() != 128 || b[0] != 128 {
+		t.Errorf("Uniform = %+v", b)
+	}
+}

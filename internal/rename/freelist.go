@@ -1,0 +1,58 @@
+package rename
+
+// freeRing is a circular free list designed for checkpoint/rollback.
+// Allocation pops at the head; release pushes at the tail; the free
+// registers are the ring slots in [head, tail).
+//
+// A branch checkpoint records only the head counter. Restoring the head
+// returns every register allocated on the wrong path (their identities are
+// still in the slots the head skipped over), while releases that happened
+// after the checkpoint — pushed at the tail by committing instructions —
+// are preserved. A naive slice snapshot would lose those releases and leak
+// registers on every squash.
+//
+// The tail can never overwrite the region a restore needs: free count plus
+// in-flight allocations is always strictly less than capacity while any
+// architectural register is live.
+type freeRing struct {
+	buf        []uint16
+	head, tail uint64 // absolute counters; free slots are [head, tail)
+}
+
+func newFreeRing(capacity int) *freeRing {
+	return &freeRing{buf: make([]uint16, capacity)}
+}
+
+func (f *freeRing) len() int { return int(f.tail - f.head) }
+
+func (f *freeRing) push(p uint16) {
+	if f.len() == len(f.buf) {
+		panic("rename: free list overflow (double free?)")
+	}
+	f.buf[f.tail%uint64(len(f.buf))] = p
+	f.tail++
+}
+
+func (f *freeRing) pop() (uint16, bool) {
+	if f.head == f.tail {
+		return 0, false
+	}
+	p := f.buf[f.head%uint64(len(f.buf))]
+	f.head++
+	return p, true
+}
+
+// mark returns the checkpoint cookie (the head counter).
+func (f *freeRing) mark() uint64 { return f.head }
+
+// rewind restores the head to a cookie from mark, returning wrong-path
+// allocations to the free pool.
+func (f *freeRing) rewind(mark uint64) {
+	if mark > f.head {
+		panic("rename: free list rewind into the future")
+	}
+	f.head = mark
+}
+
+// reset empties the ring (used when rebuilding from the retirement map).
+func (f *freeRing) reset() { f.head, f.tail = 0, 0 }

@@ -1,0 +1,459 @@
+package rename
+
+import (
+	"testing"
+
+	"repro/internal/regfile"
+)
+
+// newReuseForTest builds a reuse renamer over 8 logical registers and a
+// small banked file: 10 normal + 3×1sh + 3×2sh + 2×3sh = 18 registers.
+func newReuseForTest(cfg ReuseConfig) (*ReuseRenamer, *regfile.File, *TypePredictor) {
+	rf := regfile.New(regfile.BankSizes{10, 3, 3, 2})
+	tp := NewTypePredictor(64)
+	return NewReuse(cfg, 8, rf, tp), rf, tp
+}
+
+func TestBaselineAllocAndRelease(t *testing.T) {
+	rf := regfile.New(regfile.Uniform(12, 0))
+	b := NewBaseline(8, rf)
+	if b.FreeRegs() != 4 {
+		t.Fatalf("free = %d, want 4", b.FreeRegs())
+	}
+	r1, ok := b.RenameDest(0x1000, 1, nil)
+	if !ok || !r1.Allocated {
+		t.Fatal("allocation failed")
+	}
+	if b.PeekSrc(1).Tag != r1.Tag {
+		t.Error("map table not updated")
+	}
+	// Redefine r1: previous phys released only at commit.
+	r2, _ := b.RenameDest(0x1004, 1, nil)
+	free := b.FreeRegs()
+	b.Commit(r1)
+	if b.FreeRegs() != free+1 {
+		t.Error("commit of first definition must release the architectural previous register")
+	}
+	b.Commit(r2)
+	if b.FreeRegs() != free+2 {
+		t.Error("commit of redefinition must release r1's register")
+	}
+}
+
+func TestBaselineStallsWhenEmpty(t *testing.T) {
+	rf := regfile.New(regfile.Uniform(9, 0))
+	b := NewBaseline(8, rf)
+	if _, ok := b.RenameDest(0, 1, nil); !ok {
+		t.Fatal("first allocation should succeed")
+	}
+	if _, ok := b.RenameDest(4, 2, nil); ok {
+		t.Fatal("allocation from empty free list should stall")
+	}
+}
+
+func TestBaselineCheckpointRestore(t *testing.T) {
+	rf := regfile.New(regfile.Uniform(16, 0))
+	b := NewBaseline(8, rf)
+	r1, _ := b.RenameDest(0, 1, nil)
+	ck := b.Checkpoint()
+	b.RenameDest(4, 2, nil)
+	b.RenameDest(8, 3, nil)
+	free := b.FreeRegs()
+	b.Restore(ck)
+	if b.FreeRegs() != free+2 {
+		t.Error("restore did not return wrong-path registers")
+	}
+	if b.PeekSrc(1).Tag != r1.Tag {
+		t.Error("restore clobbered pre-checkpoint mapping")
+	}
+}
+
+// TestPaperFigure4 walks the paper's running example (Figure 4b): the chain
+// I1, I4, I5, I6 shares one physical register; I2, I3, I8 allocate. We force
+// speculative reuse for I8's pattern by allocating from shadow banks.
+func TestPaperFigure4(t *testing.T) {
+	ren, _, tp := newReuseForTest(DefaultReuseConfig())
+	// Bias the predictor so every allocation gets shadow cells (bank 3),
+	// mirroring the figure where P1 can be reused three times — except
+	// I2's destination (r3), which the figure's predictor correctly
+	// classifies as multi-use (it is read by both I3 and I6), so it gets a
+	// normal register and is never speculatively stolen.
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	tp.entries[tp.Index(0x04)] = 0
+
+	// I1: add r1 <- r2, r3 : allocates (call it P1, version 0).
+	i1, ok := ren.RenameDest(0x00, 1, []uint8{2, 3})
+	if !ok || !i1.Allocated {
+		t.Fatal("I1 must allocate")
+	}
+	p1 := i1.Tag.Reg
+	// I2: ld r3 <- m(x1): allocates.
+	i2, _ := ren.RenameDest(0x04, 3, nil)
+	if !i2.Allocated {
+		t.Fatal("I2 must allocate")
+	}
+	// I3: mul r2 <- r3, r4: r3 is first-used here but is not redefined and
+	// its register has no shadow cells (predicted multi-use), so I3
+	// allocates, exactly as the figure's P6.
+	i3, ok := ren.RenameDest(0x08, 2, []uint8{3, 4})
+	if !ok || !i3.Allocated {
+		t.Fatalf("I3 must allocate: %+v", i3)
+	}
+	// I4: add r1 <- r1, r4 : redefining single consumer => reuse P1.1.
+	i4, _ := ren.RenameDest(0x0c, 1, []uint8{1, 4})
+	if !i4.Reused || !i4.ReusedSameLog || i4.Tag != (Tag{Reg: p1, Ver: 1}) {
+		t.Fatalf("I4 = %+v, want reuse of P%d.1", i4, p1)
+	}
+	// I5: mul r1 <- r1, r1 : reuse P1.2.
+	i5, _ := ren.RenameDest(0x10, 1, []uint8{1})
+	if !i5.Reused || i5.Tag != (Tag{Reg: p1, Ver: 2}) {
+		t.Fatalf("I5 = %+v, want reuse of P%d.2", i5, p1)
+	}
+	// I6: mul r1 <- r1, r3 : reuse P1.3 (counter saturates after this).
+	i6, _ := ren.RenameDest(0x14, 1, []uint8{1, 3})
+	if !i6.Reused || i6.Tag != (Tag{Reg: p1, Ver: 3}) {
+		t.Fatalf("I6 = %+v, want reuse of P%d.3", i6, p1)
+	}
+	// I7: add r5 <- r1, r2 : first consumer of P1.3 but the counter is
+	// saturated -> must allocate.
+	i7, _ := ren.RenameDest(0x18, 5, []uint8{1, 2})
+	if i7.Reused && i7.Tag.Reg == p1 {
+		t.Fatalf("I7 reused saturated register: %+v", i7)
+	}
+	st := ren.Stats()
+	if st.ReuseSameLog != 3 {
+		t.Errorf("same-logical reuses = %d, want 3", st.ReuseSameLog)
+	}
+	if st.ReusesByVer[1] < 1 || st.ReusesByVer[2] < 1 || st.ReusesByVer[3] < 1 {
+		t.Errorf("reuse version histogram = %v", st.ReusesByVer)
+	}
+}
+
+func TestReadBitBlocksSecondConsumerReuse(t *testing.T) {
+	ren, _, tp := newReuseForTest(DefaultReuseConfig())
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	d, _ := ren.RenameDest(0x00, 1, nil) // define r1
+	if !d.Allocated {
+		t.Fatal("expected allocation")
+	}
+	// First consumer that does not redefine: speculative reuse steals it.
+	c1, _ := ren.RenameDest(0x04, 2, []uint8{1})
+	if !c1.Reused || c1.ReusedSameLog {
+		t.Fatalf("first consumer should speculatively reuse: %+v", c1)
+	}
+	// r1's mapping is now stolen.
+	if !ren.PeekSrc(1).Stolen {
+		t.Error("r1 should be marked stolen after speculative reuse")
+	}
+	// Repair it.
+	rep, ok := ren.RepairSteal(1)
+	if !ok {
+		t.Fatal("repair failed")
+	}
+	if rep.From.Reg != d.Tag.Reg || rep.From.Ver != 0 {
+		t.Errorf("repair source = %+v, want %+v", rep.From, d.Tag)
+	}
+	if ren.PeekSrc(1).Stolen {
+		t.Error("repair should clear stolen flag")
+	}
+	// After repair, a second consumer reads the fresh register; its Read
+	// bit is clear (value not yet read through new mapping), so reuse of
+	// the *new* register is possible — but the old register must not be
+	// offered again.
+	c2, _ := ren.RenameDest(0x08, 3, []uint8{1})
+	if c2.Reused && c2.Tag.Reg == d.Tag.Reg {
+		t.Errorf("second consumer reused the stolen register: %+v", c2)
+	}
+}
+
+func TestReuseRequiresShadowCells(t *testing.T) {
+	// All registers in bank 0: no reuse ever possible.
+	rf := regfile.New(regfile.Uniform(16, 0))
+	tp := NewTypePredictor(64)
+	ren := NewReuse(DefaultReuseConfig(), 8, rf, tp)
+	ren.RenameDest(0x00, 1, nil)
+	c, _ := ren.RenameDest(0x04, 1, []uint8{1})
+	if c.Reused {
+		t.Fatal("reuse without shadow cells must be blocked")
+	}
+	if ren.Stats().BlockedShadow == 0 {
+		t.Error("blocked-by-shadow stat not counted")
+	}
+}
+
+func TestSpeculativeReuseDisabled(t *testing.T) {
+	cfg := DefaultReuseConfig()
+	cfg.SpeculativeReuse = false
+	ren, _, tp := newReuseForTest(cfg)
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	ren.RenameDest(0x00, 1, nil)
+	// Non-redefining first consumer: no reuse when speculation is off.
+	c, _ := ren.RenameDest(0x04, 2, []uint8{1})
+	if c.Reused {
+		t.Fatal("speculative reuse should be disabled")
+	}
+	// Redefining consumer still reuses.
+	d, _ := ren.RenameDest(0x08, 2, []uint8{2})
+	if !d.Reused || !d.ReusedSameLog {
+		t.Fatalf("guaranteed reuse must still work: %+v", d)
+	}
+}
+
+func TestMaxVersionsAblation(t *testing.T) {
+	cfg := DefaultReuseConfig()
+	cfg.MaxVersions = 1
+	ren, _, tp := newReuseForTest(cfg)
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	ren.RenameDest(0x00, 1, nil)
+	c1, _ := ren.RenameDest(0x04, 1, []uint8{1})
+	if !c1.Reused {
+		t.Fatal("first reuse should succeed")
+	}
+	c2, _ := ren.RenameDest(0x08, 1, []uint8{1})
+	if c2.Reused {
+		t.Fatal("second reuse must be blocked by MaxVersions=1")
+	}
+	if ren.Stats().BlockedSat == 0 {
+		t.Error("saturation stat not counted")
+	}
+}
+
+func TestCommitReleasesSharedRegisterOnce(t *testing.T) {
+	ren, _, tp := newReuseForTest(DefaultReuseConfig())
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	free0 := ren.FreeRegs()
+	d, _ := ren.RenameDest(0x00, 1, nil) // r1 -> P.0
+	c, _ := ren.RenameDest(0x04, 2, []uint8{1})
+	if !c.Reused {
+		t.Fatal("expected speculative reuse")
+	}
+	rep, _ := ren.RepairSteal(1) // r1 -> fresh P2
+	ren.Commit(d)
+	ren.Commit(c)
+	ren.Commit(rep.Dest)
+	// After all commits: r1 -> P2 (arch), r2 -> P.1 (arch). The shared
+	// register P is still architecturally live via r2, so it must NOT be
+	// free; only the registers displaced from r1/r2's old mappings are.
+	freed := ren.FreeRegs() - (free0 - 2 /* d and repair each allocated one */)
+	_ = freed
+	if ren.RetireTag(2) != c.Tag {
+		t.Errorf("retire map r2 = %+v, want %+v", ren.RetireTag(2), c.Tag)
+	}
+	if ren.RetireTag(1) != rep.Dest.Tag {
+		t.Errorf("retire map r1 = %+v, want %+v", ren.RetireTag(1), rep.Dest.Tag)
+	}
+	// The shared register must still be referenced exactly once.
+	if ren.retireRefs[d.Tag.Reg] != 1 {
+		t.Errorf("shared register refs = %d, want 1", ren.retireRefs[d.Tag.Reg])
+	}
+	// Redefining r2 and committing releases the shared register.
+	d2, _ := ren.RenameDest(0x10, 2, nil)
+	before := ren.FreeRegs()
+	ren.Commit(d2)
+	if ren.FreeRegs() != before+1 {
+		t.Error("redefining the last mapping of the shared register must free it")
+	}
+	if ren.retireRefs[d.Tag.Reg] != 0 {
+		t.Errorf("shared register refs = %d, want 0", ren.retireRefs[d.Tag.Reg])
+	}
+}
+
+func TestCheckpointRestoreRewindsPRT(t *testing.T) {
+	ren, rf, tp := newReuseForTest(DefaultReuseConfig())
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	d, _ := ren.RenameDest(0x00, 1, nil)
+	rf.Write(d.Tag.Reg, 0, 111) // producer executes
+	ck := ren.Checkpoint()
+	// Wrong path: reuse twice and write the new versions.
+	c1, _ := ren.RenameDest(0x04, 1, []uint8{1})
+	rf.Write(c1.Tag.Reg, 1, 222)
+	c2, _ := ren.RenameDest(0x08, 1, []uint8{1})
+	rf.Write(c2.Tag.Reg, 2, 333)
+	rec := ren.Restore(ck)
+	if rec != 1 {
+		t.Errorf("recoveries = %d, want 1 (one register rolled back)", rec)
+	}
+	if got := rf.Read(d.Tag.Reg, 0); got != 111 {
+		t.Errorf("recovered value = %d, want 111", got)
+	}
+	if ren.PeekSrc(1).Tag != d.Tag {
+		t.Error("map table not rewound")
+	}
+	if !ren.PeekSrc(1).FirstUse {
+		t.Error("read bit not rewound")
+	}
+	// Reuse again on the correct path: version numbering restarts at 1.
+	c3, _ := ren.RenameDest(0x0c, 1, []uint8{1})
+	if c3.Tag != (Tag{Reg: d.Tag.Reg, Ver: 1}) {
+		t.Errorf("post-restore reuse = %+v, want ver 1", c3.Tag)
+	}
+}
+
+func TestRestoreArchRecoversArchitecturalVersions(t *testing.T) {
+	ren, rf, tp := newReuseForTest(DefaultReuseConfig())
+	for i := range tp.entries {
+		tp.entries[i] = 3
+	}
+	d, _ := ren.RenameDest(0x00, 1, nil)
+	rf.Write(d.Tag.Reg, 0, 10)
+	ren.Commit(d) // r1 -> P.0 architectural
+	// Speculative chain beyond the committed point.
+	c1, _ := ren.RenameDest(0x04, 1, []uint8{1})
+	rf.Write(c1.Tag.Reg, 1, 20)
+	c2, _ := ren.RenameDest(0x08, 1, []uint8{1})
+	rf.Write(c2.Tag.Reg, 2, 30)
+	rec := ren.RestoreArch()
+	if rec != 1 {
+		t.Errorf("recoveries = %d, want 1", rec)
+	}
+	if got := rf.Read(d.Tag.Reg, 0); got != 10 {
+		t.Errorf("architectural value = %d, want 10", got)
+	}
+	if ren.PeekSrc(1).Tag != d.Tag {
+		t.Error("map table != retire map after RestoreArch")
+	}
+	if ren.PeekSrc(1).FirstUse {
+		t.Error("read bits must be conservative (set) after RestoreArch")
+	}
+}
+
+func TestFreeListConservation(t *testing.T) {
+	// Property: total registers = free + architecturally live + in-flight.
+	ren, _, tp := newReuseForTest(DefaultReuseConfig())
+	for i := range tp.entries {
+		tp.entries[i] = 2
+	}
+	type ev struct{ res DestResult }
+	var inflight []ev
+	pc := uint64(0)
+	for step := 0; step < 2000; step++ {
+		pc += 4
+		log := uint8(step % 8)
+		var srcs []uint8
+		if step%3 == 0 {
+			srcs = []uint8{uint8((step + 1) % 8)}
+		}
+		if ren.PeekSrc(log).Stolen {
+			if rep, ok := ren.RepairSteal(log); ok {
+				inflight = append(inflight, ev{rep.Dest})
+			}
+			continue
+		}
+		skip := false
+		for _, s := range srcs {
+			if ren.PeekSrc(s).Stolen {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		if res, ok := ren.RenameDest(pc, log, srcs); ok {
+			inflight = append(inflight, ev{res})
+		}
+		// Commit oldest half the time to create churn.
+		if len(inflight) > 6 {
+			ren.Commit(inflight[0].res)
+			inflight = inflight[1:]
+		}
+	}
+	for _, e := range inflight {
+		ren.Commit(e.res)
+	}
+	// Now everything is committed: live registers are exactly those in the
+	// retire map (8 logical, some possibly shared).
+	seen := map[uint16]bool{}
+	for l := uint8(0); l < 8; l++ {
+		seen[ren.RetireTag(l).Reg] = true
+	}
+	if got, want := ren.FreeRegs(), 18-len(seen); got != want {
+		t.Errorf("free = %d, want %d (18 total, %d live)", got, want, len(seen))
+	}
+}
+
+func TestTypePredictorDynamics(t *testing.T) {
+	tp := NewTypePredictor(8)
+	idx := tp.Index(0x1234)
+	if p := tp.Predict(idx); p != 1 {
+		t.Errorf("initial prediction = %d, want 1", p)
+	}
+	tp.Increment(idx)
+	tp.Increment(idx)
+	tp.Increment(idx) // saturates at 3
+	if p := tp.Predict(idx); p != 3 {
+		t.Errorf("after increments = %d, want 3", p)
+	}
+	tp.Decrement(idx)
+	if p := tp.Predict(idx); p != 2 {
+		t.Errorf("after decrement = %d, want 2", p)
+	}
+	tp.Reset(idx)
+	if p := tp.Predict(idx); p != 0 {
+		t.Errorf("after reset = %d, want 0", p)
+	}
+	tp.Decrement(idx) // floor at 0
+	if p := tp.Predict(idx); p != 0 {
+		t.Errorf("decrement below zero = %d", p)
+	}
+	if tp.SizeBits() != 16 {
+		t.Errorf("size bits = %d, want 16", tp.SizeBits())
+	}
+}
+
+func TestTypePredictorBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTypePredictor(100)
+}
+
+func TestAllocFallbackClosestBank(t *testing.T) {
+	// Bank sizes: only bank 0 and bank 3 have registers beyond the
+	// architectural ones.
+	rf := regfile.New(regfile.BankSizes{10, 0, 0, 4})
+	tp := NewTypePredictor(64)
+	ren := NewReuse(DefaultReuseConfig(), 8, rf, tp)
+	// Predictor wants bank 2; closest available is bank 3.
+	for i := range tp.entries {
+		tp.entries[i] = 2
+	}
+	d, ok := ren.RenameDest(0x40, 1, nil)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	if rf.ShadowCells(d.Tag.Reg) != 3 {
+		t.Errorf("allocated from bank %d, want 3", rf.ShadowCells(d.Tag.Reg))
+	}
+}
+
+func TestRenameDestStallHasNoSideEffects(t *testing.T) {
+	// Tiny file: 8 logical + 1 free register, all bank 0.
+	rf := regfile.New(regfile.Uniform(9, 0))
+	tp := NewTypePredictor(64)
+	ren := NewReuse(DefaultReuseConfig(), 8, rf, tp)
+	if _, ok := ren.RenameDest(0x00, 1, nil); !ok {
+		t.Fatal("first alloc should succeed")
+	}
+	before := ren.PeekSrc(2)
+	if _, ok := ren.RenameDest(0x04, 3, []uint8{2}); ok {
+		t.Fatal("expected stall")
+	}
+	after := ren.PeekSrc(2)
+	if before != after {
+		t.Errorf("stalled rename mutated source state: %+v -> %+v", before, after)
+	}
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("a", 1)
+	tb.Row("long-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns align: "value" header starts at same offset in all rows.
+	off := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][off-1:], " 1") && lines[2][off] != '1' {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row(`x,y`, `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Errorf("CSV escaping wrong: %q", csv)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g", g)
+	}
+	if g := GeoMean(nil); g != 1 {
+		t.Errorf("GeoMean(nil) = %g", g)
+	}
+}
+
+func TestMeanAndPct(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if p := Pct(0.125); p != "12.5%" {
+		t.Errorf("Pct = %q", p)
+	}
+}

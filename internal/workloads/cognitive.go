@@ -1,0 +1,277 @@
+package workloads
+
+import "math"
+
+// Cognitive-computing kernels, following the paper's §V-B: Gaussian Mixture
+// Model acoustic scoring and a feed-forward DNN, the two kernels the authors
+// single out from speech/vision pipelines.
+
+// genGMM scores feature frames against a Gaussian mixture: per (frame,
+// gaussian) a Mahalanobis-style accumulation followed by a rational
+// squashing (standing in for exp) and a weighted sum.
+func genGMM(scale int) Workload {
+	const dims = 8
+	const gauss = 16
+	frames := 24 * scale
+	r := newLCG(0x96A)
+	feat := make([]float64, frames*dims)
+	for i := range feat {
+		feat[i] = r.f64()*4 - 2
+	}
+	means := make([]float64, gauss*dims)
+	invvar := make([]float64, gauss*dims)
+	weights := make([]float64, gauss)
+	for i := range means {
+		means[i] = r.f64()*4 - 2
+		invvar[i] = 0.5 + r.f64()
+	}
+	for i := range weights {
+		weights[i] = r.f64() + 0.0625
+	}
+
+	// Reference mirrors assembly order exactly.
+	acc := 0.0
+	for f := 0; f < frames; f++ {
+		score := 0.0
+		for g := 0; g < gauss; g++ {
+			d := 0.0
+			for k := 0; k < dims; k++ {
+				diff := feat[f*dims+k] - means[g*dims+k]
+				d += (diff * diff) * invvar[g*dims+k]
+			}
+			score += weights[g] / (1 + d)
+		}
+		acc += score
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, feat")
+	b.t("	la   x2, means")
+	b.t("	la   x3, invvar")
+	b.t("	la   x4, weights")
+	b.t("	movi x5, #0            ; frame")
+	b.t("	movi x6, #%d           ; frames", frames)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("	fmovi f10, #1.0")
+	b.t("frame:")
+	b.t("	fmovi f0, #0.0         ; score")
+	b.t("	movi x7, #%d", dims)
+	b.t("	mul  x8, x5, x7")
+	b.t("	lsli x8, x8, #3")
+	b.t("	add  x8, x1, x8        ; &feat[f][0]")
+	b.t("	movi x9, #0            ; g")
+	b.t("gauss:")
+	b.t("	fmovi f1, #0.0         ; d")
+	b.t("	mul  x11, x9, x7")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x12, x2, x11      ; &means[g][0]")
+	b.t("	add  x13, x3, x11      ; &invvar[g][0]")
+	b.t("	movi x14, #0           ; k")
+	b.t("dim:")
+	b.t("	lsli x15, x14, #3")
+	b.t("	add  x16, x8, x15")
+	b.t("	fldr f2, [x16]         ; feat")
+	b.t("	add  x16, x12, x15")
+	b.t("	fldr f3, [x16]         ; mean")
+	b.t("	fsub f2, f2, f3        ; diff")
+	b.t("	fmul f2, f2, f2")
+	b.t("	add  x16, x13, x15")
+	b.t("	fldr f3, [x16]         ; invvar")
+	b.t("	fmul f2, f2, f3")
+	b.t("	fadd f1, f1, f2")
+	b.t("	addi x14, x14, #1")
+	b.t("	bne  x14, x7, dim")
+	b.t("	lsli x15, x9, #3")
+	b.t("	add  x16, x4, x15")
+	b.t("	fldr f4, [x16]         ; weight")
+	b.t("	fadd f1, f10, f1       ; 1 + d")
+	b.t("	fdiv f4, f4, f1")
+	b.t("	fadd f0, f0, f4")
+	b.t("	addi x9, x9, #1")
+	b.t("	movi x17, #%d", gauss)
+	b.t("	bne  x9, x17, gauss")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x6, frame")
+	fpCheck(b, 9, 1e6)
+	b.doubles("feat", feat)
+	b.doubles("means", means)
+	b.doubles("invvar", invvar)
+	b.doubles("weights", weights)
+
+	return Workload{
+		Name:        "gmm_score",
+		Suite:       Cognitive,
+		Description: "GMM acoustic scoring (Mahalanobis accumulation + mixture sum)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genDNN is a 16-32-16-8 multilayer perceptron forward pass with ReLU
+// activations over a batch of input vectors.
+func genDNN(scale int) Workload {
+	layers := []int{16, 32, 16, 8}
+	batch := 12 * scale
+	r := newLCG(0xD44)
+	inputs := make([]float64, batch*layers[0])
+	for i := range inputs {
+		inputs[i] = r.f64()*2 - 1
+	}
+	var weights [][]float64 // weights[l] is layers[l+1] x layers[l]
+	var biases [][]float64
+	for l := 0; l < len(layers)-1; l++ {
+		w := make([]float64, layers[l+1]*layers[l])
+		for i := range w {
+			w[i] = (r.f64() - 0.5) * 0.5
+		}
+		bs := make([]float64, layers[l+1])
+		for i := range bs {
+			bs[i] = (r.f64() - 0.5) * 0.25
+		}
+		weights = append(weights, w)
+		biases = append(biases, bs)
+	}
+
+	// Reference.
+	acc := 0.0
+	for bi := 0; bi < batch; bi++ {
+		act := append([]float64(nil), inputs[bi*layers[0]:(bi+1)*layers[0]]...)
+		for l := 0; l < len(layers)-1; l++ {
+			next := make([]float64, layers[l+1])
+			for o := 0; o < layers[l+1]; o++ {
+				s := biases[l][o]
+				for i := 0; i < layers[l]; i++ {
+					s += weights[l][o*layers[l]+i] * act[i]
+				}
+				if l < len(layers)-2 {
+					s = math.Max(s, 0) // ReLU, mirroring the FMAX op
+				}
+				next[o] = s
+			}
+			act = next
+		}
+		for _, v := range act {
+			acc += v
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, inputs")
+	b.t("	movi x2, #0            ; batch index")
+	b.t("	movi x3, #%d           ; batch", batch)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("	fmovi f10, #0.0        ; ReLU zero")
+	b.t("batch:")
+	b.t("	movi x4, #%d", layers[0])
+	b.t("	mul  x5, x2, x4")
+	b.t("	lsli x5, x5, #3")
+	b.t("	add  x5, x1, x5        ; input vector")
+	// Copy input into act0 buffer.
+	b.t("	la   x6, act0")
+	b.t("	movi x7, #0")
+	b.t("cp_in:")
+	b.t("	lsli x8, x7, #3")
+	b.t("	add  x9, x5, x8")
+	b.t("	ldr  x11, [x9]")
+	b.t("	add  x9, x6, x8")
+	b.t("	str  x11, [x9]")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x4, cp_in")
+	for l := 0; l < len(layers)-1; l++ {
+		in, out := layers[l], layers[l+1]
+		src := "act0"
+		dst := "act1"
+		if l%2 == 1 {
+			src, dst = "act1", "act0"
+		}
+		b.t("	; layer %d: %d -> %d", l, in, out)
+		b.t("	la   x5, %s", src)
+		b.t("	la   x6, %s", dst)
+		b.t("	la   x12, w%d", l)
+		b.t("	la   x13, b%d", l)
+		b.t("	movi x7, #0            ; o")
+		b.t("l%d_o:", l)
+		b.t("	lsli x8, x7, #3")
+		b.t("	add  x8, x13, x8")
+		b.t("	fldr f0, [x8]          ; bias")
+		b.t("	movi x9, #%d", in)
+		b.t("	mul  x11, x7, x9")
+		b.t("	lsli x11, x11, #3")
+		b.t("	add  x11, x12, x11     ; weight row")
+		b.t("	movi x14, #0           ; i")
+		b.t("l%d_i:", l)
+		b.t("	lsli x15, x14, #3")
+		b.t("	add  x16, x11, x15")
+		b.t("	fldr f1, [x16]")
+		b.t("	add  x16, x5, x15")
+		b.t("	fldr f2, [x16]")
+		b.t("	fmul f1, f1, f2")
+		b.t("	fadd f0, f0, f1")
+		b.t("	addi x14, x14, #1")
+		b.t("	bne  x14, x9, l%d_i", l)
+		if l < len(layers)-2 {
+			b.t("	fmax f0, f0, f10       ; ReLU")
+		}
+		b.t("	lsli x8, x7, #3")
+		b.t("	add  x8, x6, x8")
+		b.t("	fstr f0, [x8]")
+		b.t("	addi x7, x7, #1")
+		b.t("	movi x17, #%d", out)
+		b.t("	bne  x7, x17, l%d_o", l)
+	}
+	finalBuf := "act1"
+	if (len(layers)-1)%2 == 0 {
+		finalBuf = "act0"
+	}
+	b.t("	la   x5, %s", finalBuf)
+	b.t("	movi x7, #0")
+	b.t("	movi x8, #%d", layers[len(layers)-1])
+	b.t("out_sum:")
+	b.t("	lsli x9, x7, #3")
+	b.t("	add  x9, x5, x9")
+	b.t("	fldr f0, [x9]")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x8, out_sum")
+	b.t("	addi x2, x2, #1")
+	b.t("	bne  x2, x3, batch")
+	fpCheck(b, 9, 1e6)
+	b.doubles("inputs", inputs)
+	for l := range weights {
+		b.doubles("w"+itoa(l), weights[l])
+		b.doubles("b"+itoa(l), biases[l])
+	}
+	maxAct := 0
+	for _, n := range layers {
+		if n > maxAct {
+			maxAct = n
+		}
+	}
+	b.space("act0", maxAct*8)
+	b.space("act1", maxAct*8)
+
+	return Workload{
+		Name:        "dnn_mlp",
+		Suite:       Cognitive,
+		Description: "MLP forward pass (16-32-16-8) with ReLU",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

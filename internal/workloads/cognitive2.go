@@ -1,0 +1,191 @@
+package workloads
+
+// Second cognitive batch: a 2D convolution layer and the k-means assignment
+// step — the vision-side counterparts of the paper's GMM/DNN kernels.
+
+// genConv2D convolves a feature map with a 5x5 kernel plus ReLU, the inner
+// loop of a CNN layer.
+func genConv2D(scale int) Workload {
+	side := 16 * scale
+	const k = 5
+	r := newLCG(0xC0D2)
+	inMap := make([]float64, side*side)
+	for i := range inMap {
+		inMap[i] = r.f64()*2 - 1
+	}
+	kern := make([]float64, k*k)
+	for i := range kern {
+		kern[i] = (r.f64() - 0.5) * 0.5
+	}
+	out := side - k + 1
+
+	// Reference.
+	acc := 0.0
+	for y := 0; y < out; y++ {
+		for x := 0; x < out; x++ {
+			s := 0.0
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					s += kern[ky*k+kx] * inMap[(y+ky)*side+x+kx]
+				}
+			}
+			if s < 0 { // ReLU via fmax
+				s = 0
+			}
+			acc += s
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, map")
+	b.t("	la   x2, kern")
+	b.t("	movi x3, #%d           ; side", side)
+	b.t("	movi x4, #%d           ; out", out)
+	b.t("	movi x5, #%d           ; k", k)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("	fmovi f10, #0.0        ; ReLU zero")
+	b.t("	movi x6, #0            ; y")
+	b.t("y_loop:")
+	b.t("	movi x7, #0            ; x")
+	b.t("x_loop:")
+	b.t("	fmovi f0, #0.0         ; s")
+	b.t("	movi x8, #0            ; ky")
+	b.t("ky_loop:")
+	b.t("	add  x9, x6, x8        ; y+ky")
+	b.t("	mul  x9, x9, x3")
+	b.t("	add  x9, x9, x7        ; (y+ky)*side + x")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x9, x1, x9")
+	b.t("	mul  x11, x8, x5       ; ky*k")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x11, x2, x11")
+	b.t("	movi x12, #0           ; kx")
+	b.t("kx_loop:")
+	b.t("	lsli x13, x12, #3")
+	b.t("	add  x14, x11, x13")
+	b.t("	fldr f1, [x14]         ; kern")
+	b.t("	add  x14, x9, x13")
+	b.t("	fldr f2, [x14]         ; map")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x12, x12, #1")
+	b.t("	bne  x12, x5, kx_loop")
+	b.t("	addi x8, x8, #1")
+	b.t("	bne  x8, x5, ky_loop")
+	b.t("	fmax f0, f0, f10       ; ReLU")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x4, x_loop")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x4, y_loop")
+	fpCheck(b, 9, 1e6)
+	b.doubles("map", inMap)
+	b.doubles("kern", kern)
+
+	return Workload{
+		Name:        "conv2d",
+		Suite:       Cognitive,
+		Description: "5x5 convolution layer with ReLU (CNN inner loop)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genKMeans runs the k-means assignment step: for each point find the
+// nearest of K centroids by squared distance, accumulating assignment
+// indices and distances.
+func genKMeans(scale int) Workload {
+	const dims = 4
+	const centroids = 8
+	points := 256 * scale
+	r := newLCG(0x4AEA)
+	pts := make([]float64, points*dims)
+	for i := range pts {
+		pts[i] = r.f64() * 10
+	}
+	cents := make([]float64, centroids*dims)
+	for i := range cents {
+		cents[i] = r.f64() * 10
+	}
+
+	// Reference.
+	acc := 0.0
+	var idxSum uint64
+	for p := 0; p < points; p++ {
+		best := -1
+		bestD := 0.0
+		for c := 0; c < centroids; c++ {
+			d := 0.0
+			for k := 0; k < dims; k++ {
+				diff := pts[p*dims+k] - cents[c*dims+k]
+				d += diff * diff
+			}
+			if best < 0 || d < bestD {
+				best = c
+				bestD = d
+			}
+		}
+		idxSum += uint64(best)
+		acc += bestD
+	}
+	want := uint64(refFcvtzs(acc*1e3)) + idxSum
+
+	b := newSrc()
+	b.t("	la   x1, pts")
+	b.t("	la   x2, cents")
+	b.t("	movi x3, #0            ; p")
+	b.t("	movi x4, #%d           ; points", points)
+	b.t("	movi x11, #0           ; idxSum")
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("pt:")
+	b.t("	movi x5, #%d", dims)
+	b.t("	mul  x6, x3, x5")
+	b.t("	lsli x6, x6, #3")
+	b.t("	add  x6, x1, x6        ; &pts[p][0]")
+	b.t("	movi x7, #-1           ; best")
+	b.t("	fmovi f0, #0.0         ; bestD")
+	b.t("	movi x8, #0            ; c")
+	b.t("cent:")
+	b.t("	mul  x9, x8, x5")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x9, x2, x9        ; &cents[c][0]")
+	b.t("	fmovi f1, #0.0         ; d")
+	for kk := 0; kk < 4; kk++ {
+		b.t("	fldr f2, [x6, #%d]", kk*8)
+		b.t("	fldr f3, [x9, #%d]", kk*8)
+		b.t("	fsub f2, f2, f3")
+		b.t("	fmul f2, f2, f2")
+		b.t("	fadd f1, f1, f2")
+	}
+	b.t("	blt  x7, xzr, take     ; first centroid")
+	b.t("	fcmplt x12, f1, f0     ; d < bestD ?")
+	b.t("	beq  x12, xzr, next")
+	b.t("take:")
+	b.t("	mov  x7, x8")
+	b.t("	fmov f0, f1")
+	b.t("next:")
+	b.t("	addi x8, x8, #1")
+	b.t("	movi x13, #%d", centroids)
+	b.t("	bne  x8, x13, cent")
+	b.t("	add  x11, x11, x7")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x3, x3, #1")
+	b.t("	bne  x3, x4, pt")
+	// checksum = fcvtzs(acc*1e3) + idxSum
+	b.t("	fmovi f30, #1000")
+	b.t("	fmul  f9, f9, f30")
+	b.t("	fcvtzs x10, f9")
+	b.t("	add   x10, x10, x11")
+	b.t("	halt")
+	b.doubles("pts", pts)
+	b.doubles("cents", cents)
+
+	return Workload{
+		Name:        "kmeans",
+		Suite:       Cognitive,
+		Description: "k-means assignment step (distance + argmin)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}

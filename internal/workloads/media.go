@@ -1,0 +1,600 @@
+package workloads
+
+import "math"
+
+// Mediabench-like kernels: FIR/IIR filtering, DCT, ADPCM speech coding and
+// motion-estimation SAD — the signal-processing loop shapes of the paper's
+// Mediabench suite.
+
+// genFIR is a 32-tap finite impulse response filter.
+func genFIR(scale int) Workload {
+	const taps = 32
+	const n = 512
+	reps := 4 * scale
+	r := newLCG(0xF12)
+	in := make([]float64, n+taps)
+	for i := range in {
+		in[i] = r.f64()*2 - 1
+	}
+	h := make([]float64, taps)
+	for i := range h {
+		h[i] = (r.f64() - 0.5) / taps
+	}
+
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < n; i++ {
+			y := 0.0
+			for k := 0; k < taps; k++ {
+				y += h[k] * in[i+k]
+			}
+			acc += y
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, in")
+	b.t("	la   x2, h")
+	b.t("	movi x3, #%d           ; reps", reps)
+	b.t("	fmovi f9, #0.0")
+	b.t("rep:")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n)
+	b.t("sample:")
+	b.t("	fmovi f0, #0.0         ; y")
+	b.t("	movi x6, #0            ; k")
+	b.t("	movi x7, #%d", taps)
+	b.t("	lsli x8, x4, #3")
+	b.t("	add  x8, x1, x8        ; &in[i]")
+	b.t("tap:")
+	b.t("	lsli x9, x6, #3")
+	b.t("	add  x11, x2, x9")
+	b.t("	fldr f1, [x11]         ; h[k]")
+	b.t("	add  x11, x8, x9")
+	b.t("	fldr f2, [x11]         ; in[i+k]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x7, tap")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, sample")
+	b.t("	subi x3, x3, #1")
+	b.t("	bne  x3, xzr, rep")
+	fpCheck(b, 9, 1e6)
+	b.doubles("in", in)
+	b.doubles("h", h)
+
+	return Workload{
+		Name:        "fir",
+		Suite:       Media,
+		Description: "32-tap FIR filter over an audio-like stream",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genIIR is a cascade of three direct-form-II-transposed biquads. The
+// recurrence makes every intermediate a single-use value.
+func genIIR(scale int) Workload {
+	const n = 512
+	reps := 4 * scale
+	const b0, b1, b2 = 0.25, 0.5, 0.25
+	const a1, a2 = -0.171572875253809902, 0.171572875253809902
+	r := newLCG(0x112A)
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = r.f64()*2 - 1
+	}
+
+	acc := 0.0
+	var s [3][2]float64
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < n; i++ {
+			x := in[i]
+			for st := 0; st < 3; st++ {
+				y := b0*x + s[st][0]
+				s[st][0] = (b1*x - a1*y) + s[st][1]
+				s[st][1] = b2*x - a2*y
+				x = y
+			}
+			acc += x
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	la   x1, in")
+	b.t("	movi x3, #%d           ; reps", reps)
+	b.t("	fmovi f20, #%.17g      ; b0", b0)
+	b.t("	fmovi f21, #%.17g      ; b1", b1)
+	b.t("	fmovi f22, #%.17g      ; b2", b2)
+	b.t("	fmovi f23, #%.17g      ; a1", a1)
+	b.t("	fmovi f24, #%.17g      ; a2", a2)
+	b.t("	fmovi f9, #0.0         ; acc")
+	// Biquad states: f10,f11 / f12,f13 / f14,f15 — persist across reps.
+	for fr := 10; fr <= 15; fr++ {
+		b.t("	fmovi f%d, #0.0", fr)
+	}
+	b.t("rep:")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n)
+	b.t("sample:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x6, x1, x6")
+	b.t("	fldr f0, [x6]          ; x")
+	for st := 0; st < 3; st++ {
+		s0 := 10 + 2*st
+		s1 := s0 + 1
+		b.t("	fmul f1, f20, f0")
+		b.t("	fadd f1, f1, f%d       ; y = b0*x + s0", s0)
+		b.t("	fmul f2, f21, f0")
+		b.t("	fmul f3, f23, f1")
+		b.t("	fsub f2, f2, f3")
+		b.t("	fadd f%d, f2, f%d      ; s0' = b1*x - a1*y + s1", s0, s1)
+		b.t("	fmul f2, f22, f0")
+		b.t("	fmul f3, f24, f1")
+		b.t("	fsub f%d, f2, f3       ; s1' = b2*x - a2*y", s1)
+		b.t("	fmov f0, f1            ; x = y")
+	}
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, sample")
+	b.t("	subi x3, x3, #1")
+	b.t("	bne  x3, xzr, rep")
+	fpCheck(b, 9, 1e3)
+	b.doubles("in", in)
+
+	return Workload{
+		Name:        "iir",
+		Suite:       Media,
+		Description: "three-stage biquad IIR cascade",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genDCT applies an 8x8 2D DCT (two matrix multiplies) to image blocks.
+func genDCT(scale int) Workload {
+	const nBlocks = 12
+	reps := 2 * scale
+	r := newLCG(0xDC7)
+	blocks := make([]float64, nBlocks*64)
+	for i := range blocks {
+		blocks[i] = float64(int64(r.intn(256))) - 128
+	}
+	// DCT-II basis matrix.
+	m := make([]float64, 64)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			c := math.Sqrt(0.25)
+			if i == 0 {
+				c = math.Sqrt(0.125)
+			}
+			m[i*8+j] = c * math.Cos(float64(2*j+1)*float64(i)*math.Pi/16)
+		}
+	}
+
+	acc := 0.0
+	tmp := make([]float64, 64)
+	out := make([]float64, 64)
+	for rep := 0; rep < reps; rep++ {
+		for bi := 0; bi < nBlocks; bi++ {
+			blk := blocks[bi*64 : bi*64+64]
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					s := 0.0
+					for k := 0; k < 8; k++ {
+						s += m[i*8+k] * blk[k*8+j]
+					}
+					tmp[i*8+j] = s
+				}
+			}
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					s := 0.0
+					for k := 0; k < 8; k++ {
+						s += tmp[i*8+k] * m[j*8+k]
+					}
+					out[i*8+j] = s
+				}
+			}
+			for _, v := range out {
+				acc += v
+			}
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	la   x1, blocks")
+	b.t("	la   x2, M")
+	b.t("	la   x3, tmp")
+	b.t("	la   x4, out")
+	b.t("	movi x25, #%d          ; reps", reps)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	b.t("	movi x5, #0            ; block index")
+	b.t("blk_loop:")
+	b.t("	movi x26, #%d", 64*8)
+	b.t("	mul  x6, x5, x26")
+	b.t("	add  x6, x1, x6        ; blk base")
+	// tmp = M * blk
+	b.t("	movi x7, #0            ; i")
+	b.t("t_i:")
+	b.t("	movi x8, #0            ; j")
+	b.t("t_j:")
+	b.t("	fmovi f0, #0.0")
+	b.t("	movi x9, #0            ; k")
+	b.t("t_k:")
+	b.t("	lsli x11, x7, #6       ; i*8*8")
+	b.t("	lsli x12, x9, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x2, x11")
+	b.t("	fldr f1, [x11]         ; M[i][k]")
+	b.t("	lsli x11, x9, #6")
+	b.t("	lsli x12, x8, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x6, x11")
+	b.t("	fldr f2, [x11]         ; blk[k][j]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x9, x9, #1")
+	b.t("	movi x13, #8")
+	b.t("	bne  x9, x13, t_k")
+	b.t("	lsli x11, x7, #6")
+	b.t("	lsli x12, x8, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x3, x11")
+	b.t("	fstr f0, [x11]         ; tmp[i][j]")
+	b.t("	addi x8, x8, #1")
+	b.t("	movi x13, #8")
+	b.t("	bne  x8, x13, t_j")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x13, t_i")
+	// out = tmp * M^T; acc += out elements
+	b.t("	movi x7, #0")
+	b.t("o_i:")
+	b.t("	movi x8, #0")
+	b.t("o_j:")
+	b.t("	fmovi f0, #0.0")
+	b.t("	movi x9, #0")
+	b.t("o_k:")
+	b.t("	lsli x11, x7, #6")
+	b.t("	lsli x12, x9, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x3, x11")
+	b.t("	fldr f1, [x11]         ; tmp[i][k]")
+	b.t("	lsli x11, x8, #6")
+	b.t("	lsli x12, x9, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x2, x11")
+	b.t("	fldr f2, [x11]         ; M[j][k]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x9, x9, #1")
+	b.t("	movi x13, #8")
+	b.t("	bne  x9, x13, o_k")
+	b.t("	lsli x11, x7, #6")
+	b.t("	lsli x12, x8, #3")
+	b.t("	add  x11, x11, x12")
+	b.t("	add  x11, x4, x11")
+	b.t("	fstr f0, [x11]")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x8, x8, #1")
+	b.t("	movi x13, #8")
+	b.t("	bne  x8, x13, o_j")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x13, o_i")
+	b.t("	addi x5, x5, #1")
+	b.t("	movi x13, #%d", nBlocks)
+	b.t("	bne  x5, x13, blk_loop")
+	b.t("	subi x25, x25, #1")
+	b.t("	bne  x25, xzr, rep")
+	fpCheck(b, 9, 1e3)
+	b.doubles("blocks", blocks)
+	b.doubles("M", m)
+	b.space("tmp", 64*8)
+	b.space("out", 64*8)
+
+	return Workload{
+		Name:        "dct8x8",
+		Suite:       Media,
+		Description: "8x8 two-dimensional DCT on image blocks",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+var adpcmIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var adpcmStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+	7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+	18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// genADPCM is the IMA ADPCM encoder inner loop: branch-dense integer code
+// with table lookups and clamps.
+func genADPCM(scale int) Workload {
+	n := 1024 * scale
+	r := newLCG(0xADC)
+	samples := make([]int64, n)
+	phase := 0.0
+	for i := range samples {
+		phase += 0.05 + r.f64()*0.1
+		samples[i] = int64(12000 * math.Sin(phase))
+	}
+
+	// Reference.
+	valpred, index := int64(0), int64(0)
+	var sum uint64
+	for _, s := range samples {
+		step := adpcmStepTable[index]
+		diff := s - valpred
+		var sign int64
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta int64
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		delta |= sign
+		index += adpcmIndexTable[delta]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		sum += uint64(delta)
+	}
+	want := sum + uint64(valpred) + uint64(index)
+
+	b := newSrc()
+	b.t("	la   x1, samples")
+	b.t("	la   x2, steps")
+	b.t("	la   x3, idxtab")
+	b.t("	movi x4, #0            ; i")
+	b.t("	movi x5, #%d           ; n", n)
+	b.t("	movi x6, #0            ; valpred")
+	b.t("	movi x7, #0            ; index")
+	b.t("	movi x10, #0           ; delta sum")
+	b.t("enc:")
+	b.t("	lsli x8, x7, #3")
+	b.t("	add  x8, x2, x8")
+	b.t("	ldr  x9, [x8]          ; step")
+	b.t("	lsli x8, x4, #3")
+	b.t("	add  x8, x1, x8")
+	b.t("	ldr  x11, [x8]         ; sample")
+	b.t("	sub  x11, x11, x6      ; diff")
+	b.t("	movi x12, #0           ; sign")
+	b.t("	bge  x11, xzr, pos")
+	b.t("	movi x12, #8")
+	b.t("	sub  x11, xzr, x11")
+	b.t("pos:")
+	b.t("	movi x13, #0           ; delta")
+	b.t("	asri x14, x9, #3       ; vpdiff = step>>3")
+	b.t("	blt  x11, x9, lt4")
+	b.t("	movi x13, #4")
+	b.t("	sub  x11, x11, x9")
+	b.t("	add  x14, x14, x9")
+	b.t("lt4:")
+	b.t("	asri x9, x9, #1")
+	b.t("	blt  x11, x9, lt2")
+	b.t("	orri x13, x13, #2")
+	b.t("	sub  x11, x11, x9")
+	b.t("	add  x14, x14, x9")
+	b.t("lt2:")
+	b.t("	asri x9, x9, #1")
+	b.t("	blt  x11, x9, lt1")
+	b.t("	orri x13, x13, #1")
+	b.t("	add  x14, x14, x9")
+	b.t("lt1:")
+	b.t("	beq  x12, xzr, addp")
+	b.t("	sub  x6, x6, x14")
+	b.t("	b    clamp")
+	b.t("addp:")
+	b.t("	add  x6, x6, x14")
+	b.t("clamp:")
+	b.t("	movi x15, #32767")
+	b.t("	bge  x15, x6, cl_lo    ; 32767 >= valpred?")
+	b.t("	mov  x6, x15")
+	b.t("cl_lo:")
+	b.t("	movi x15, #-32768")
+	b.t("	bge  x6, x15, cl_done")
+	b.t("	mov  x6, x15")
+	b.t("cl_done:")
+	b.t("	orr  x13, x13, x12     ; delta |= sign")
+	b.t("	lsli x15, x13, #3")
+	b.t("	add  x15, x3, x15")
+	b.t("	ldr  x15, [x15]")
+	b.t("	add  x7, x7, x15       ; index += tab[delta]")
+	b.t("	bge  x7, xzr, ix_hi")
+	b.t("	movi x7, #0")
+	b.t("ix_hi:")
+	b.t("	movi x15, #88")
+	b.t("	bge  x15, x7, ix_done")
+	b.t("	mov  x7, x15")
+	b.t("ix_done:")
+	b.t("	add  x10, x10, x13")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, enc")
+	b.t("	add  x10, x10, x6      ; + valpred")
+	b.t("	add  x10, x10, x7      ; + index")
+	b.t("	halt")
+	b.words("samples", samples)
+	b.words("steps", adpcmStepTable)
+	b.words("idxtab", adpcmIndexTable)
+
+	return Workload{
+		Name:        "adpcm_enc",
+		Suite:       Media,
+		Description: "IMA ADPCM encoder (branch-dense integer DSP)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genSAD is motion-estimation sum-of-absolute-differences over a ±4 search
+// window, tracking the best offset per block.
+func genSAD(scale int) Workload {
+	const frame = 32
+	const blk = 8
+	const win = 4
+	reps := scale
+	r := newLCG(0x5AD)
+	ref := make([]int64, frame*frame)
+	cur := make([]int64, frame*frame)
+	for i := range ref {
+		ref[i] = int64(r.intn(256))
+		cur[i] = int64(r.intn(256))
+	}
+	positions := [][2]int64{{4, 4}, {4, 20}, {20, 4}, {20, 20}}
+
+	var sum uint64
+	for rep := 0; rep < reps; rep++ {
+		for _, pos := range positions {
+			by, bx := pos[0], pos[1]
+			best := int64(1) << 40
+			bestOff := int64(0)
+			for dy := -win; dy <= win; dy++ {
+				for dx := -win; dx <= win; dx++ {
+					sad := int64(0)
+					for y := 0; y < blk; y++ {
+						for x := 0; x < blk; x++ {
+							c := cur[(by+int64(y))*frame+bx+int64(x)]
+							rv := ref[(by+int64(y)+int64(dy))*frame+bx+int64(x)+int64(dx)]
+							d := c - rv
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
+					}
+					if sad < best {
+						best = sad
+						bestOff = int64(dy+win)*16 + int64(dx+win)
+					}
+				}
+			}
+			sum += uint64(best) + uint64(bestOff)
+		}
+	}
+
+	b := newSrc()
+	b.t("	la   x1, ref")
+	b.t("	la   x2, cur")
+	b.t("	la   x3, pos")
+	b.t("	movi x25, #%d          ; reps", reps)
+	b.t("	movi x10, #0")
+	b.t("rep:")
+	b.t("	movi x4, #0            ; position index")
+	b.t("pos_loop:")
+	b.t("	lsli x5, x4, #4        ; pos entries are 16 bytes (by, bx)")
+	b.t("	add  x5, x3, x5")
+	b.t("	ldr  x6, [x5, #0]      ; by")
+	b.t("	ldr  x7, [x5, #8]      ; bx")
+	b.t("	movi x8, #%d           ; best", int64(1)<<40)
+	b.t("	movi x9, #0            ; bestOff")
+	b.t("	movi x11, #%d          ; dy", -win)
+	b.t("dy_loop:")
+	b.t("	movi x12, #%d          ; dx", -win)
+	b.t("dx_loop:")
+	b.t("	movi x13, #0           ; sad")
+	b.t("	movi x14, #0           ; y")
+	b.t("y_loop:")
+	b.t("	add  x15, x6, x14      ; by+y")
+	b.t("	lsli x16, x15, #5      ; *frame(32)")
+	b.t("	add  x16, x16, x7      ; + bx")
+	b.t("	lsli x16, x16, #3")
+	b.t("	add  x16, x2, x16      ; &cur[by+y][bx]")
+	b.t("	add  x17, x15, x11     ; by+y+dy")
+	b.t("	lsli x17, x17, #5")
+	b.t("	add  x17, x17, x7")
+	b.t("	add  x17, x17, x12     ; + bx + dx")
+	b.t("	lsli x17, x17, #3")
+	b.t("	add  x17, x1, x17      ; &ref[...]")
+	b.t("	movi x18, #0           ; x")
+	b.t("x_loop:")
+	b.t("	lsli x19, x18, #3")
+	b.t("	add  x20, x16, x19")
+	b.t("	ldr  x21, [x20]")
+	b.t("	add  x20, x17, x19")
+	b.t("	ldr  x22, [x20]")
+	b.t("	sub  x21, x21, x22")
+	b.t("	bge  x21, xzr, sad_pos")
+	b.t("	sub  x21, xzr, x21")
+	b.t("sad_pos:")
+	b.t("	add  x13, x13, x21")
+	b.t("	addi x18, x18, #1")
+	b.t("	movi x23, #%d", blk)
+	b.t("	bne  x18, x23, x_loop")
+	b.t("	addi x14, x14, #1")
+	b.t("	bne  x14, x23, y_loop")
+	b.t("	bge  x13, x8, no_best")
+	b.t("	mov  x8, x13")
+	b.t("	addi x24, x11, #%d", win)
+	b.t("	lsli x24, x24, #4")
+	b.t("	addi x9, x12, #%d", win)
+	b.t("	add  x9, x24, x9")
+	b.t("no_best:")
+	b.t("	addi x12, x12, #1")
+	b.t("	movi x23, #%d", win+1)
+	b.t("	bne  x12, x23, dx_loop")
+	b.t("	addi x11, x11, #1")
+	b.t("	bne  x11, x23, dy_loop")
+	b.t("	add  x10, x10, x8")
+	b.t("	add  x10, x10, x9")
+	b.t("	addi x4, x4, #1")
+	b.t("	movi x23, #%d", len(positions))
+	b.t("	bne  x4, x23, pos_loop")
+	b.t("	subi x25, x25, #1")
+	b.t("	bne  x25, xzr, rep")
+	b.t("	halt")
+	b.words("ref", ref)
+	b.words("cur", cur)
+	var posWords []int64
+	for _, p := range positions {
+		posWords = append(posWords, p[0], p[1])
+	}
+	b.words("pos", posWords)
+
+	return Workload{
+		Name:        "sad_me",
+		Suite:       Media,
+		Description: "motion-estimation SAD search over a ±4 window",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}

@@ -1,0 +1,184 @@
+package workloads
+
+// Second Mediabench-like batch: Sobel edge detection and JPEG-style
+// quantization — integer image-processing inner loops.
+
+// genSobel applies the 3x3 Sobel operator to an integer image and sums the
+// thresholded gradient magnitudes.
+func genSobel(scale int) Workload {
+	side := 32 * scale
+	r := newLCG(0x50B)
+	img := make([]int64, side*side)
+	for i := range img {
+		img[i] = int64(r.intn(256))
+	}
+
+	// Reference.
+	var sum uint64
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for y := 1; y < side-1; y++ {
+		for x := 1; x < side-1; x++ {
+			p := func(dy, dx int) int64 { return img[(y+dy)*side+x+dx] }
+			gx := (p(-1, 1) + 2*p(0, 1) + p(1, 1)) - (p(-1, -1) + 2*p(0, -1) + p(1, -1))
+			gy := (p(1, -1) + 2*p(1, 0) + p(1, 1)) - (p(-1, -1) + 2*p(-1, 0) + p(-1, 1))
+			m := abs(gx) + abs(gy)
+			if m > 128 {
+				sum += uint64(m)
+			}
+		}
+	}
+
+	b := newSrc()
+	b.t("	la   x1, img")
+	b.t("	movi x2, #%d           ; side", side)
+	b.t("	movi x10, #0")
+	b.t("	movi x3, #1            ; y")
+	b.t("	subi x4, x2, #1        ; side-1")
+	b.t("y_loop:")
+	b.t("	movi x5, #1            ; x")
+	b.t("x_loop:")
+	b.t("	mul  x6, x3, x2")
+	b.t("	add  x6, x6, x5")
+	b.t("	lsli x6, x6, #3")
+	b.t("	add  x6, x1, x6        ; &img[y][x]")
+	// neighbor offsets in bytes: row stride = side*8
+	rowB := "x7"
+	b.t("	lsli %s, x2, #3        ; row bytes", rowB)
+	// load 8 neighbors
+	b.t("	sub  x8, x6, x7")
+	b.t("	ldr  x11, [x8, #-8]    ; p(-1,-1)")
+	b.t("	ldr  x12, [x8, #0]     ; p(-1,0)")
+	b.t("	ldr  x13, [x8, #8]     ; p(-1,1)")
+	b.t("	ldr  x14, [x6, #-8]    ; p(0,-1)")
+	b.t("	ldr  x15, [x6, #8]     ; p(0,1)")
+	b.t("	add  x8, x6, x7")
+	b.t("	ldr  x16, [x8, #-8]    ; p(1,-1)")
+	b.t("	ldr  x17, [x8, #0]     ; p(1,0)")
+	b.t("	ldr  x18, [x8, #8]     ; p(1,1)")
+	// gx = (p(-1,1)+2*p(0,1)+p(1,1)) - (p(-1,-1)+2*p(0,-1)+p(1,-1))
+	b.t("	lsli x19, x15, #1")
+	b.t("	add  x19, x19, x13")
+	b.t("	add  x19, x19, x18")
+	b.t("	lsli x20, x14, #1")
+	b.t("	add  x20, x20, x11")
+	b.t("	add  x20, x20, x16")
+	b.t("	sub  x19, x19, x20     ; gx")
+	// gy = (p(1,-1)+2*p(1,0)+p(1,1)) - (p(-1,-1)+2*p(-1,0)+p(-1,1))
+	b.t("	lsli x21, x17, #1")
+	b.t("	add  x21, x21, x16")
+	b.t("	add  x21, x21, x18")
+	b.t("	lsli x22, x12, #1")
+	b.t("	add  x22, x22, x11")
+	b.t("	add  x22, x22, x13")
+	b.t("	sub  x21, x21, x22     ; gy")
+	// m = |gx| + |gy|
+	b.t("	bge  x19, xzr, gx_pos")
+	b.t("	sub  x19, xzr, x19")
+	b.t("gx_pos:")
+	b.t("	bge  x21, xzr, gy_pos")
+	b.t("	sub  x21, xzr, x21")
+	b.t("gy_pos:")
+	b.t("	add  x19, x19, x21")
+	b.t("	movi x22, #128")
+	b.t("	bge  x22, x19, skip    ; m <= 128")
+	b.t("	add  x10, x10, x19")
+	b.t("skip:")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x4, x_loop")
+	b.t("	addi x3, x3, #1")
+	b.t("	bne  x3, x4, y_loop")
+	b.t("	halt")
+	b.words("img", img)
+
+	return Workload{
+		Name:        "sobel",
+		Suite:       Media,
+		Description: "3x3 Sobel edge detection with gradient thresholding",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}
+
+var jpegQuant = []int64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// genQuantize performs JPEG-style quantization and dequantization of DCT
+// blocks: signed division against the standard luminance table.
+func genQuantize(scale int) Workload {
+	nBlocks := 48 * scale
+	r := newLCG(0x0a7)
+	coeffs := make([]int64, nBlocks*64)
+	for i := range coeffs {
+		coeffs[i] = int64(r.intn(2048)) - 1024
+	}
+
+	// Reference (truncating division, matching SDIV).
+	var sum uint64
+	for bi := 0; bi < nBlocks; bi++ {
+		for i := 0; i < 64; i++ {
+			c := coeffs[bi*64+i]
+			q := c / jpegQuant[i] // Go / truncates toward zero, like SDIV
+			d := q * jpegQuant[i]
+			e := c - d
+			if e < 0 {
+				e = -e
+			}
+			sum += uint64(q+2048) + uint64(e)
+		}
+	}
+
+	b := newSrc()
+	b.t("	la   x1, coeffs")
+	b.t("	la   x2, qtab")
+	b.t("	movi x3, #0            ; block")
+	b.t("	movi x4, #%d           ; blocks", nBlocks)
+	b.t("	movi x10, #0")
+	b.t("blk:")
+	b.t("	movi x5, #0            ; i")
+	b.t("	movi x6, #64")
+	b.t("	lsli x7, x3, #9        ; block offset bytes (64*8)")
+	b.t("	add  x7, x1, x7")
+	b.t("elem:")
+	b.t("	lsli x8, x5, #3")
+	b.t("	add  x9, x7, x8")
+	b.t("	ldr  x11, [x9]         ; c")
+	b.t("	add  x9, x2, x8")
+	b.t("	ldr  x12, [x9]         ; qtab[i]")
+	b.t("	sdiv x13, x11, x12     ; q")
+	b.t("	mul  x14, x13, x12     ; dequant")
+	b.t("	sub  x15, x11, x14     ; error")
+	b.t("	bge  x15, xzr, epos")
+	b.t("	sub  x15, xzr, x15")
+	b.t("epos:")
+	b.t("	addi x16, x13, #2048")
+	b.t("	add  x10, x10, x16")
+	b.t("	add  x10, x10, x15")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x6, elem")
+	b.t("	addi x3, x3, #1")
+	b.t("	bne  x3, x4, blk")
+	b.t("	halt")
+	b.words("coeffs", coeffs)
+	b.words("qtab", jpegQuant)
+
+	return Workload{
+		Name:        "quantize",
+		Suite:       Media,
+		Description: "JPEG-style quantize/dequantize with the luminance table",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}

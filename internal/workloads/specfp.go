@@ -1,0 +1,848 @@
+package workloads
+
+import "math"
+
+// SPECfp-like kernels: dense linear algebra, stencils, particle simulation
+// and transcendental-approximation loops. Every Go reference mirrors the
+// assembly's floating-point operation order exactly, so checksums are
+// bit-exact under IEEE-754 semantics.
+
+// fpCheck appends the standard FP checksum epilogue: x10 = fcvtzs(acc*scale),
+// where acc is in the named f register.
+func fpCheck(b *srcBuilder, freg int, scale float64) {
+	b.t("	fmovi f30, #%.17g", scale)
+	b.t("	fmul  f%d, f%d, f30", freg, freg)
+	b.t("	fcvtzs x10, f%d", freg)
+	b.t("	halt")
+}
+
+// genDgemm is a dense matrix multiply with an accumulator chain per output
+// element (the canonical SPECfp single-use pattern).
+func genDgemm(scale int) Workload {
+	const n = 16
+	reps := scale
+	r := newLCG(0xD6E)
+	a := make([]float64, n*n)
+	bm := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.f64()
+	}
+	for i := range bm {
+		bm[i] = r.f64()
+	}
+
+	// Reference (C identical every rep).
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * bm[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	want := uint64(refFcvtzs(sum * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, A")
+	b.t("	la   x2, B")
+	b.t("	la   x3, C")
+	b.t("	movi x4, #%d           ; N", n)
+	b.t("	movi x24, #%d          ; reps", reps)
+	b.t("rep_loop:")
+	b.t("	movi x5, #0            ; i")
+	b.t("i_loop:")
+	b.t("	movi x6, #0            ; j")
+	b.t("	mul  x9, x5, x4")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x8, x1, x9        ; &A[i][0]")
+	b.t("j_loop:")
+	b.t("	fmovi f0, #0.0         ; acc")
+	b.t("	movi x7, #0            ; k")
+	b.t("k_loop:")
+	b.t("	lsli x11, x7, #3")
+	b.t("	add  x11, x8, x11")
+	b.t("	fldr f1, [x11]         ; A[i][k]")
+	b.t("	mul  x12, x7, x4")
+	b.t("	add  x12, x12, x6")
+	b.t("	lsli x12, x12, #3")
+	b.t("	add  x12, x2, x12")
+	b.t("	fldr f2, [x12]         ; B[k][j]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x4, k_loop")
+	b.t("	mul  x12, x5, x4")
+	b.t("	add  x12, x12, x6")
+	b.t("	lsli x12, x12, #3")
+	b.t("	add  x12, x3, x12")
+	b.t("	fstr f0, [x12]         ; C[i][j]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x4, j_loop")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x4, i_loop")
+	b.t("	subi x24, x24, #1")
+	b.t("	bne  x24, xzr, rep_loop")
+	// Checksum: sum C in order.
+	b.t("	fmovi f3, #0.0")
+	b.t("	movi x5, #0")
+	b.t("	movi x6, #%d", n*n)
+	b.t("sum_loop:")
+	b.t("	lsli x7, x5, #3")
+	b.t("	add  x7, x3, x7")
+	b.t("	fldr f1, [x7]")
+	b.t("	fadd f3, f3, f1")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x6, sum_loop")
+	fpCheck(b, 3, 1e6)
+	b.doubles("A", a)
+	b.doubles("B", bm)
+	b.space("C", n*n*8)
+
+	return Workload{
+		Name:        "dgemm",
+		Suite:       SPECfp,
+		Description: "dense matrix multiply with per-element accumulation chains",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genJacobi is a 5-point 2D stencil with double buffering.
+func genJacobi(scale int) Workload {
+	const m = 16 // interior size; grid is (m+2)^2
+	sweeps := 8 * scale
+	g := m + 2
+	r := newLCG(0x1ACB)
+	grid := make([]float64, g*g)
+	for i := range grid {
+		grid[i] = r.f64()
+	}
+
+	// Reference.
+	src := append([]float64(nil), grid...)
+	dst := append([]float64(nil), grid...)
+	for s := 0; s < sweeps; s++ {
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				up := src[(i-1)*g+j]
+				down := src[(i+1)*g+j]
+				left := src[i*g+j-1]
+				right := src[i*g+j+1]
+				dst[i*g+j] = ((up + down) + (left + right)) * 0.25
+			}
+		}
+		src, dst = dst, src
+	}
+	sum := 0.0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			sum += src[i*g+j]
+		}
+	}
+	want := uint64(refFcvtzs(sum * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, g0            ; src")
+	b.t("	la   x2, g1            ; dst")
+	b.t("	movi x3, #%d           ; sweeps", sweeps)
+	b.t("	fmovi f10, #0.25")
+	b.t("sweep:")
+	b.t("	movi x5, #1            ; i")
+	b.t("row:")
+	b.t("	movi x6, #1            ; j")
+	b.t("	movi x7, #%d", g)
+	b.t("	mul  x8, x5, x7        ; i*g")
+	b.t("col:")
+	b.t("	add  x9, x8, x6        ; i*g+j")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x11, x1, x9")
+	b.t("	subi x12, x11, #%d     ; up", g*8)
+	b.t("	fldr f0, [x12]")
+	b.t("	addi x12, x11, #%d     ; down", g*8)
+	b.t("	fldr f1, [x12]")
+	b.t("	fldr f2, [x11, #-8]    ; left")
+	b.t("	fldr f3, [x11, #8]     ; right")
+	b.t("	fadd f0, f0, f1")
+	b.t("	fadd f2, f2, f3")
+	b.t("	fadd f0, f0, f2")
+	b.t("	fmul f0, f0, f10")
+	b.t("	add  x12, x2, x9")
+	b.t("	fstr f0, [x12]")
+	b.t("	addi x6, x6, #1")
+	b.t("	movi x13, #%d", m+1)
+	b.t("	bne  x6, x13, col")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x13, row")
+	// swap buffers
+	b.t("	mov  x14, x1")
+	b.t("	mov  x1, x2")
+	b.t("	mov  x2, x14")
+	b.t("	subi x3, x3, #1")
+	b.t("	bne  x3, xzr, sweep")
+	// Checksum over interior of src (x1).
+	b.t("	fmovi f4, #0.0")
+	b.t("	movi x5, #1")
+	b.t("cs_row:")
+	b.t("	movi x6, #1")
+	b.t("	movi x7, #%d", g)
+	b.t("	mul  x8, x5, x7")
+	b.t("cs_col:")
+	b.t("	add  x9, x8, x6")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x9, x1, x9")
+	b.t("	fldr f0, [x9]")
+	b.t("	fadd f4, f4, f0")
+	b.t("	addi x6, x6, #1")
+	b.t("	movi x13, #%d", m+1)
+	b.t("	bne  x6, x13, cs_col")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x13, cs_row")
+	fpCheck(b, 4, 1e6)
+	b.doubles("g0", grid)
+	b.doubles("g1", grid)
+
+	return Workload{
+		Name:        "jacobi2d",
+		Suite:       SPECfp,
+		Description: "5-point Jacobi stencil with double buffering",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genDaxpyChain runs daxpy plus a fused expression-tree per element.
+func genDaxpyChain(scale int) Workload {
+	const n = 256
+	reps := 8 * scale
+	r := newLCG(0xDA27)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := range xv {
+		xv[i] = r.f64()
+		yv[i] = r.f64()
+	}
+	const a, bc, cc, dc = 1.0009765625, 0.25, -0.5, 1.5
+
+	// Reference.
+	y := append([]float64(nil), yv...)
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < n; i++ {
+			y[i] = a*xv[i] + y[i]
+			t1 := a*xv[i] + bc
+			t2 := cc*xv[i] + dc
+			acc += t1 * t2
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	la   x1, xs")
+	b.t("	la   x2, ys")
+	b.t("	movi x3, #%d           ; reps", reps)
+	b.t("	fmovi f10, #%.17g      ; a", a)
+	b.t("	fmovi f11, #%.17g      ; b", bc)
+	b.t("	fmovi f12, #%.17g      ; c", cc)
+	b.t("	fmovi f13, #%.17g      ; d", dc)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n)
+	b.t("elem:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x7, x1, x6")
+	b.t("	fldr f0, [x7]          ; x[i]")
+	b.t("	add  x8, x2, x6")
+	b.t("	fldr f1, [x8]          ; y[i]")
+	b.t("	fmul f2, f10, f0")
+	b.t("	fadd f1, f2, f1        ; y = a*x + y")
+	b.t("	fstr f1, [x8]")
+	b.t("	fmul f3, f10, f0")
+	b.t("	fadd f3, f3, f11       ; t1")
+	b.t("	fmul f4, f12, f0")
+	b.t("	fadd f4, f4, f13       ; t2")
+	b.t("	fmul f3, f3, f4")
+	b.t("	fadd f9, f9, f3")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, elem")
+	b.t("	subi x3, x3, #1")
+	b.t("	bne  x3, xzr, rep")
+	fpCheck(b, 9, 1e3)
+	b.doubles("xs", xv)
+	b.doubles("ys", yv)
+
+	return Workload{
+		Name:        "daxpy_chain",
+		Suite:       SPECfp,
+		Description: "daxpy plus per-element expression trees",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genNbody runs all-pairs gravitational steps with fsqrt/fdiv chains.
+func genNbody(scale int) Workload {
+	const n = 12
+	steps := 6 * scale
+	const dt, eps = 0.01, 0.0625
+	r := newLCG(0xB0D7)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	pz := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	vz := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = r.f64() * 4
+		py[i] = r.f64() * 4
+		pz[i] = r.f64() * 4
+	}
+
+	// Reference mirrors the assembly op-for-op.
+	rpx := append([]float64(nil), px...)
+	rpy := append([]float64(nil), py...)
+	rpz := append([]float64(nil), pz...)
+	rvx := append([]float64(nil), vx...)
+	rvy := append([]float64(nil), vy...)
+	rvz := append([]float64(nil), vz...)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			ax, ay, az := 0.0, 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				dx := rpx[j] - rpx[i]
+				dy := rpy[j] - rpy[i]
+				dz := rpz[j] - rpz[i]
+				d2 := dx*dx + dy*dy
+				d2 = d2 + dz*dz
+				d2 = d2 + eps
+				inv := 1.0 / (d2 * math.Sqrt(d2))
+				ax = ax + dx*inv
+				ay = ay + dy*inv
+				az = az + dz*inv
+			}
+			rvx[i] = rvx[i] + ax*dt
+			rvy[i] = rvy[i] + ay*dt
+			rvz[i] = rvz[i] + az*dt
+		}
+		for i := 0; i < n; i++ {
+			rpx[i] = rpx[i] + rvx[i]*dt
+			rpy[i] = rpy[i] + rvy[i]*dt
+			rpz[i] = rpz[i] + rvz[i]*dt
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += rpx[i] + rpy[i] + rpz[i]
+	}
+	want := uint64(refFcvtzs(sum * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, px")
+	b.t("	la   x2, py")
+	b.t("	la   x3, pz")
+	b.t("	la   x4, vx")
+	b.t("	la   x5, vy")
+	b.t("	la   x6, vz")
+	b.t("	movi x20, #%d          ; steps", steps)
+	b.t("	movi x21, #%d          ; n", n)
+	b.t("	fmovi f20, #%.17g      ; dt", dt)
+	b.t("	fmovi f21, #%.17g      ; eps", eps)
+	b.t("	fmovi f22, #1.0")
+	b.t("step:")
+	b.t("	movi x7, #0            ; i")
+	b.t("body_i:")
+	b.t("	fmovi f0, #0.0         ; ax")
+	b.t("	fmovi f1, #0.0         ; ay")
+	b.t("	fmovi f2, #0.0         ; az")
+	b.t("	lsli x9, x7, #3")
+	b.t("	add  x11, x1, x9")
+	b.t("	fldr f3, [x11]         ; px[i]")
+	b.t("	add  x11, x2, x9")
+	b.t("	fldr f4, [x11]         ; py[i]")
+	b.t("	add  x11, x3, x9")
+	b.t("	fldr f5, [x11]         ; pz[i]")
+	b.t("	movi x8, #0            ; j")
+	b.t("body_j:")
+	b.t("	beq  x8, x7, next_j")
+	b.t("	lsli x12, x8, #3")
+	b.t("	add  x13, x1, x12")
+	b.t("	fldr f6, [x13]")
+	b.t("	fsub f6, f6, f3        ; dx")
+	b.t("	add  x13, x2, x12")
+	b.t("	fldr f7, [x13]")
+	b.t("	fsub f7, f7, f4        ; dy")
+	b.t("	add  x13, x3, x12")
+	b.t("	fldr f8, [x13]")
+	b.t("	fsub f8, f8, f5        ; dz")
+	b.t("	fmul f9, f6, f6")
+	b.t("	fmul f11, f7, f7")
+	b.t("	fadd f9, f9, f11")
+	b.t("	fmul f11, f8, f8")
+	b.t("	fadd f9, f9, f11")
+	b.t("	fadd f9, f9, f21       ; d2")
+	b.t("	fsqrt f11, f9")
+	b.t("	fmul f11, f9, f11      ; d2*sqrt(d2)")
+	b.t("	fdiv f11, f22, f11     ; inv")
+	b.t("	fmul f12, f6, f11")
+	b.t("	fadd f0, f0, f12")
+	b.t("	fmul f12, f7, f11")
+	b.t("	fadd f1, f1, f12")
+	b.t("	fmul f12, f8, f11")
+	b.t("	fadd f2, f2, f12")
+	b.t("next_j:")
+	b.t("	addi x8, x8, #1")
+	b.t("	bne  x8, x21, body_j")
+	// v += a*dt
+	b.t("	add  x11, x4, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f14, f0, f20")
+	b.t("	fadd f13, f13, f14")
+	b.t("	fstr f13, [x11]")
+	b.t("	add  x11, x5, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f14, f1, f20")
+	b.t("	fadd f13, f13, f14")
+	b.t("	fstr f13, [x11]")
+	b.t("	add  x11, x6, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f14, f2, f20")
+	b.t("	fadd f13, f13, f14")
+	b.t("	fstr f13, [x11]")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x21, body_i")
+	// integrate positions
+	b.t("	movi x7, #0")
+	b.t("integ:")
+	b.t("	lsli x9, x7, #3")
+	b.t("	add  x11, x4, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f13, f13, f20")
+	b.t("	add  x12, x1, x9")
+	b.t("	fldr f14, [x12]")
+	b.t("	fadd f14, f14, f13")
+	b.t("	fstr f14, [x12]")
+	b.t("	add  x11, x5, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f13, f13, f20")
+	b.t("	add  x12, x2, x9")
+	b.t("	fldr f14, [x12]")
+	b.t("	fadd f14, f14, f13")
+	b.t("	fstr f14, [x12]")
+	b.t("	add  x11, x6, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	fmul f13, f13, f20")
+	b.t("	add  x12, x3, x9")
+	b.t("	fldr f14, [x12]")
+	b.t("	fadd f14, f14, f13")
+	b.t("	fstr f14, [x12]")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x21, integ")
+	b.t("	subi x20, x20, #1")
+	b.t("	bne  x20, xzr, step")
+	// Checksum.
+	b.t("	fmovi f15, #0.0")
+	b.t("	movi x7, #0")
+	b.t("ck:")
+	b.t("	lsli x9, x7, #3")
+	b.t("	add  x11, x1, x9")
+	b.t("	fldr f13, [x11]")
+	b.t("	add  x11, x2, x9")
+	b.t("	fldr f14, [x11]")
+	b.t("	fadd f13, f13, f14")
+	b.t("	add  x11, x3, x9")
+	b.t("	fldr f14, [x11]")
+	b.t("	fadd f13, f13, f14")
+	b.t("	fadd f15, f15, f13")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x21, ck")
+	fpCheck(b, 15, 1e6)
+	b.doubles("px", px)
+	b.doubles("py", py)
+	b.doubles("pz", pz)
+	b.doubles("vx", vx)
+	b.doubles("vy", vy)
+	b.doubles("vz", vz)
+
+	return Workload{
+		Name:        "nbody",
+		Suite:       SPECfp,
+		Description: "all-pairs n-body steps with sqrt/div force chains",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genLU performs in-place LU factorization (no pivoting) on a diagonally
+// dominant matrix, restored from a pristine copy each repetition.
+func genLU(scale int) Workload {
+	const n = 14
+	reps := 2 * scale
+	r := newLCG(0x105)
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := r.f64()
+			if i == j {
+				v += float64(n) // diagonal dominance
+			}
+			orig[i*n+j] = v
+		}
+	}
+
+	// Reference: factorization is identical every rep.
+	m := append([]float64(nil), orig...)
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			m[i*n+k] = m[i*n+k] / m[k*n+k]
+			for j := k + 1; j < n; j++ {
+				m[i*n+j] = m[i*n+j] - m[i*n+k]*m[k*n+j]
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	want := uint64(refFcvtzs(sum * 1e4))
+
+	b := newSrc()
+	b.t("	movi x25, #%d          ; reps", reps)
+	b.t("	la   x1, M")
+	b.t("	la   x2, orig")
+	b.t("	movi x3, #%d           ; n", n)
+	b.t("rep:")
+	// restore M from orig
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n*n)
+	b.t("copy:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x7, x2, x6")
+	b.t("	ldr  x8, [x7]")
+	b.t("	add  x7, x1, x6")
+	b.t("	str  x8, [x7]")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, copy")
+	// factorize
+	b.t("	movi x4, #0            ; k")
+	b.t("k_loop:")
+	b.t("	mul  x6, x4, x3")
+	b.t("	add  x6, x6, x4")
+	b.t("	lsli x6, x6, #3")
+	b.t("	add  x6, x1, x6")
+	b.t("	fldr f0, [x6]          ; pivot M[k][k]")
+	b.t("	addi x7, x4, #1        ; i")
+	b.t("i_loop:")
+	b.t("	mul  x8, x7, x3")
+	b.t("	add  x9, x8, x4")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x9, x1, x9")
+	b.t("	fldr f1, [x9]")
+	b.t("	fdiv f1, f1, f0        ; multiplier")
+	b.t("	fstr f1, [x9]")
+	b.t("	addi x11, x4, #1       ; j")
+	b.t("j_loop:")
+	b.t("	add  x12, x8, x11")
+	b.t("	lsli x12, x12, #3")
+	b.t("	add  x12, x1, x12")
+	b.t("	fldr f2, [x12]         ; M[i][j]")
+	b.t("	mul  x13, x4, x3")
+	b.t("	add  x13, x13, x11")
+	b.t("	lsli x13, x13, #3")
+	b.t("	add  x13, x1, x13")
+	b.t("	fldr f3, [x13]         ; M[k][j]")
+	b.t("	fmul f3, f1, f3")
+	b.t("	fsub f2, f2, f3")
+	b.t("	fstr f2, [x12]")
+	b.t("	addi x11, x11, #1")
+	b.t("	bne  x11, x3, j_loop")
+	b.t("	addi x7, x7, #1")
+	b.t("	bne  x7, x3, i_loop")
+	b.t("	addi x4, x4, #1")
+	b.t("	movi x14, #%d", n-1)
+	b.t("	bne  x4, x14, k_loop")
+	b.t("	subi x25, x25, #1")
+	b.t("	bne  x25, xzr, rep")
+	// Checksum.
+	b.t("	fmovi f4, #0.0")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n*n)
+	b.t("ck:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x7, x1, x6")
+	b.t("	fldr f1, [x7]")
+	b.t("	fadd f4, f4, f1")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, ck")
+	fpCheck(b, 4, 1e4)
+	b.space("M", n*n*8)
+	b.doubles("orig", orig)
+
+	return Workload{
+		Name:        "lu",
+		Suite:       SPECfp,
+		Description: "LU factorization without pivoting, dominant diagonal",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genHorner evaluates a fixed polynomial at many points via Horner's rule:
+// the purest producer/single-consumer chain.
+func genHorner(scale int) Workload {
+	const n = 512
+	const deg = 10
+	reps := 4 * scale
+	r := newLCG(0x40E2)
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = r.f64()*2 - 1
+	}
+	coef := make([]float64, deg+1)
+	for i := range coef {
+		coef[i] = r.f64() - 0.5
+	}
+
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for _, x := range pts {
+			v := coef[0]
+			for k := 1; k <= deg; k++ {
+				v = v*x + coef[k]
+			}
+			acc += v
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, pts")
+	b.t("	la   x2, coef")
+	b.t("	movi x3, #%d           ; reps", reps)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n)
+	b.t("pt:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x6, x1, x6")
+	b.t("	fldr f0, [x6]          ; x")
+	b.t("	fldr f1, [x2, #0]      ; v = coef[0]")
+	for k := 1; k <= deg; k++ {
+		b.t("	fmul f1, f1, f0")
+		b.t("	fldr f2, [x2, #%d]", k*8)
+		b.t("	fadd f1, f1, f2")
+	}
+	b.t("	fadd f9, f9, f1")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, pt")
+	b.t("	subi x3, x3, #1")
+	b.t("	bne  x3, xzr, rep")
+	fpCheck(b, 9, 1e6)
+	b.doubles("pts", pts)
+	b.doubles("coef", coef)
+
+	return Workload{
+		Name:        "poly_horner",
+		Suite:       SPECfp,
+		Description: "Horner polynomial evaluation (pure single-use chains)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genMonteCarlo integrates a polynomial approximation of exp(-u^2) with an
+// in-register LCG sampler.
+func genMonteCarlo(scale int) Workload {
+	samples := 2048 * scale
+	const seed = uint64(0x5EED_0001)
+	const lcgA = uint64(6364136223846793005)
+	const lcgC = uint64(1442695040888963407)
+	const inv = 1.0 / (1 << 40)
+
+	// Reference mirrors the assembly sampler and polynomial exactly.
+	acc := 0.0
+	s := seed
+	for i := 0; i < samples; i++ {
+		s = s*lcgA + lcgC
+		u := float64(int64((s>>17)&((1<<40)-1))) * inv
+		z := u * u
+		// p(z) = 1 - z + z^2/2 - z^3/6 + z^4/24 via Horner:
+		p := z*(1.0/24) - (1.0 / 6)
+		p = p*z + 0.5
+		p = p*z - 1
+		p = p*z + 1
+		acc += p
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	movi x1, #%d           ; lcg state", seed)
+	b.t("	movi x2, #%d           ; A", lcgA)
+	b.t("	movi x3, #%d           ; C", lcgC)
+	b.t("	movi x4, #%d           ; mask 2^40-1", uint64(1<<40)-1)
+	b.t("	movi x5, #0")
+	b.t("	movi x6, #%d           ; samples", samples)
+	b.t("	fmovi f9, #0.0")
+	b.t("	fmovi f10, #%.17g      ; 1/2^40", inv)
+	b.t("	fmovi f11, #%.17g      ; 1/24", 1.0/24)
+	b.t("	fmovi f12, #%.17g      ; 1/6", 1.0/6)
+	b.t("	fmovi f13, #0.5")
+	b.t("	fmovi f14, #1.0")
+	b.t("mc:")
+	b.t("	mul  x7, x1, x2")
+	b.t("	add  x1, x7, x3        ; s = s*A + C")
+	b.t("	lsri x7, x1, #17")
+	b.t("	and  x7, x7, x4")
+	b.t("	scvtf f0, x7")
+	b.t("	fmul f0, f0, f10       ; u")
+	b.t("	fmul f1, f0, f0        ; z")
+	b.t("	fmul f2, f1, f11")
+	b.t("	fsub f2, f2, f12")
+	b.t("	fmul f2, f2, f1")
+	b.t("	fadd f2, f2, f13")
+	b.t("	fmul f2, f2, f1")
+	b.t("	fsub f2, f2, f14")
+	b.t("	fmul f2, f2, f1")
+	b.t("	fadd f2, f2, f14")
+	b.t("	fadd f9, f9, f2")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x6, mc")
+	fpCheck(b, 9, 1e3)
+
+	return Workload{
+		Name:        "montecarlo",
+		Suite:       SPECfp,
+		Description: "Monte Carlo integration with in-register LCG sampling",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genBlackScholes prices options with polynomial surrogates for ln/exp and a
+// rational sigmoid CDF — the paper-relevant property is the FP op mix
+// (div/sqrt/abs plus expression trees), not financial accuracy.
+func genBlackScholes(scale int) Workload {
+	const n = 256
+	reps := 2 * scale
+	r := newLCG(0xB5C4)
+	sArr := make([]float64, n)
+	kArr := make([]float64, n)
+	tArr := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sArr[i] = 80 + r.f64()*40
+		kArr[i] = sArr[i] * (0.9 + r.f64()*0.2)
+		tArr[i] = 0.25 + r.f64()
+	}
+	const rr, sigma = 0.05, 0.2
+
+	price := func(S, K, T float64) float64 {
+		sqrtT := math.Sqrt(T)
+		y := S/K - 1
+		ln := y * (1 - y*(0.5-y*(1.0/3)))
+		d1 := (ln + (rr+(sigma*sigma)*0.5)*T) / (sigma * sqrtT)
+		d2 := d1 - sigma*sqrtT
+		nd1 := 0.5 + 0.5*(d1/(1+math.Abs(d1)))
+		nd2 := 0.5 + 0.5*(d2/(1+math.Abs(d2)))
+		z := -rr * T
+		e := 1 + z*(1+z*(0.5+z*(1.0/6)))
+		return S*nd1 - K*e*nd2
+	}
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < n; i++ {
+			acc += price(sArr[i], kArr[i], tArr[i])
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	la   x1, S")
+	b.t("	la   x2, K")
+	b.t("	la   x3, T")
+	b.t("	movi x4, #%d           ; reps", reps)
+	b.t("	fmovi f16, #%.17g      ; r", rr)
+	b.t("	fmovi f17, #%.17g      ; sigma", sigma)
+	b.t("	fmovi f18, #0.5")
+	b.t("	fmovi f19, #1.0")
+	b.t("	fmovi f20, #%.17g      ; 1/3", 1.0/3)
+	b.t("	fmovi f21, #%.17g      ; 1/6", 1.0/6)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	b.t("	movi x5, #0")
+	b.t("	movi x6, #%d", n)
+	b.t("opt:")
+	b.t("	lsli x7, x5, #3")
+	b.t("	add  x8, x1, x7")
+	b.t("	fldr f0, [x8]          ; S")
+	b.t("	add  x8, x2, x7")
+	b.t("	fldr f1, [x8]          ; K")
+	b.t("	add  x8, x3, x7")
+	b.t("	fldr f2, [x8]          ; T")
+	b.t("	fsqrt f3, f2           ; sqrtT")
+	b.t("	fdiv f4, f0, f1")
+	b.t("	fsub f4, f4, f19       ; y")
+	b.t("	fmul f5, f4, f20")
+	b.t("	fsub f5, f18, f5       ; 0.5 - y/3")
+	b.t("	fmul f5, f4, f5")
+	b.t("	fsub f5, f19, f5       ; 1 - y*(...)")
+	b.t("	fmul f5, f4, f5        ; ln approx")
+	b.t("	fmul f6, f17, f17")
+	b.t("	fmul f6, f6, f18")
+	b.t("	fadd f6, f16, f6       ; r + sigma^2/2")
+	b.t("	fmul f6, f6, f2")
+	b.t("	fadd f5, f5, f6")
+	b.t("	fmul f7, f17, f3       ; sigma*sqrtT")
+	b.t("	fdiv f5, f5, f7        ; d1")
+	b.t("	fsub f8, f5, f7        ; d2")
+	// nd1
+	b.t("	fabs f11, f5")
+	b.t("	fadd f11, f19, f11")
+	b.t("	fdiv f11, f5, f11")
+	b.t("	fmul f11, f18, f11")
+	b.t("	fadd f11, f18, f11     ; nd1")
+	// nd2
+	b.t("	fabs f12, f8")
+	b.t("	fadd f12, f19, f12")
+	b.t("	fdiv f12, f8, f12")
+	b.t("	fmul f12, f18, f12")
+	b.t("	fadd f12, f18, f12     ; nd2")
+	// e = exp(-r*T) poly
+	b.t("	fmul f13, f16, f2")
+	b.t("	fneg f13, f13          ; z")
+	b.t("	fmul f14, f13, f21")
+	b.t("	fadd f14, f18, f14     ; 0.5 + z/6")
+	b.t("	fmul f14, f13, f14")
+	b.t("	fadd f14, f19, f14")
+	b.t("	fmul f14, f13, f14")
+	b.t("	fadd f14, f19, f14     ; e")
+	b.t("	fmul f15, f0, f11      ; S*nd1")
+	b.t("	fmul f14, f1, f14")
+	b.t("	fmul f14, f14, f12     ; K*e*nd2")
+	b.t("	fsub f15, f15, f14")
+	b.t("	fadd f9, f9, f15")
+	b.t("	addi x5, x5, #1")
+	b.t("	bne  x5, x6, opt")
+	b.t("	subi x4, x4, #1")
+	b.t("	bne  x4, xzr, rep")
+	fpCheck(b, 9, 1e3)
+	b.doubles("S", sArr)
+	b.doubles("K", kArr)
+	b.doubles("T", tArr)
+
+	return Workload{
+		Name:        "blackscholes",
+		Suite:       SPECfp,
+		Description: "option pricing with polynomial ln/exp surrogates",
+		Source:      b.build(),
+		Want:        want,
+	}
+}

@@ -1,0 +1,440 @@
+package workloads
+
+import "math"
+
+// Second SPECfp-like batch: sparse matrix-vector product, Cholesky
+// factorization, and an iterative radix-2 FFT with precomputed twiddles.
+
+// genSpMV multiplies a CSR sparse matrix by a dense vector repeatedly:
+// irregular gather + accumulation chains.
+func genSpMV(scale int) Workload {
+	rows := 128 * scale
+	nnzPerRow := 8
+	reps := 2 * scale
+	r := newLCG(0x59A7)
+	var colIdx []int64
+	var vals []float64
+	rowPtr := make([]int64, rows+1)
+	for i := 0; i < rows; i++ {
+		rowPtr[i] = int64(len(colIdx))
+		n := 2 + int(r.intn(uint64(nnzPerRow)))
+		for j := 0; j < n; j++ {
+			colIdx = append(colIdx, int64(r.intn(uint64(rows))))
+			vals = append(vals, r.f64()-0.5)
+		}
+	}
+	rowPtr[rows] = int64(len(colIdx))
+	x := make([]float64, rows)
+	for i := range x {
+		x[i] = r.f64()
+	}
+
+	// Reference.
+	y := make([]float64, rows)
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < rows; i++ {
+			s := 0.0
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				s += vals[k] * x[colIdx[k]]
+			}
+			y[i] = s
+		}
+		for i := 0; i < rows; i++ {
+			acc += y[i]
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e6))
+
+	b := newSrc()
+	b.t("	la   x1, rowptr")
+	b.t("	la   x2, colidx")
+	b.t("	la   x3, vals")
+	b.t("	la   x4, xv")
+	b.t("	la   x5, yv")
+	b.t("	movi x20, #%d          ; reps", reps)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	b.t("	movi x6, #0            ; row")
+	b.t("	movi x7, #%d           ; rows", rows)
+	b.t("row:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x9, x1, x8")
+	b.t("	ldr  x11, [x9, #0]     ; start")
+	b.t("	ldr  x12, [x9, #8]     ; end")
+	b.t("	fmovi f0, #0.0         ; s")
+	b.t("nz:")
+	b.t("	bge  x11, x12, row_done")
+	b.t("	lsli x13, x11, #3")
+	b.t("	add  x14, x3, x13")
+	b.t("	fldr f1, [x14]         ; val")
+	b.t("	add  x14, x2, x13")
+	b.t("	ldr  x15, [x14]        ; col")
+	b.t("	lsli x15, x15, #3")
+	b.t("	add  x15, x4, x15")
+	b.t("	fldr f2, [x15]         ; x[col]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fadd f0, f0, f1")
+	b.t("	addi x11, x11, #1")
+	b.t("	b    nz")
+	b.t("row_done:")
+	b.t("	add  x14, x5, x8")
+	b.t("	fstr f0, [x14]         ; y[row]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x7, row")
+	// acc += sum(y)
+	b.t("	movi x6, #0")
+	b.t("ysum:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x5, x8")
+	b.t("	fldr f0, [x8]")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x7, ysum")
+	b.t("	subi x20, x20, #1")
+	b.t("	bne  x20, xzr, rep")
+	fpCheck(b, 9, 1e6)
+	b.words("rowptr", rowPtr)
+	b.words("colidx", colIdx)
+	b.doubles("vals", vals)
+	b.doubles("xv", x)
+	b.space("yv", rows*8)
+
+	return Workload{
+		Name:        "spmv",
+		Suite:       SPECfp,
+		Description: "CSR sparse matrix-vector product (irregular gathers)",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genCholesky factorizes a symmetric positive-definite matrix in place
+// (Cholesky-Banachiewicz), restored from a pristine copy each repetition.
+func genCholesky(scale int) Workload {
+	const n = 12
+	reps := 2 * scale
+	r := newLCG(0xC401)
+	// Build SPD matrix A = B*B^T + n*I.
+	bmat := make([]float64, n*n)
+	for i := range bmat {
+		bmat[i] = r.f64() - 0.5
+	}
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += bmat[i*n+k] * bmat[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			orig[i*n+j] = s
+		}
+	}
+
+	// Reference (mirrors the assembly's operation order).
+	m := append([]float64(nil), orig...)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := m[i*n+j]
+			for k := 0; k < j; k++ {
+				s = s - m[i*n+k]*m[j*n+k]
+			}
+			if i == j {
+				m[i*n+j] = math.Sqrt(s)
+			} else {
+				m[i*n+j] = s / m[j*n+j]
+			}
+		}
+	}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			acc += m[i*n+j]
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e4))
+
+	b := newSrc()
+	b.t("	movi x25, #%d          ; reps", reps)
+	b.t("	la   x1, M")
+	b.t("	la   x2, orig")
+	b.t("	movi x3, #%d           ; n", n)
+	b.t("rep:")
+	b.t("	movi x4, #0")
+	b.t("	movi x5, #%d", n*n)
+	b.t("copy:")
+	b.t("	lsli x6, x4, #3")
+	b.t("	add  x7, x2, x6")
+	b.t("	ldr  x8, [x7]")
+	b.t("	add  x7, x1, x6")
+	b.t("	str  x8, [x7]")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x5, copy")
+	b.t("	movi x4, #0            ; i")
+	b.t("i_loop:")
+	b.t("	movi x6, #0            ; j")
+	b.t("j_loop:")
+	b.t("	mul  x7, x4, x3")
+	b.t("	add  x8, x7, x6")
+	b.t("	lsli x8, x8, #3")
+	b.t("	add  x8, x1, x8")
+	b.t("	fldr f0, [x8]          ; s = M[i][j]")
+	b.t("	movi x9, #0            ; k")
+	b.t("k_loop:")
+	b.t("	bge  x9, x6, k_done")
+	b.t("	add  x11, x7, x9")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x11, x1, x11")
+	b.t("	fldr f1, [x11]         ; M[i][k]")
+	b.t("	mul  x11, x6, x3")
+	b.t("	add  x11, x11, x9")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x11, x1, x11")
+	b.t("	fldr f2, [x11]         ; M[j][k]")
+	b.t("	fmul f1, f1, f2")
+	b.t("	fsub f0, f0, f1")
+	b.t("	addi x9, x9, #1")
+	b.t("	b    k_loop")
+	b.t("k_done:")
+	b.t("	bne  x4, x6, offdiag")
+	b.t("	fsqrt f0, f0")
+	b.t("	b    store")
+	b.t("offdiag:")
+	b.t("	mul  x11, x6, x3")
+	b.t("	add  x11, x11, x6")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x11, x1, x11")
+	b.t("	fldr f1, [x11]         ; M[j][j]")
+	b.t("	fdiv f0, f0, f1")
+	b.t("store:")
+	b.t("	fstr f0, [x8]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bge  x4, x6, j_loop    ; while j <= i")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x3, i_loop")
+	b.t("	subi x25, x25, #1")
+	b.t("	bne  x25, xzr, rep")
+	// checksum: lower triangle
+	b.t("	fmovi f9, #0.0")
+	b.t("	movi x4, #0")
+	b.t("cki:")
+	b.t("	movi x6, #0")
+	b.t("ckj:")
+	b.t("	mul  x7, x4, x3")
+	b.t("	add  x7, x7, x6")
+	b.t("	lsli x7, x7, #3")
+	b.t("	add  x7, x1, x7")
+	b.t("	fldr f0, [x7]")
+	b.t("	fadd f9, f9, f0")
+	b.t("	addi x6, x6, #1")
+	b.t("	bge  x4, x6, ckj")
+	b.t("	addi x4, x4, #1")
+	b.t("	bne  x4, x3, cki")
+	fpCheck(b, 9, 1e4)
+	b.space("M", n*n*8)
+	b.doubles("orig", orig)
+
+	return Workload{
+		Name:        "cholesky",
+		Suite:       SPECfp,
+		Description: "in-place Cholesky factorization with sqrt/div pivots",
+		Source:      b.build(),
+		Want:        want,
+	}
+}
+
+// genFFT is an iterative radix-2 FFT over 64 complex points with
+// precomputed twiddle factors and a precomputed bit-reversal permutation.
+func genFFT(scale int) Workload {
+	const n = 64
+	const logN = 6
+	reps := 4 * scale
+	r := newLCG(0xFF7)
+	inRe := make([]float64, n)
+	inIm := make([]float64, n)
+	for i := range inRe {
+		inRe[i] = r.f64()*2 - 1
+		inIm[i] = r.f64()*2 - 1
+	}
+	// Bit-reversal permutation.
+	rev := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := 0
+		for b := 0; b < logN; b++ {
+			if i&(1<<b) != 0 {
+				v |= 1 << (logN - 1 - b)
+			}
+		}
+		rev[i] = int64(v)
+	}
+	// Twiddles per stage, laid out flat: stage s (len=2<<s) uses n/2
+	// entries at offset s*n/2 (only first len/2 used).
+	twRe := make([]float64, logN*n/2)
+	twIm := make([]float64, logN*n/2)
+	for s := 0; s < logN; s++ {
+		length := 2 << s
+		for j := 0; j < length/2; j++ {
+			ang := -2 * math.Pi * float64(j) / float64(length)
+			twRe[s*n/2+j] = math.Cos(ang)
+			twIm[s*n/2+j] = math.Sin(ang)
+		}
+	}
+
+	// Reference mirrors the assembly exactly.
+	re := make([]float64, n)
+	im := make([]float64, n)
+	acc := 0.0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < n; i++ {
+			re[i] = inRe[rev[i]]
+			im[i] = inIm[rev[i]]
+		}
+		for s := 0; s < logN; s++ {
+			length := 2 << s
+			half := length / 2
+			for start := 0; start < n; start += length {
+				for j := 0; j < half; j++ {
+					wr := twRe[s*n/2+j]
+					wi := twIm[s*n/2+j]
+					a := start + j
+					bidx := a + half
+					tr := wr*re[bidx] - wi*im[bidx]
+					ti := wr*im[bidx] + wi*re[bidx]
+					re[bidx] = re[a] - tr
+					im[bidx] = im[a] - ti
+					re[a] = re[a] + tr
+					im[a] = im[a] + ti
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			acc += re[i]*0.5 + im[i]*0.25
+		}
+	}
+	want := uint64(refFcvtzs(acc * 1e3))
+
+	b := newSrc()
+	b.t("	la   x1, re")
+	b.t("	la   x2, im")
+	b.t("	la   x3, inre")
+	b.t("	la   x4, inim")
+	b.t("	la   x5, rev")
+	b.t("	la   x6, twre")
+	b.t("	la   x7, twim")
+	b.t("	movi x26, #%d          ; reps", reps)
+	b.t("	fmovi f9, #0.0         ; acc")
+	b.t("rep:")
+	// bit-reversal load
+	b.t("	movi x8, #0")
+	b.t("	movi x9, #%d", n)
+	b.t("brl:")
+	b.t("	lsli x11, x8, #3")
+	b.t("	add  x12, x5, x11")
+	b.t("	ldr  x13, [x12]        ; rev[i]")
+	b.t("	lsli x13, x13, #3")
+	b.t("	add  x14, x3, x13")
+	b.t("	fldr f0, [x14]")
+	b.t("	add  x14, x1, x11")
+	b.t("	fstr f0, [x14]")
+	b.t("	add  x14, x4, x13")
+	b.t("	fldr f0, [x14]")
+	b.t("	add  x14, x2, x11")
+	b.t("	fstr f0, [x14]")
+	b.t("	addi x8, x8, #1")
+	b.t("	bne  x8, x9, brl")
+	// stages
+	b.t("	movi x15, #0           ; s")
+	b.t("stage:")
+	b.t("	movi x16, #2")
+	b.t("	lsl  x16, x16, x15     ; length")
+	b.t("	lsri x17, x16, #1      ; half")
+	b.t("	movi x18, #%d", n/2)
+	b.t("	mul  x18, x15, x18     ; twiddle base index")
+	b.t("	movi x19, #0           ; start")
+	b.t("grp:")
+	b.t("	movi x20, #0           ; j")
+	b.t("bfly:")
+	b.t("	add  x21, x18, x20")
+	b.t("	lsli x21, x21, #3")
+	b.t("	add  x22, x6, x21")
+	b.t("	fldr f1, [x22]         ; wr")
+	b.t("	add  x22, x7, x21")
+	b.t("	fldr f2, [x22]         ; wi")
+	b.t("	add  x22, x19, x20     ; a")
+	b.t("	add  x23, x22, x17     ; b")
+	b.t("	lsli x24, x23, #3")
+	b.t("	add  x25, x1, x24")
+	b.t("	fldr f3, [x25]         ; re[b]")
+	b.t("	add  x25, x2, x24")
+	b.t("	fldr f4, [x25]         ; im[b]")
+	b.t("	fmul f5, f1, f3")
+	b.t("	fmul f6, f2, f4")
+	b.t("	fsub f5, f5, f6        ; tr")
+	b.t("	fmul f6, f1, f4")
+	b.t("	fmul f7, f2, f3")
+	b.t("	fadd f6, f6, f7        ; ti")
+	b.t("	lsli x24, x22, #3")
+	b.t("	add  x25, x1, x24")
+	b.t("	fldr f3, [x25]         ; re[a]")
+	b.t("	add  x25, x2, x24")
+	b.t("	fldr f4, [x25]         ; im[a]")
+	b.t("	fsub f7, f3, f5")
+	b.t("	lsli x24, x23, #3")
+	b.t("	add  x25, x1, x24")
+	b.t("	fstr f7, [x25]         ; re[b] = re[a]-tr")
+	b.t("	fsub f7, f4, f6")
+	b.t("	add  x25, x2, x24")
+	b.t("	fstr f7, [x25]")
+	b.t("	fadd f7, f3, f5")
+	b.t("	lsli x24, x22, #3")
+	b.t("	add  x25, x1, x24")
+	b.t("	fstr f7, [x25]         ; re[a] += tr")
+	b.t("	fadd f7, f4, f6")
+	b.t("	add  x25, x2, x24")
+	b.t("	fstr f7, [x25]")
+	b.t("	addi x20, x20, #1")
+	b.t("	bne  x20, x17, bfly")
+	b.t("	add  x19, x19, x16")
+	b.t("	movi x24, #%d", n)
+	b.t("	bne  x19, x24, grp")
+	b.t("	addi x15, x15, #1")
+	b.t("	movi x24, #%d", logN)
+	b.t("	bne  x15, x24, stage")
+	// accumulate
+	b.t("	fmovi f1, #0.5")
+	b.t("	fmovi f2, #0.25")
+	b.t("	movi x8, #0")
+	b.t("facc:")
+	b.t("	lsli x11, x8, #3")
+	b.t("	add  x12, x1, x11")
+	b.t("	fldr f3, [x12]")
+	b.t("	fmul f3, f3, f1")
+	b.t("	add  x12, x2, x11")
+	b.t("	fldr f4, [x12]")
+	b.t("	fmul f4, f4, f2")
+	b.t("	fadd f3, f3, f4")
+	b.t("	fadd f9, f9, f3")
+	b.t("	addi x8, x8, #1")
+	b.t("	bne  x8, x9, facc")
+	b.t("	subi x26, x26, #1")
+	b.t("	bne  x26, xzr, rep")
+	fpCheck(b, 9, 1e3)
+	b.space("re", n*8)
+	b.space("im", n*8)
+	b.doubles("inre", inRe)
+	b.doubles("inim", inIm)
+	b.words("rev", rev)
+	b.doubles("twre", twRe)
+	b.doubles("twim", twIm)
+
+	return Workload{
+		Name:        "fft",
+		Suite:       SPECfp,
+		Description: "iterative radix-2 FFT with precomputed twiddles",
+		Source:      b.build(),
+		Want:        want,
+	}
+}

@@ -1,0 +1,481 @@
+package workloads
+
+// Second SPECint-like batch: Huffman coding, LSD radix sort, and grid BFS —
+// compression, sorting and graph traversal shapes that round out the
+// integer suite (h264ref/bzip2/astar analogues).
+
+// genHuffman builds a Huffman code by repeated minimum scans over a symbol
+// frequency table (heap-free, branch-heavy) and then encodes a message,
+// checksumming the emitted bit length and code words.
+func genHuffman(scale int) Workload {
+	const symbols = 32
+	msgLen := 1024 * scale
+	r := newLCG(0x4FF)
+	freq := make([]int64, symbols)
+	for i := range freq {
+		freq[i] = int64(r.intn(1000)) + 1
+	}
+	msg := make([]int64, msgLen)
+	for i := range msg {
+		// Skewed symbol distribution.
+		s := r.intn(symbols)
+		if r.intn(3) > 0 {
+			s = s % 8
+		}
+		msg[i] = int64(s)
+	}
+
+	// Reference: standard Huffman via repeated min-pair merging over a
+	// node array (exactly the algorithm the assembly implements).
+	const maxNodes = 2*symbols - 1
+	w := make([]int64, 0, maxNodes)    // node weights
+	parent := make([]int64, maxNodes)  // parent index; -1 = root/none
+	alive := make([]bool, 0, maxNodes) // not yet merged
+	for _, f := range freq {
+		w = append(w, f)
+		alive = append(alive, true)
+	}
+	for i := range parent {
+		parent[i] = -1
+	}
+	for {
+		m1, m2 := -1, -1
+		for i := range w {
+			if !alive[i] {
+				continue
+			}
+			if m1 < 0 || w[i] < w[m1] {
+				m2 = m1
+				m1 = i
+			} else if m2 < 0 || w[i] < w[m2] {
+				m2 = i
+			}
+		}
+		if m2 < 0 {
+			break // single root remains
+		}
+		alive[m1] = false
+		alive[m2] = false
+		w = append(w, w[m1]+w[m2])
+		alive = append(alive, true)
+		parent[m1] = int64(len(w) - 1)
+		parent[m2] = int64(len(w) - 1)
+	}
+	depth := func(s int) uint64 {
+		d := uint64(0)
+		for n := int64(s); parent[n] >= 0; n = parent[n] {
+			d++
+		}
+		return d
+	}
+	var sum uint64
+	for _, s := range msg {
+		sum += depth(int(s))
+	}
+	for s := 0; s < symbols; s++ {
+		sum += depth(s) * uint64(s+1)
+	}
+
+	b := newSrc()
+	// Node arrays: weights (maxNodes), alive flags, parents.
+	b.t("	la   x1, weights")
+	b.t("	la   x2, alive")
+	b.t("	la   x3, parents")
+	b.t("	la   x4, freq")
+	b.t("	movi x5, #%d           ; symbols", symbols)
+	// init: copy freq into weights, alive=1, parent=-1 for all slots
+	b.t("	movi x6, #0")
+	b.t("init:")
+	b.t("	lsli x7, x6, #3")
+	b.t("	add  x8, x4, x7")
+	b.t("	ldr  x9, [x8]")
+	b.t("	add  x8, x1, x7")
+	b.t("	str  x9, [x8]")
+	b.t("	add  x8, x2, x7")
+	b.t("	movi x9, #1")
+	b.t("	str  x9, [x8]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x5, init")
+	b.t("	movi x6, #0")
+	b.t("	movi x13, #%d", maxNodes)
+	b.t("pinit:")
+	b.t("	lsli x7, x6, #3")
+	b.t("	add  x8, x3, x7")
+	b.t("	movi x9, #-1")
+	b.t("	str  x9, [x8]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x13, pinit")
+	b.t("	mov  x14, x5           ; node count")
+	// merge loop
+	b.t("merge:")
+	b.t("	movi x15, #-1          ; m1")
+	b.t("	movi x16, #-1          ; m2")
+	b.t("	movi x6, #0")
+	b.t("scan:")
+	b.t("	lsli x7, x6, #3")
+	b.t("	add  x8, x2, x7")
+	b.t("	ldr  x9, [x8]")
+	b.t("	beq  x9, xzr, scan_next")
+	b.t("	add  x8, x1, x7")
+	b.t("	ldr  x9, [x8]          ; w[i]")
+	b.t("	blt  x15, xzr, take1   ; m1 unset")
+	b.t("	lsli x11, x15, #3")
+	b.t("	add  x11, x1, x11")
+	b.t("	ldr  x12, [x11]        ; w[m1]")
+	b.t("	blt  x9, x12, take1")
+	b.t("	blt  x16, xzr, take2")
+	b.t("	lsli x11, x16, #3")
+	b.t("	add  x11, x1, x11")
+	b.t("	ldr  x12, [x11]        ; w[m2]")
+	b.t("	bge  x9, x12, scan_next")
+	b.t("take2:")
+	b.t("	mov  x16, x6")
+	b.t("	b    scan_next")
+	b.t("take1:")
+	b.t("	mov  x16, x15")
+	b.t("	mov  x15, x6")
+	b.t("scan_next:")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x14, scan")
+	b.t("	blt  x16, xzr, built   ; fewer than two alive: done")
+	// kill m1, m2; create node
+	b.t("	lsli x7, x15, #3")
+	b.t("	add  x8, x2, x7")
+	b.t("	str  xzr, [x8]")
+	b.t("	add  x8, x1, x7")
+	b.t("	ldr  x9, [x8]")
+	b.t("	lsli x7, x16, #3")
+	b.t("	add  x8, x2, x7")
+	b.t("	str  xzr, [x8]")
+	b.t("	add  x8, x1, x7")
+	b.t("	ldr  x11, [x8]")
+	b.t("	add  x9, x9, x11       ; merged weight")
+	b.t("	lsli x7, x14, #3")
+	b.t("	add  x8, x1, x7")
+	b.t("	str  x9, [x8]")
+	b.t("	add  x8, x2, x7")
+	b.t("	movi x9, #1")
+	b.t("	str  x9, [x8]")
+	b.t("	lsli x7, x15, #3")
+	b.t("	add  x8, x3, x7")
+	b.t("	str  x14, [x8]         ; parent[m1] = new")
+	b.t("	lsli x7, x16, #3")
+	b.t("	add  x8, x3, x7")
+	b.t("	str  x14, [x8]")
+	b.t("	addi x14, x14, #1")
+	b.t("	b    merge")
+	b.t("built:")
+	// checksum: sum depths over message + weighted symbol depths
+	b.t("	movi x10, #0")
+	b.t("	la   x4, msg")
+	b.t("	movi x6, #0")
+	b.t("	movi x5, #%d", msgLen)
+	b.t("enc:")
+	b.t("	lsli x7, x6, #3")
+	b.t("	add  x8, x4, x7")
+	b.t("	ldr  x9, [x8]          ; symbol")
+	b.t("	bl   depth")
+	b.t("	add  x10, x10, x12")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x5, enc")
+	b.t("	movi x9, #0")
+	b.t("lens:")
+	b.t("	mov  x15, x9           ; save symbol")
+	b.t("	bl   depth")
+	b.t("	addi x11, x15, #1")
+	b.t("	mul  x12, x12, x11")
+	b.t("	add  x10, x10, x12")
+	b.t("	addi x9, x15, #1")
+	b.t("	movi x11, #%d", symbols)
+	b.t("	bne  x9, x11, lens")
+	b.t("	halt")
+	// depth(x9 symbol) -> x12, clobbers x7, x8
+	b.t("depth:")
+	b.t("	movi x12, #0")
+	b.t("	mov  x7, x9")
+	b.t("dloop:")
+	b.t("	lsli x8, x7, #3")
+	b.t("	add  x8, x3, x8")
+	b.t("	ldr  x8, [x8]          ; parent")
+	b.t("	blt  x8, xzr, ddone")
+	b.t("	addi x12, x12, #1")
+	b.t("	mov  x7, x8")
+	b.t("	b    dloop")
+	b.t("ddone:")
+	b.t("	ret")
+	b.words("freq", freq)
+	b.words("msg", msg)
+	b.space("weights", maxNodes*8)
+	b.space("alive", maxNodes*8)
+	b.space("parents", maxNodes*8)
+
+	return Workload{
+		Name:        "huffman",
+		Suite:       SPECint,
+		Description: "Huffman tree construction + message encoding depth sums",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}
+
+// genRadixSort is an LSD radix sort (8-bit digits), the streaming
+// counting-sort shape of bzip2-style transforms.
+func genRadixSort(scale int) Workload {
+	n := 512 * scale * scale
+	const passes = 3 // sort 24-bit keys
+	r := newLCG(0x4ad1)
+	arr := make([]int64, n)
+	for i := range arr {
+		arr[i] = int64(r.intn(1 << 24))
+	}
+
+	// Reference mirrors the assembly: counting sort per 8-bit digit.
+	src := append([]int64(nil), arr...)
+	dst := make([]int64, n)
+	for p := 0; p < passes; p++ {
+		var count [256]int64
+		shift := uint(8 * p)
+		for _, v := range src {
+			count[(v>>shift)&0xFF]++
+		}
+		var pos [256]int64
+		s := int64(0)
+		for d := 0; d < 256; d++ {
+			pos[d] = s
+			s += count[d]
+		}
+		for _, v := range src {
+			d := (v >> shift) & 0xFF
+			dst[pos[d]] = v
+			pos[d]++
+		}
+		src, dst = dst, src
+	}
+	var sum uint64
+	for i, v := range src {
+		sum += uint64(v) * uint64(i%7+1)
+	}
+
+	b := newSrc()
+	b.t("	la   x1, A")
+	b.t("	la   x2, B")
+	b.t("	la   x3, count")
+	b.t("	movi x4, #%d           ; n", n)
+	b.t("	movi x20, #0           ; pass")
+	b.t("pass:")
+	b.t("	lsli x21, x20, #3      ; shift = 8*pass")
+	// clear counts
+	b.t("	movi x6, #0")
+	b.t("	movi x7, #256")
+	b.t("clr:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x3, x8")
+	b.t("	str  xzr, [x8]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x7, clr")
+	// histogram
+	b.t("	movi x6, #0")
+	b.t("hist:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x1, x8")
+	b.t("	ldr  x9, [x8]")
+	b.t("	lsr  x9, x9, x21")
+	b.t("	andi x9, x9, #255")
+	b.t("	lsli x9, x9, #3")
+	b.t("	add  x9, x3, x9")
+	b.t("	ldr  x11, [x9]")
+	b.t("	addi x11, x11, #1")
+	b.t("	str  x11, [x9]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x4, hist")
+	// prefix sums -> positions
+	b.t("	movi x6, #0")
+	b.t("	movi x12, #0           ; running")
+	b.t("pfx:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x3, x8")
+	b.t("	ldr  x9, [x8]")
+	b.t("	str  x12, [x8]")
+	b.t("	add  x12, x12, x9")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x7, pfx")
+	// scatter
+	b.t("	movi x6, #0")
+	b.t("scat:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x1, x8")
+	b.t("	ldr  x9, [x8]          ; v")
+	b.t("	lsr  x11, x9, x21")
+	b.t("	andi x11, x11, #255")
+	b.t("	lsli x11, x11, #3")
+	b.t("	add  x11, x3, x11")
+	b.t("	ldr  x12, [x11]        ; pos")
+	b.t("	lsli x13, x12, #3")
+	b.t("	add  x13, x2, x13")
+	b.t("	str  x9, [x13]")
+	b.t("	addi x12, x12, #1")
+	b.t("	str  x12, [x11]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x4, scat")
+	// swap A and B
+	b.t("	mov  x8, x1")
+	b.t("	mov  x1, x2")
+	b.t("	mov  x2, x8")
+	b.t("	addi x20, x20, #1")
+	b.t("	movi x8, #%d", passes)
+	b.t("	bne  x20, x8, pass")
+	// checksum over sorted array (in x1 after odd/even swaps)
+	b.t("	movi x10, #0")
+	b.t("	movi x6, #0")
+	b.t("	movi x13, #7")
+	b.t("ck:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x1, x8")
+	b.t("	ldr  x9, [x8]")
+	b.t("	rem  x11, x6, x13")
+	b.t("	addi x11, x11, #1")
+	b.t("	mul  x9, x9, x11")
+	b.t("	add  x10, x10, x9")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x4, ck")
+	b.t("	halt")
+	b.words("A", arr)
+	b.space("B", n*8)
+	b.space("count", 256*8)
+
+	return Workload{
+		Name:        "radixsort",
+		Suite:       SPECint,
+		Description: "LSD radix sort with per-digit counting passes",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}
+
+// genBFS runs breadth-first search over a grid maze with an explicit queue,
+// checksumming distances (astar-style traversal).
+func genBFS(scale int) Workload {
+	side := 24 * scale
+	r := newLCG(0xbf5)
+	walls := make([]int64, side*side)
+	for i := range walls {
+		if r.intn(5) == 0 {
+			walls[i] = 1
+		}
+	}
+	walls[0] = 0
+
+	// Reference BFS from cell 0.
+	const unvisited = int64(-1)
+	dist := make([]int64, side*side)
+	for i := range dist {
+		dist[i] = unvisited
+	}
+	queue := make([]int64, 0, side*side)
+	dist[0] = 0
+	queue = append(queue, 0)
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		x, y := int(c%int64(side)), int(c/int64(side))
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || ny < 0 || nx >= side || ny >= side {
+				continue
+			}
+			nc := ny*side + nx
+			if walls[nc] != 0 || dist[nc] != unvisited {
+				continue
+			}
+			dist[nc] = dist[c] + 1
+			queue = append(queue, int64(nc))
+		}
+	}
+	var sum uint64
+	for i, d := range dist {
+		sum += uint64(d+1) * uint64(i%5+1)
+	}
+
+	b := newSrc()
+	b.t("	la   x1, walls")
+	b.t("	la   x2, dist")
+	b.t("	la   x3, queue")
+	b.t("	movi x4, #%d           ; side", side)
+	b.t("	mul  x5, x4, x4        ; cells")
+	// init dist = -1
+	b.t("	movi x6, #0")
+	b.t("	movi x7, #-1")
+	b.t("dinit:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x2, x8")
+	b.t("	str  x7, [x8]")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x5, dinit")
+	b.t("	str  xzr, [x2]         ; dist[0] = 0")
+	b.t("	str  xzr, [x3]         ; queue[0] = 0")
+	b.t("	movi x20, #0           ; head")
+	b.t("	movi x21, #1           ; tail")
+	b.t("bfs:")
+	b.t("	bge  x20, x21, done")
+	b.t("	lsli x8, x20, #3")
+	b.t("	add  x8, x3, x8")
+	b.t("	ldr  x22, [x8]         ; c")
+	b.t("	addi x20, x20, #1")
+	b.t("	rem  x23, x22, x4      ; x")
+	b.t("	sdiv x24, x22, x4      ; y")
+	b.t("	lsli x8, x22, #3")
+	b.t("	add  x8, x2, x8")
+	b.t("	ldr  x25, [x8]         ; dist[c]")
+	b.t("	addi x25, x25, #1")
+	// four neighbors, unrolled
+	for i, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		b.t("	addi x26, x23, #%d     ; nx", d[0])
+		b.t("	addi x27, x24, #%d     ; ny", d[1])
+		b.t("	blt  x26, xzr, n%d", i)
+		b.t("	blt  x27, xzr, n%d", i)
+		b.t("	bge  x26, x4, n%d", i)
+		b.t("	bge  x27, x4, n%d", i)
+		b.t("	mul  x28, x27, x4")
+		b.t("	add  x28, x28, x26     ; nc")
+		b.t("	lsli x8, x28, #3")
+		b.t("	add  x9, x1, x8")
+		b.t("	ldr  x11, [x9]")
+		b.t("	bne  x11, xzr, n%d     ; wall", i)
+		b.t("	add  x9, x2, x8")
+		b.t("	ldr  x11, [x9]")
+		b.t("	bge  x11, xzr, n%d     ; visited", i)
+		b.t("	str  x25, [x9]")
+		b.t("	lsli x8, x21, #3")
+		b.t("	add  x8, x3, x8")
+		b.t("	str  x28, [x8]")
+		b.t("	addi x21, x21, #1")
+		b.t("n%d:", i)
+	}
+	b.t("	b    bfs")
+	b.t("done:")
+	b.t("	movi x10, #0")
+	b.t("	movi x6, #0")
+	b.t("	movi x13, #5")
+	b.t("ck:")
+	b.t("	lsli x8, x6, #3")
+	b.t("	add  x8, x2, x8")
+	b.t("	ldr  x9, [x8]")
+	b.t("	addi x9, x9, #1")
+	b.t("	rem  x11, x6, x13")
+	b.t("	addi x11, x11, #1")
+	b.t("	mul  x9, x9, x11")
+	b.t("	add  x10, x10, x9")
+	b.t("	addi x6, x6, #1")
+	b.t("	bne  x6, x5, ck")
+	b.t("	halt")
+	b.words("walls", walls)
+	b.space("dist", side*side*8)
+	b.space("queue", side*side*8)
+
+	return Workload{
+		Name:        "bfs",
+		Suite:       SPECint,
+		Description: "grid BFS with explicit queue (astar-style traversal)",
+		Source:      b.build(),
+		Want:        sum,
+	}
+}

@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// maxInsts bounds any single small-scale workload in tests.
+const maxInsts = 30_000_000
+
+func TestSmallWorkloadsMatchReference(t *testing.T) {
+	for _, w := range Small() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Program()
+			s := emu.New(p)
+			n, err := s.RunToHalt(maxInsts, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if got := s.X[CheckReg]; got != w.Want {
+				t.Errorf("%s: checksum = %#x, want %#x", w.Name, got, w.Want)
+			}
+			if n < 5_000 {
+				t.Errorf("%s: only %d dynamic instructions; too small to be meaningful", w.Name, n)
+			}
+			t.Logf("%s: %d dynamic instructions", w.Name, n)
+		})
+	}
+}
+
+func TestReferenceScaleWorkloadsMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference scale in -short mode")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			s := emu.New(w.Program())
+			n, err := s.RunToHalt(200_000_000, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if got := s.X[CheckReg]; got != w.Want {
+				t.Errorf("%s: checksum = %#x, want %#x", w.Name, got, w.Want)
+			}
+			t.Logf("%s: %d dynamic instructions", w.Name, n)
+		})
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	names := Names()
+	if len(names) != 33 {
+		t.Errorf("expected 33 workloads, got %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate workload name %q", n)
+		}
+		seen[n] = true
+		if _, ok := ByName(n, 1); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nonexistent", 1); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestSuiteGrouping(t *testing.T) {
+	bySuite := BySuite(Small())
+	wantMin := map[Suite]int{SPECint: 11, SPECfp: 11, Media: 7, Cognitive: 4}
+	for s, min := range wantMin {
+		if len(bySuite[s]) < min {
+			t.Errorf("suite %s has %d workloads, want >= %d", s, len(bySuite[s]), min)
+		}
+	}
+	for _, s := range Suites() {
+		if got := SuiteOf(s, 1); len(got) != len(bySuite[s]) {
+			t.Errorf("SuiteOf(%s) = %d workloads, BySuite = %d", s, len(got), len(bySuite[s]))
+		}
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	small, _ := ByName("hashjoin", 1)
+	big, _ := ByName("hashjoin", 4)
+	if small.Source == big.Source {
+		t.Error("scale parameter has no effect on hashjoin")
+	}
+	if small.Want == 0 || big.Want == 0 {
+		t.Error("degenerate zero checksums")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a := All()
+	b := All()
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Want != b[i].Want {
+			t.Errorf("%s: generation is not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestDescriptionsPresent(t *testing.T) {
+	for _, w := range Small() {
+		if w.Description == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+		if w.Suite == "" {
+			t.Errorf("%s: missing suite", w.Name)
+		}
+	}
+}
+
+// TestDisassemblyRoundTrip: re-assembling every workload's disassembly
+// (instruction String() forms, with absolute branch targets) must reproduce
+// the identical instruction sequence — a strong property tying the
+// assembler, the disassembler and the ISA together.
+func TestDisassemblyRoundTrip(t *testing.T) {
+	for _, w := range Small() {
+		p := w.Program()
+		var sb strings.Builder
+		for pc := p.Entry(); pc < p.TextEnd(); pc += 4 {
+			in, ok := p.Fetch(pc)
+			if !ok {
+				t.Fatalf("%s: fetch hole at %#x", w.Name, pc)
+			}
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+		p2, err := asm.Assemble(sb.String())
+		if err != nil {
+			t.Fatalf("%s: reassembly failed: %v", w.Name, err)
+		}
+		if p2.NumInsts() != p.NumInsts() {
+			t.Fatalf("%s: %d instructions reassembled, want %d", w.Name, p2.NumInsts(), p.NumInsts())
+		}
+		for pc := p.Entry(); pc < p.TextEnd(); pc += 4 {
+			a, _ := p.Fetch(pc)
+			b, _ := p2.Fetch(pc)
+			if a != b {
+				t.Fatalf("%s: instruction mismatch at %#x: %v vs %v", w.Name, pc, a, b)
+			}
+		}
+	}
+}
+
+// TestBinaryEncodingRoundTrip serializes every workload instruction through
+// the 12-byte record format and back.
+func TestBinaryEncodingRoundTrip(t *testing.T) {
+	var buf [isa.EncodedBytes]byte
+	for _, w := range Small() {
+		p := w.Program()
+		for pc := p.Entry(); pc < p.TextEnd(); pc += 4 {
+			in, _ := p.Fetch(pc)
+			isa.Encode(in, buf[:])
+			out, err := isa.Decode(buf[:])
+			if err != nil {
+				t.Fatalf("%s: decode at %#x: %v", w.Name, pc, err)
+			}
+			if out != in {
+				t.Fatalf("%s: codec mismatch at %#x: %v vs %v", w.Name, pc, in, out)
+			}
+		}
+	}
+}

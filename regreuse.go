@@ -1,0 +1,215 @@
+// Package regreuse is the public API of this repository: a reproduction of
+// "A Novel Register Renaming Technique for Out-of-Order Processors"
+// (Tabani, Arnau, Tubella, González — HPCA 2018).
+//
+// The package wraps a from-scratch, cycle-level out-of-order core
+// (internal/pipeline) that models both the conventional merged-register-file
+// renaming baseline and the paper's physical-register-reuse scheme: a
+// Physical Register Table with Read bits and 2-bit version counters, a
+// multi-bank register file with embedded shadow cells, a register type
+// predictor, and precise exceptions recovered from shadow cells.
+//
+// Quick start:
+//
+//	res, err := regreuse.RunWorkload("dgemm", 1, regreuse.Config{Scheme: regreuse.Reuse})
+//	fmt.Printf("IPC = %.2f, reuses = %d\n", res.IPC, res.Reuses)
+//
+// The experiment entry points (Motivation, SpeedupSweep, AggregateSweep,
+// PredictorBreakdown, OccupancyStudy, AreaTable, EqualAreaTable,
+// EnergyComparison) regenerate every figure and table of the paper's
+// evaluation; cmd/paper drives them all and EXPERIMENTS.md records the
+// results.
+package regreuse
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/emu"
+	"repro/internal/memsys"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/regfile"
+	"repro/internal/rename"
+	"repro/internal/workloads"
+)
+
+// Scheme selects a renaming scheme.
+type Scheme = pipeline.Scheme
+
+// The renaming schemes under comparison: the conventional baseline, the
+// paper's reuse scheme, and the early-release related-work comparator
+// (§VII).
+const (
+	Baseline     = pipeline.Baseline
+	Reuse        = pipeline.Reuse
+	EarlyRelease = pipeline.EarlyRelease
+)
+
+// Suite re-exports the benchmark suite labels.
+type Suite = workloads.Suite
+
+// Suite labels (mirroring the paper's benchmark grouping).
+const (
+	SPECint   = workloads.SPECint
+	SPECfp    = workloads.SPECfp
+	Media     = workloads.Media
+	Cognitive = workloads.Cognitive
+)
+
+// Config selects the simulation parameters exposed at the API surface; zero
+// values take the paper's Table I defaults.
+type Config struct {
+	Scheme Scheme
+	// IntRegs/FPRegs: physical register file layouts (bank sizes indexed
+	// by shadow-cell count). Zero value: 128 registers in the layout
+	// appropriate for the scheme.
+	IntRegs regfile.BankSizes
+	FPRegs  regfile.BankSizes
+	// MaxInsts stops the simulation after that many committed
+	// instructions (0 = run to HALT).
+	MaxInsts uint64
+	// ReuseDepth caps reuse-chain length (0 = the paper's 3).
+	ReuseDepth int
+	// DisableSpeculativeReuse keeps only the guaranteed (redefining)
+	// reuse, the ablation of §IV-D.
+	DisableSpeculativeReuse bool
+	// InterruptEvery injects a timer interrupt each N cycles (0 = off).
+	InterruptEvery uint64
+	// CheckOracle runs the lockstep architectural oracle.
+	CheckOracle bool
+}
+
+func (c Config) pipelineConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig(c.Scheme)
+	if c.IntRegs.Total() > 0 {
+		cfg.IntRegs = c.IntRegs
+	}
+	if c.FPRegs.Total() > 0 {
+		cfg.FPRegs = c.FPRegs
+	}
+	cfg.MaxInsts = c.MaxInsts
+	if c.ReuseDepth > 0 {
+		cfg.ReuseCfg.MaxVersions = uint8(c.ReuseDepth)
+	}
+	cfg.ReuseCfg.SpeculativeReuse = !c.DisableSpeculativeReuse
+	cfg.InterruptEvery = c.InterruptEvery
+	cfg.CheckOracle = c.CheckOracle
+	cfg.MaxCycles = 1 << 36
+	return cfg
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Workload string
+	Suite    Suite
+	Scheme   Scheme
+
+	Cycles     uint64
+	Insts      uint64
+	IPC        float64
+	MPKI       float64
+	Halted     bool
+	Checksum   uint64
+	ChecksumOK bool
+
+	// Renaming behaviour.
+	Allocations  uint64
+	Reuses       uint64
+	ReusesByVer  [4]uint64
+	ReuseSameLog uint64
+	ReusePredict uint64
+	Repairs      uint64
+	MicroOps     uint64
+
+	// Stall accounting.
+	StallNoReg uint64
+	StallROB   uint64
+	StallIQ    uint64
+
+	// Recovery.
+	PageFaults       uint64
+	Interrupts       uint64
+	ShadowRecoveries uint64
+
+	// Full detail for power users.
+	Pipeline *pipeline.Stats
+	RenInt   *rename.Stats
+	RenFP    *rename.Stats
+	Hier     *memsys.Hierarchy
+}
+
+// RunWorkload simulates a named workload (scale 1 = small/test, 4 =
+// reference) under cfg.
+func RunWorkload(name string, scale int, cfg Config) (Result, error) {
+	w, ok := workloads.ByName(name, scale)
+	if !ok {
+		return Result{}, fmt.Errorf("regreuse: unknown workload %q (see workloads: %v)", name, workloads.Names())
+	}
+	return runW(w, cfg)
+}
+
+// RunProgram simulates an arbitrary assembled program under cfg.
+func RunProgram(p *prog.Program, cfg Config) (Result, error) {
+	return run(p, Result{Workload: "custom"}, 0, false, cfg)
+}
+
+func runW(w workloads.Workload, cfg Config) (Result, error) {
+	seed := Result{Workload: w.Name, Suite: w.Suite}
+	return run(w.Program(), seed, w.Want, true, cfg)
+}
+
+func run(p *prog.Program, seed Result, want uint64, check bool, cfg Config) (Result, error) {
+	core := pipeline.New(cfg.pipelineConfig(), p)
+	if err := core.Run(); err != nil {
+		return Result{}, err
+	}
+	st := core.Stats()
+	ri, rf := core.RenStats(0), core.RenStats(1)
+	x, _ := core.ArchRegs()
+	res := seed
+	res.Scheme = cfg.Scheme
+	res.Cycles = st.Cycles
+	res.Insts = st.Committed
+	res.IPC = st.IPC()
+	res.MPKI = st.MPKI()
+	res.Halted = core.Halted()
+	res.Checksum = x[workloads.CheckReg]
+	res.ChecksumOK = !check || !core.Halted() || res.Checksum == want
+	res.Allocations = ri.Allocations + rf.Allocations
+	res.Reuses = ri.TotalReuses() + rf.TotalReuses()
+	for v := 1; v < 4; v++ {
+		res.ReusesByVer[v] = ri.ReusesByVer[v] + rf.ReusesByVer[v]
+	}
+	res.ReuseSameLog = ri.ReuseSameLog + rf.ReuseSameLog
+	res.ReusePredict = ri.ReusePredict + rf.ReusePredict
+	res.Repairs = ri.Repairs + rf.Repairs
+	res.MicroOps = st.MicroOps
+	res.StallNoReg = st.StallNoRegInt + st.StallNoRegFP
+	res.StallROB = st.StallROB
+	res.StallIQ = st.StallIQ
+	res.PageFaults = st.PageFaults
+	res.Interrupts = st.Interrupts
+	res.ShadowRecoveries = st.ShadowRecoveries
+	res.Pipeline = st
+	res.RenInt = ri
+	res.RenFP = rf
+	res.Hier = core.Hierarchy()
+	if check && core.Halted() && res.Checksum != want {
+		return res, fmt.Errorf("regreuse: %s checksum %#x, want %#x", seed.Workload, res.Checksum, want)
+	}
+	return res, nil
+}
+
+// Workloads lists the available workload names.
+func Workloads() []string { return workloads.Names() }
+
+// AnalyzeWorkload runs the functional emulator over a workload and returns
+// the single-use / consumer-count / reuse-chain report (Figures 1-3).
+func AnalyzeWorkload(name string, scale int) (analysis.Report, error) {
+	w, ok := workloads.ByName(name, scale)
+	if !ok {
+		return analysis.Report{}, fmt.Errorf("regreuse: unknown workload %q", name)
+	}
+	return analysis.Analyze(emu.New(w.Program()), 1<<32)
+}

@@ -1,0 +1,270 @@
+package regreuse
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/regfile"
+)
+
+func TestRunWorkloadBothSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, Reuse} {
+		res, err := RunWorkload("dgemm", 1, Config{Scheme: scheme, CheckOracle: true})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !res.Halted || !res.ChecksumOK {
+			t.Errorf("%v: halted=%v checksumOK=%v", scheme, res.Halted, res.ChecksumOK)
+		}
+		if res.IPC <= 0 {
+			t.Errorf("%v: IPC = %f", scheme, res.IPC)
+		}
+		if scheme == Reuse && res.Reuses == 0 {
+			t.Error("reuse scheme reported no reuses")
+		}
+		if scheme == Baseline && res.Reuses != 0 {
+			t.Error("baseline reported reuses")
+		}
+		if res.Hier == nil || res.Hier.L1D.Hits+res.Hier.L1D.Misses == 0 {
+			t.Error("memory hierarchy stats missing")
+		}
+	}
+}
+
+func TestRunWorkloadUnknownName(t *testing.T) {
+	if _, err := RunWorkload("nope", 1, Config{}); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestRunProgram(t *testing.T) {
+	p, err := asm.Assemble(`
+		movi x1, #21
+		add  x10, x1, x1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProgram(p, Config{Scheme: Reuse, CheckOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 42 {
+		t.Errorf("checksum = %d, want 42", res.Checksum)
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	res, err := RunWorkload("poly_horner", 1, Config{
+		Scheme:      Reuse,
+		ReuseDepth:  1,
+		FPRegs:      regfile.BankSizes{30, 12, 0, 0},
+		CheckOracle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReusesByVer[2] != 0 || res.ReusesByVer[3] != 0 {
+		t.Errorf("ReuseDepth=1 produced deeper reuses: %v", res.ReusesByVer)
+	}
+	res2, err := RunWorkload("poly_horner", 1, Config{
+		Scheme:                  Reuse,
+		DisableSpeculativeReuse: true,
+		CheckOracle:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ReusePredict != 0 {
+		t.Errorf("speculative reuse disabled but %d speculative reuses", res2.ReusePredict)
+	}
+}
+
+func TestInterruptsThroughFacade(t *testing.T) {
+	res, err := RunWorkload("fir", 1, Config{Scheme: Reuse, InterruptEvery: 3000, CheckOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupts == 0 {
+		t.Error("no interrupts observed")
+	}
+	if !res.ChecksumOK {
+		t.Error("interrupts corrupted architectural state")
+	}
+}
+
+func TestAnalyzeWorkload(t *testing.T) {
+	rep, err := AnalyzeWorkload("poly_horner", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalInsts == 0 || rep.DestInsts == 0 {
+		t.Error("empty analysis report")
+	}
+	a, b := rep.SingleUsePct()
+	if a+b <= 0 {
+		t.Error("no single-use instructions in a Horner chain workload")
+	}
+}
+
+func TestMotivationAndAggregation(t *testing.T) {
+	rows, err := Motivation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Workloads()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Workloads()))
+	}
+	suites := AggregateMotivation(rows)
+	if len(suites) != 4 {
+		t.Fatalf("got %d suites", len(suites))
+	}
+	for _, s := range suites {
+		if s.SingleUseRedef+s.SingleUseOther <= 0 {
+			t.Errorf("suite %s: zero single-use", s.Suite)
+		}
+	}
+}
+
+func TestSpeedupSweepSmall(t *testing.T) {
+	pts, err := SpeedupSweep(SweepOptions{
+		Sizes:     []int{56, 96},
+		Scale:     1,
+		Workloads: []string{"poly_horner", "qsortint"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Speedup <= 0 || p.BaseCycles == 0 || p.ReuseCycles == 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	curves := AggregateSweep(pts)
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	// poly_horner: register pressure at 56 should favor reuse.
+	for _, p := range pts {
+		if p.Workload == "poly_horner" && p.BaselineRegs == 56 && p.Speedup < 1.0 {
+			t.Errorf("poly_horner@56 speedup = %.3f, expected > 1", p.Speedup)
+		}
+	}
+}
+
+func TestEqualAreaTableAndAreaTable(t *testing.T) {
+	rows := EqualAreaTable()
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Hybrid.Total() >= r.BaselineRegs {
+			t.Errorf("hybrid for %d not smaller: %v", r.BaselineRegs, r.Hybrid)
+		}
+	}
+	a := AreaTable()
+	if len(a) != 6 {
+		t.Fatalf("area table rows = %d", len(a))
+	}
+}
+
+func TestPredictorBreakdownSmall(t *testing.T) {
+	rows, err := PredictorBreakdown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		total := r.ReuseRight + r.ReuseWrong + r.NormalRight + r.NormalWrong
+		if total < 99 || total > 101 {
+			t.Errorf("suite %s: predictor categories sum to %.1f%%", r.Suite, total)
+		}
+	}
+}
+
+func TestOccupancyStudySmall(t *testing.T) {
+	curves, err := OccupancyStudy(1, SPECfp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		for i := 1; i < len(c.Regs); i++ {
+			if c.Regs[i] < c.Regs[i-1] {
+				t.Errorf("level %d: coverage curve not monotone: %v", c.Level, c.Regs)
+			}
+		}
+	}
+	// Demand must fall with shadow depth (Figure 9's shape).
+	if curves[0].Regs[5] < curves[2].Regs[5] {
+		t.Errorf("level-1 demand (%d) below level-3 demand (%d)", curves[0].Regs[5], curves[2].Regs[5])
+	}
+}
+
+func TestEqualIPCSaving(t *testing.T) {
+	c := SuiteCurve{
+		Suite:    SPECfp,
+		Sizes:    []int{48, 64, 80},
+		BaseIPC:  []float64{1.0, 1.2, 1.3},
+		ReuseIPC: []float64{1.1, 1.3, 1.35},
+	}
+	// Reuse reaches baseline@64's 1.2 between 48 (1.1) and 64 (1.3): at 56.
+	saving, ok := EqualIPCSaving(c, 64)
+	if !ok {
+		t.Fatal("no saving computed")
+	}
+	if saving < 10 || saving > 15 {
+		t.Errorf("saving = %.1f%%, want ~12.5%%", saving)
+	}
+	if _, ok := EqualIPCSaving(c, 60); ok {
+		t.Error("saving computed for unknown size")
+	}
+}
+
+func TestFPHeavyClassification(t *testing.T) {
+	if !FPHeavy("dgemm") || FPHeavy("qsortint") {
+		t.Error("FPHeavy misclassifies")
+	}
+	// Every workload name must be classifiable.
+	for _, n := range Workloads() {
+		_ = FPHeavy(n)
+	}
+}
+
+func TestEnergyComparison(t *testing.T) {
+	row, err := EnergyComparison("poly_horner", 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BaseEnergy.Total <= 0 || row.ReuseEnergy.Total <= 0 {
+		t.Fatal("degenerate energies")
+	}
+	if row.Relative <= 0 {
+		t.Errorf("relative energy = %f", row.Relative)
+	}
+	// Under register pressure the reuse scheme finishes faster on a
+	// smaller file: total register-file energy should not balloon.
+	if row.Relative > 1.2 {
+		t.Errorf("reuse energy %.2fx baseline; model or scheme regression", row.Relative)
+	}
+	t.Logf("poly_horner@64: relative RF energy %.3f at %.3f relative runtime",
+		row.Relative, row.RelativePerf)
+}
+
+func TestEarlyReleaseThroughFacade(t *testing.T) {
+	res, err := RunWorkload("dgemm", 1, Config{Scheme: EarlyRelease, CheckOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ChecksumOK || !res.Halted {
+		t.Error("early-release scheme failed through the facade")
+	}
+	if res.Reuses != 0 {
+		t.Error("early-release scheme must not report register sharing")
+	}
+}
