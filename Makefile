@@ -1,0 +1,31 @@
+# Developer/CI entry points. `make ci` is the gate future changes run:
+# build + full tests (including the golden-stats determinism test and the
+# zero-allocation test), vet, and the race detector over the internal
+# packages.
+
+GO ?= go
+
+.PHONY: test vet race ci bench bench-baseline
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+ci: test vet race
+
+# bench runs every benchmark once with allocation counts — the quick
+# regression sweep.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# bench-baseline records the quick sweep into results/bench_baseline.txt so
+# future changes can `benchstat results/bench_baseline.txt new.txt`.
+bench-baseline:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . | tee results/bench_baseline.txt

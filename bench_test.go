@@ -82,7 +82,7 @@ func BenchmarkTable3EqualArea(b *testing.B) {
 // percentiles over the SPECfp-like suite).
 func BenchmarkFig9Coverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := OccupancyStudy(1, SPECfp)
+		curves, err := OccupancyStudy(1, SPECfp, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,6 +162,53 @@ func BenchmarkAblationReuseDepth(b *testing.B) {
 			}
 			b.ReportMetric(ipc, "IPC")
 		})
+	}
+}
+
+// BenchmarkCoreStep measures the steady-state cost of one simulated cycle
+// per renaming scheme. Run with -benchmem: the allocs/op column must stay at
+// zero (TestCoreStepZeroAllocs enforces it).
+func BenchmarkCoreStep(b *testing.B) {
+	w, ok := workloads.ByName("dgemm", 4)
+	if !ok {
+		b.Fatal("dgemm workload missing")
+	}
+	p := w.Program()
+	for _, scheme := range []Scheme{Baseline, Reuse, EarlyRelease} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(pipeline.Scheme(scheme))
+			core := pipeline.New(cfg, p)
+			core.StepN(10000) // past cold-start warmup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := b.N - done
+				if n > 10000 {
+					n = 10000
+				}
+				core.StepN(n)
+				done += n
+				if core.Halted() {
+					b.StopTimer()
+					core = pipeline.New(cfg, p)
+					core.StepN(10000)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepScale1 runs the scale-1 register-file sweep over every
+// workload at the paper's default 64-register point — the end-to-end shape
+// the figure benchmarks stress, in benchstat-friendly form.
+func BenchmarkSweepScale1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := SpeedupSweep(SweepOptions{Sizes: []int{64}, Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(pts)), "points")
 	}
 }
 

@@ -44,6 +44,7 @@ func main() {
 		scale = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
 		out   = flag.String("out", "", "directory for CSV artifacts")
 		ext   = flag.Bool("ext", false, "also run the extensions (energy model, reuse-depth ablation)")
+		occIv = flag.Uint64("occupancy-interval", 64, "Figure 9 occupancy sampling interval in cycles")
 	)
 	flag.Parse()
 	outDir = *out
@@ -119,7 +120,7 @@ func main() {
 
 	if all || *fig == 9 {
 		fmt.Println("== Figure 9: registers with k shadow cells needed to cover X% of execution (SPECfp-like) ==")
-		curves, err := regreuse.OccupancyStudy(*scale, regreuse.SPECfp)
+		curves, err := regreuse.OccupancyStudy(*scale, regreuse.SPECfp, *occIv)
 		if err != nil {
 			fail(err)
 		}

@@ -1,17 +1,33 @@
 // Command profile runs the paper's motivational trace analyses (Figures
-// 1-3) over the workload suites using the architectural emulator.
+// 1-3) over the workload suites using the architectural emulator, and doubles
+// as the pprof harness for the simulator itself: -figure selects a named
+// figure sweep and -cpuprofile/-memprofile capture where it spends its time
+// and memory.
 //
 // Usage:
 //
-//	profile            # all figures, per-suite averages
+//	profile            # all motivation figures, per-suite averages
 //	profile -fig 1     # Figure 1 only
 //	profile -detail    # per-workload rows instead of suite averages
+//
+// Profiling a figure sweep:
+//
+//	profile -figure fig10 -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof -top cpu.pprof
+//	go tool pprof -alloc_space -top mem.pprof
+//
+// Valid -figure names: fig1/fig2/fig3 (motivation analyses), fig9 (occupancy
+// study), fig10/fig11 (register-file size sweep), fig12 (predictor
+// breakdown). The sweep result is reduced to one summary line so dead-code
+// elimination cannot skip the work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	regreuse "repro"
 	"repro/internal/stats"
@@ -19,11 +35,26 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure to print: 1, 2, 3 (0 = all)")
-		scale  = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
-		detail = flag.Bool("detail", false, "per-workload rows instead of suite averages")
+		fig        = flag.Int("fig", 0, "figure to print: 1, 2, 3 (0 = all)")
+		scale      = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
+		detail     = flag.Bool("detail", false, "per-workload rows instead of suite averages")
+		figure     = flag.String("figure", "", "named figure sweep to run under profiling (fig1..fig3, fig9, fig10, fig11, fig12)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the -figure sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the -figure sweep to this file")
 	)
 	flag.Parse()
+
+	if *figure != "" {
+		if err := profileFigure(*figure, *scale, *cpuprofile, *memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cpuprofile != "" || *memprofile != "" {
+		fmt.Fprintln(os.Stderr, "-cpuprofile/-memprofile require -figure")
+		os.Exit(1)
+	}
 
 	rows, err := regreuse.Motivation(*scale)
 	if err != nil {
@@ -71,4 +102,64 @@ func main() {
 		}
 		fmt.Print(t)
 	}
+}
+
+// profileFigure runs one named figure sweep with optional CPU and heap
+// profiling around it.
+func profileFigure(name string, scale int, cpuFile, memFile string) error {
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var summary string
+	switch name {
+	case "fig1", "fig2", "fig3":
+		rows, err := regreuse.Motivation(scale)
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("%d motivation rows", len(rows))
+	case "fig9":
+		curves, err := regreuse.OccupancyStudy(scale, regreuse.SPECfp, 0)
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("%d occupancy curves", len(curves))
+	case "fig10", "fig11":
+		pts, err := regreuse.SpeedupSweep(regreuse.SweepOptions{Scale: scale})
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("%d sweep points", len(pts))
+	case "fig12":
+		rows, err := regreuse.PredictorBreakdown(scale)
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("%d predictor rows", len(rows))
+	default:
+		return fmt.Errorf("unknown figure %q (want fig1..fig3, fig9, fig10, fig11 or fig12)", name)
+	}
+	fmt.Printf("%s: %s\n", name, summary)
+
+	if memFile != "" {
+		f, err := os.Create(memFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,14 +3,13 @@ package regreuse
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/area"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/regfile"
 	"repro/internal/workloads"
@@ -48,7 +47,7 @@ func Motivation(scale int) ([]MotivationRow, error) {
 		ws = workloads.Small()
 	}
 	rows := make([]MotivationRow, len(ws))
-	err := parallel(len(ws), func(i int) error {
+	err := par.ForEach(len(ws), 0, func(i int) error {
 		w := ws[i]
 		rep, err := analysis.Analyze(emu.New(w.Program()), 1<<32)
 		if err != nil {
@@ -160,7 +159,7 @@ func SpeedupSweep(opt SweepOptions) ([]SweepPoint, error) {
 	}
 	points := make([]SweepPoint, len(jobs))
 	ample := regfile.Uniform(128, 0)
-	err := parallel(len(jobs), func(i int) error {
+	err := par.ForEach(len(jobs), 0, func(i int) error {
 		j := jobs[i]
 		w, ok := workloads.ByName(j.name, opt.Scale)
 		if !ok {
@@ -312,7 +311,7 @@ func PredictorBreakdown(scale int) ([]PredictorRow, error) {
 		n                          int
 	}
 	results := make([]Result, len(ws))
-	err := parallel(len(ws), func(i int) error {
+	err := par.ForEach(len(ws), 0, func(i int) error {
 		r, err := runW(ws[i], Config{Scheme: Reuse})
 		if err != nil {
 			return fmt.Errorf("%s: %w", ws[i].Name, err)
@@ -374,41 +373,53 @@ type OccupancyCurve struct {
 }
 
 // OccupancyStudy reproduces Figure 9: run the FP-heavy suites on the reuse
-// scheme with an effectively unbounded all-shadow register file and sample
-// how many registers sit at version >= k.
-func OccupancyStudy(scale int, suite Suite) ([]OccupancyCurve, error) {
+// scheme with an effectively unbounded all-shadow register file and sample,
+// every sampleInterval cycles (0 = the default 64), how many registers sit
+// at version >= k.
+func OccupancyStudy(scale int, suite Suite, sampleInterval uint64) ([]OccupancyCurve, error) {
+	if sampleInterval == 0 {
+		sampleInterval = 64
+	}
 	ws := workloads.SuiteOf(suite, scaleOrDefault(scale))
 	fractions := []float64{0.50, 0.75, 0.90, 0.95, 0.99, 1.0}
-	agg := make([][]uint64, regfile.MaxShadow+1)
-	var samples uint64
-	var mu sync.Mutex
-	err := parallel(len(ws), func(i int) error {
+	type occResult struct {
+		samples   uint64
+		occupancy [regfile.MaxShadow + 1][]uint64
+	}
+	results := make([]occResult, len(ws))
+	err := par.ForEach(len(ws), 0, func(i int) error {
 		w := ws[i]
 		cfg := pipeline.DefaultConfig(pipeline.Reuse)
 		cfg.IntRegs = regfile.Uniform(192, 3)
 		cfg.FPRegs = regfile.Uniform(192, 3)
-		cfg.SampleOccupancy = true
+		cfg.OccupancySampleInterval = sampleInterval
 		cfg.MaxCycles = 1 << 36
 		core := pipeline.New(cfg, w.Program())
 		if err := core.Run(); err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		st := core.Stats()
-		mu.Lock()
-		defer mu.Unlock()
-		samples += st.OccupancySamples
+		results[i].samples = st.OccupancySamples
 		for k := 1; k <= regfile.MaxShadow; k++ {
-			if agg[k] == nil {
-				agg[k] = make([]uint64, len(st.Occupancy[k]))
-			}
-			for n, cnt := range st.Occupancy[k] {
-				agg[k][n] += cnt
-			}
+			results[i].occupancy[k] = st.Occupancy[k]
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	agg := make([][]uint64, regfile.MaxShadow+1)
+	var samples uint64
+	for i := range results {
+		samples += results[i].samples
+		for k := 1; k <= regfile.MaxShadow; k++ {
+			if agg[k] == nil {
+				agg[k] = make([]uint64, len(results[i].occupancy[k]))
+			}
+			for n, cnt := range results[i].occupancy[k] {
+				agg[k][n] += cnt
+			}
+		}
 	}
 	var out []OccupancyCurve
 	for k := 1; k <= regfile.MaxShadow; k++ {
@@ -464,39 +475,6 @@ func scaleOrDefault(s int) int {
 		return 4
 	}
 	return s
-}
-
-// parallel runs fn(0..n-1) across GOMAXPROCS workers, returning the first
-// error.
-func parallel(n int, fn func(int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	errs := make(chan error, n)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					errs <- err
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	close(errs)
-	return <-errs
 }
 
 // ---- Energy extension (beyond the paper's area analysis) ----

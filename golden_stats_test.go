@@ -1,0 +1,168 @@
+package regreuse
+
+// Golden-stats determinism test: every workload at scale 1, under every
+// renaming scheme, must produce bit-identical statistics to the recorded
+// golden file. This pins the architectural behavior of the simulator so
+// performance refactors of the core (wakeup lists, entry pooling, event
+// queues) cannot silently change timing or renaming results.
+//
+// Regenerate after an *intentional* behavioral change with:
+//
+//	go test -run TestGoldenStats -update-golden .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_stats.json")
+
+const goldenPath = "testdata/golden_stats.json"
+
+// goldenStats is the per-(workload, scheme) fingerprint of a simulation.
+// Every field is an exact counter; none is derived or rounded.
+type goldenStats struct {
+	Cycles           uint64
+	Insts            uint64
+	MicroOps         uint64 `json:",omitempty"`
+	Checksum         uint64
+	Branches         uint64
+	Mispredicts      uint64
+	SquashedInsts    uint64
+	StallROB         uint64 `json:",omitempty"`
+	StallIQ          uint64 `json:",omitempty"`
+	StallNoReg       uint64 `json:",omitempty"`
+	PageFaults       uint64 `json:",omitempty"`
+	ShadowRecoveries uint64 `json:",omitempty"`
+	Allocations      uint64
+	Reuses           uint64    `json:",omitempty"`
+	ReusesByVer      [4]uint64 `json:",omitempty"`
+	Repairs          uint64    `json:",omitempty"`
+	// Occupancy sampling fingerprint (reuse scheme only): the number of
+	// samples and an FNV-1a hash over every histogram bucket.
+	OccupancySamples uint64 `json:",omitempty"`
+	OccupancyHash    uint64 `json:",omitempty"`
+}
+
+func goldenFromResult(r Result) goldenStats {
+	return goldenStats{
+		Cycles:           r.Cycles,
+		Insts:            r.Insts,
+		MicroOps:         r.MicroOps,
+		Checksum:         r.Checksum,
+		Branches:         r.Pipeline.Branches,
+		Mispredicts:      r.Pipeline.Mispredicts,
+		SquashedInsts:    r.Pipeline.SquashedInsts,
+		StallROB:         r.StallROB,
+		StallIQ:          r.StallIQ,
+		StallNoReg:       r.StallNoReg,
+		PageFaults:       r.PageFaults,
+		ShadowRecoveries: r.ShadowRecoveries,
+		Allocations:      r.Allocations,
+		Reuses:           r.Reuses,
+		ReusesByVer:      r.ReusesByVer,
+		Repairs:          r.Repairs,
+	}
+}
+
+// occupancyRun runs the reuse scheme with shadow-bank occupancy sampling
+// enabled and fingerprints the sampled histograms.
+func occupancyRun(w workloads.Workload) (goldenStats, error) {
+	cfg := pipeline.DefaultConfig(pipeline.Reuse)
+	cfg.OccupancySampleInterval = 64
+	cfg.MaxCycles = 1 << 36
+	core := pipeline.New(cfg, w.Program())
+	if err := core.Run(); err != nil {
+		return goldenStats{}, err
+	}
+	st := core.Stats()
+	h := fnv.New64a()
+	var buf [8]byte
+	for k := range st.Occupancy {
+		for _, n := range st.Occupancy[k] {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(n >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return goldenStats{
+		Cycles:           st.Cycles,
+		Insts:            st.Committed,
+		OccupancySamples: st.OccupancySamples,
+		OccupancyHash:    h.Sum64(),
+	}, nil
+}
+
+func collectGolden(t *testing.T) map[string]goldenStats {
+	t.Helper()
+	got := map[string]goldenStats{}
+	schemes := []Scheme{Baseline, Reuse, EarlyRelease}
+	for _, w := range workloads.Small() {
+		for _, s := range schemes {
+			res, err := RunWorkload(w.Name, 1, Config{Scheme: s})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, s, err)
+			}
+			got[fmt.Sprintf("%s/%s", w.Name, s)] = goldenFromResult(res)
+		}
+		occ, err := occupancyRun(w)
+		if err != nil {
+			t.Fatalf("%s/occupancy: %v", w.Name, err)
+		}
+		got[w.Name+"/reuse+occupancy"] = occ
+	}
+	return got
+}
+
+// TestGoldenStats asserts that the simulator reproduces the recorded
+// statistics exactly — IPC inputs (cycles, instructions), renaming behavior,
+// speculation counters, and occupancy sampling.
+func TestGoldenStats(t *testing.T) {
+	got := collectGolden(t)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenStats
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("entry count: got %d, want %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from this run", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: stats diverged from golden\n got: %+v\nwant: %+v", key, g, w)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package memsys
 type StridePrefetcher struct {
 	entries []strideEntry
 	degree  int
+	buf     []uint64 // reused Observe result buffer
 
 	Issued uint64
 }
@@ -24,11 +25,16 @@ func NewStridePrefetcher(tableSize, degree int) *StridePrefetcher {
 	if tableSize <= 0 || degree <= 0 {
 		panic("memsys: bad prefetcher config")
 	}
-	return &StridePrefetcher{entries: make([]strideEntry, tableSize), degree: degree}
+	return &StridePrefetcher{
+		entries: make([]strideEntry, tableSize),
+		degree:  degree,
+		buf:     make([]uint64, 0, degree),
+	}
 }
 
 // Observe records a demand access by the instruction at pc and returns the
-// addresses to prefetch (nil most of the time).
+// addresses to prefetch (nil most of the time). The returned slice aliases
+// an internal buffer and is only valid until the next call.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	e := &p.entries[(pc>>2)%uint64(len(p.entries))]
 	if !e.valid || e.pc != pc {
@@ -48,7 +54,7 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	if e.conf < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.buf[:0]
 	for d := 1; d <= p.degree; d++ {
 		next := int64(addr) + int64(d)*e.stride
 		if next <= 0 {

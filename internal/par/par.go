@@ -1,0 +1,67 @@
+// Package par provides the bounded worker pool shared by the experiment
+// sweeps. Every fan-out in the repo goes through ForEach so the degree of
+// parallelism is controlled in one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0), ..., fn(n-1) across at most `workers` goroutines and
+// returns the first error observed (the remaining indices still run; fn must
+// tolerate being called after another index failed). workers <= 0 selects
+// GOMAXPROCS. ForEach itself is cheap for small n: no goroutine is spawned
+// when n <= 1.
+func ForEach(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	var (
+		next uint64 // next index to claim
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		errs []error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= uint64(n) {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}

@@ -30,10 +30,10 @@ func (c *Core) commit() {
 			c.commitStore(e)
 		}
 		if e.isLoad {
-			if len(c.lq) == 0 || c.lq[0].seq != e.seq {
+			if c.lqCnt == 0 || c.lqAt(0).seq != e.seq {
 				panic("pipeline: load commit out of order with load queue")
 			}
-			c.lq = c.lq[1:]
+			c.lqPopFront()
 		}
 		if e.hasDest {
 			if c.lastRead[0] != nil {
@@ -99,10 +99,10 @@ func (c *Core) commitStore(e *robEntry) {
 	c.mem.Write64(e.effAddr, e.resultVal)
 	c.hier.DataAccess(e.pc, e.effAddr, true, c.cycle)
 	// Retire the SQ entry (always the oldest).
-	if len(c.sq) == 0 || c.sq[0].seq != e.seq {
+	if c.sqCnt == 0 || c.sqAt(0).seq != e.seq {
 		panic("pipeline: store commit out of order with store queue")
 	}
-	c.sq = c.sq[1:]
+	c.sqPopFront()
 }
 
 // takeException implements precise exceptions (§IV-B): the pipeline is
@@ -156,15 +156,13 @@ func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
 		c.stats.SquashedInsts++
 	}
 	c.robCount = 0
-	c.iq = c.iq[:0]
-	c.lq = c.lq[:0]
-	c.sq = c.sq[:0]
-	c.fetchQ = c.fetchQ[:0]
+	c.resetIQ()
+	c.lqHead, c.lqCnt = 0, 0
+	c.sqHead, c.sqCnt = 0, 0
+	c.fqHead, c.fqCount = 0, 0
 	c.fetchHalted = false
 	c.fetchLine = ^uint64(0)
-	for cyc := range c.events {
-		delete(c.events, cyc)
-	}
+	c.clearEvents()
 
 	recoveries := c.renI.RestoreArch() + c.renF.RestoreArch()
 	extra := uint64(0)

@@ -116,10 +116,10 @@ type Config struct {
 	// underutilization the paper's §II motivates with ("many cycles may
 	// happen between the last read of the register and its release").
 	MeasureLifetimes bool
-	// SampleOccupancy enables Figure 9's shadow-bank occupancy sampling
-	// (reuse scheme only; adds overhead).
-	SampleOccupancy bool
-	SamplePeriod    uint64
+	// OccupancySampleInterval enables Figure 9's shadow-bank occupancy
+	// sampling (reuse scheme only) every N cycles; 0 disables sampling and
+	// its per-cycle cost entirely.
+	OccupancySampleInterval uint64
 }
 
 // CommitEvent describes one committed instruction for CommitHook consumers.
@@ -168,8 +168,6 @@ func DefaultConfig(s Scheme) Config {
 		PageFaultCycles: 300,
 		InterruptEvery:  0,
 		InterruptCycles: 120,
-
-		SamplePeriod: 64,
 	}
 	cfg.FUCount[1] = 2 // int ALU (also branches)
 	cfg.FUCount[2] = 1 // int mul/div

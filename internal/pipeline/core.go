@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/emu"
@@ -93,6 +94,13 @@ type iqEntry struct {
 	isLoad, isStore, isBranch bool
 
 	src [2]iqSrc
+
+	// Pool bookkeeping (see queues.go): active marks an occupied slot, gen
+	// invalidates stale waiter/ready references, pending counts source
+	// operands still awaiting their value.
+	active  bool
+	gen     uint32
+	pending int8
 }
 
 type lqEntry struct {
@@ -134,12 +142,31 @@ type Core struct {
 	robCount int
 	seqNext  uint64
 
-	iq     []iqEntry
-	lq     []lqEntry
-	sq     []sqEntry
-	fetchQ []fetchRec
+	// Issue queue: a fixed pool of cfg.IQSize entries plus the seq-sorted
+	// ready list and per-tag waiter lists that drive event-driven wakeup.
+	iqPool    []iqEntry
+	iqFree    []int32
+	iqCount   int
+	readyList []int32
+	waiters   [2][][]iqWaiter // [class][reg*(MaxShadow+1)+ver]
+	squashBuf []int32         // scratch: squashed IQ slots in seq order
 
-	events map[uint64][]wbEvent
+	// In-order queues as fixed-capacity rings.
+	lq     []lqEntry
+	lqHead int
+	lqCnt  int
+	sq     []sqEntry
+	sqHead int
+	sqCnt  int
+	fetchQ []fetchRec
+	fqHead int
+	fqCount int
+
+	// Writeback calendar ring (indexed by cycle & (len-1)).
+	evRing    [][]wbEvent
+	evPending int
+
+	srcLogBuf [2]uint8 // scratch for sameClassSrcLogs
 
 	fuBusy [isa.NumFUs][]uint64 // per-slot busy-until cycle
 
@@ -172,18 +199,27 @@ type Core struct {
 // New builds a core running p under cfg.
 func New(cfg Config, p *prog.Program) *Core {
 	c := &Core{
-		cfg:    cfg,
-		prog:   p,
-		mem:    emu.NewMemory(),
-		hier:   memsys.New(cfg.Mem),
-		bp:     bpred.New(cfg.Bpred),
-		rob:    make([]robEntry, cfg.ROBSize),
-		events: make(map[uint64][]wbEvent),
+		cfg:  cfg,
+		prog: p,
+		mem:  emu.NewMemory(),
+		hier: memsys.New(cfg.Mem),
+		bp:   bpred.New(cfg.Bpred),
+		rob:  make([]robEntry, cfg.ROBSize),
+
+		iqPool:    make([]iqEntry, cfg.IQSize),
+		iqFree:    make([]int32, 0, cfg.IQSize),
+		readyList: make([]int32, 0, cfg.IQSize),
+		squashBuf: make([]int32, 0, cfg.IQSize),
+		lq:        make([]lqEntry, cfg.LQSize),
+		sq:        make([]sqEntry, cfg.SQSize),
+		fetchQ:    make([]fetchRec, cfg.FetchQSize),
 
 		fetchPC:      p.Entry(),
 		nextCommitPC: p.Entry(),
 		pagePresent:  make(map[uint64]bool),
 	}
+	c.resetIQ()
+	c.initEvents(1024)
 	p.InitialData(func(addr uint64, b byte) { c.mem.StoreByte(addr, b) })
 
 	c.rfInt = regfile.New(cfg.IntRegs)
@@ -207,6 +243,10 @@ func New(cfg Config, p *prog.Program) *Core {
 	// emu.New). The renamers initialized logical l -> physical l.
 	c.rfInt.Write(29, 0, prog.StackTop)
 
+	// Wakeup waiter lists, one per (physical register, version) tag.
+	c.waiters[0] = make([][]iqWaiter, c.rfInt.Size()*(regfile.MaxShadow+1))
+	c.waiters[1] = make([][]iqWaiter, c.rfFP.Size()*(regfile.MaxShadow+1))
+
 	for fu := 0; fu < isa.NumFUs; fu++ {
 		c.fuBusy[fu] = make([]uint64, cfg.FUCount[fu])
 	}
@@ -221,7 +261,7 @@ func New(cfg Config, p *prog.Program) *Core {
 		c.memWait = make([]bool, n)
 		c.memWaitClear = cfg.MemWaitClearEvery
 	}
-	if cfg.SampleOccupancy {
+	if cfg.OccupancySampleInterval > 0 {
 		for k := range c.stats.Occupancy {
 			c.stats.Occupancy[k] = make([]uint64, cfg.IntRegs.Total()+cfg.FPRegs.Total()+1)
 		}
@@ -304,6 +344,15 @@ func (c *Core) Run() error {
 	return nil
 }
 
+// StepN advances the simulation by up to n cycles, stopping early once HALT
+// commits. It exists for benchmarks and the allocation-regression test; Run
+// is the normal driver.
+func (c *Core) StepN(n int) {
+	for i := 0; i < n && !c.halted; i++ {
+		c.step()
+	}
+}
+
 // step advances one cycle. Stage order within a cycle: writeback events
 // (wakeup/broadcast), commit, issue, rename/dispatch, fetch — so values
 // produced at cycle T can feed instructions issuing at T (back-to-back
@@ -326,7 +375,7 @@ func (c *Core) step() {
 	c.issue()
 	c.renameDispatch()
 	c.fetch()
-	if c.cfg.SampleOccupancy && c.cfg.Scheme == Reuse && c.cycle%c.cfg.SamplePeriod == 0 {
+	if ival := c.cfg.OccupancySampleInterval; ival > 0 && c.cfg.Scheme == Reuse && c.cycle%ival == 0 {
 		c.sampleOccupancy()
 	}
 	if c.memWait != nil && c.memWaitClear > 0 && c.cycle >= c.memWaitClear {
@@ -371,17 +420,25 @@ func (c *Core) sampleOccupancy() {
 // simulator: ROB head, issue queue and queue occupancies.
 func (c *Core) DebugDump() string {
 	s := fmt.Sprintf("cycle=%d committed=%d robCount=%d iq=%d lq=%d sq=%d fetchQ=%d fetchPC=%#x resumeAt=%d halted=%v\n",
-		c.cycle, c.stats.Committed, c.robCount, len(c.iq), len(c.lq), len(c.sq), len(c.fetchQ), c.fetchPC, c.fetchResumeAt, c.fetchHalted)
+		c.cycle, c.stats.Committed, c.robCount, c.iqCount, c.lqCnt, c.sqCnt, c.fqCount, c.fetchPC, c.fetchResumeAt, c.fetchHalted)
 	for i := 0; i < c.robCount && i < 6; i++ {
 		e := &c.rob[c.robIdxAt(i)]
 		s += fmt.Sprintf("  rob[%d] seq=%d pc=%#x %v completed=%v exc=%d micro=%v\n", i, e.seq, e.pc, e.inst, e.completed, e.exc, e.micro)
 	}
-	for i, ent := range c.iq {
+	var slots []int32
+	for i := range c.iqPool {
+		if c.iqPool[i].active {
+			slots = append(slots, int32(i))
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool { return c.iqPool[slots[a]].seq < c.iqPool[slots[b]].seq })
+	for i, idx := range slots {
 		if i >= 8 {
 			break
 		}
-		s += fmt.Sprintf("  iq[%d] seq=%d pc=%#x %v srcs=[%v %v] fu=%v\n", i, ent.seq, ent.pc, ent.inst,
-			ent.src[0], ent.src[1], ent.fu)
+		ent := &c.iqPool[idx]
+		s += fmt.Sprintf("  iq[%d] seq=%d pc=%#x %v srcs=[%v %v] fu=%v ready=%v\n", i, ent.seq, ent.pc, ent.inst,
+			ent.src[0], ent.src[1], ent.fu, ent.pending == 0)
 	}
 	s += fmt.Sprintf("  freeInt=%d freeFP=%d\n", c.renI.FreeRegs(), c.renF.FreeRegs())
 	if c.cfg.Scheme == Reuse {
@@ -389,7 +446,7 @@ func (c *Core) DebugDump() string {
 			s += fmt.Sprintf("  int map x%d: %+v\n", l, c.renI.PeekSrc(uint8(l)))
 		}
 	}
-	s += fmt.Sprintf("  events pending: %d cycles\n", len(c.events))
+	s += fmt.Sprintf("  events pending: %d\n", c.evPending)
 	for fu, slots := range c.fuBusy {
 		s += fmt.Sprintf("  fu%d busy: %v\n", fu, slots)
 	}

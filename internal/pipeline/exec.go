@@ -8,26 +8,34 @@ import (
 	"repro/internal/rename"
 )
 
-// issue selects up to IssueWidth ready instructions from the issue queue,
-// oldest first, subject to functional-unit availability, executes them
-// functionally, and schedules their writeback events.
+// issue selects up to IssueWidth ready instructions from the ready list
+// (sorted oldest first, so selection order matches a full IQ scan), subject
+// to functional-unit availability, executes them functionally, and schedules
+// their writeback events. Entries blocked by a busy FU or by memory
+// disambiguation stay on the list and are retried next cycle.
 func (c *Core) issue() {
 	issued := 0
-	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; {
-		ent := &c.iq[i]
-		if !c.entryReady(ent) {
-			i++
+	rl := c.readyList
+	w := 0
+	for r := 0; r < len(rl); r++ {
+		idx := rl[r]
+		ent := &c.iqPool[idx]
+		if issued >= c.cfg.IssueWidth {
+			rl[w] = idx
+			w++
 			continue
 		}
 		slot := c.freeFUSlot(ent.fu)
 		if slot < 0 {
-			i++
+			rl[w] = idx
+			w++
 			continue
 		}
 		lat, ok := c.execute(ent)
 		if !ok {
 			// Load blocked by memory disambiguation; try again later.
-			i++
+			rl[w] = idx
+			w++
 			continue
 		}
 		if ent.unpipe {
@@ -36,18 +44,10 @@ func (c *Core) issue() {
 			c.fuBusy[ent.fu][slot] = c.cycle + 1
 		}
 		c.schedule(c.cycle+uint64(lat), wbEvent{robIdx: ent.robIdx, seq: ent.seq})
-		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		c.freeIQ(idx)
 		issued++
 	}
-}
-
-func (c *Core) entryReady(ent *iqEntry) bool {
-	for i := range ent.src {
-		if ent.src[i].used && !ent.src[i].ready {
-			return false
-		}
-	}
-	return true
+	c.readyList = rl[:w]
 }
 
 func (c *Core) freeFUSlot(fu isa.FU) int {
@@ -82,10 +82,10 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 		e.exc = exc
 		e.excAddr = addr
 		e.resultVal = val
-		for j := range c.lq {
-			if c.lq[j].seq == ent.seq {
-				c.lq[j].done = true
-				c.lq[j].addr = addr
+		for j := 0; j < c.lqCnt; j++ {
+			if l := c.lqAt(j); l.seq == ent.seq {
+				l.done = true
+				l.addr = addr
 				break
 			}
 		}
@@ -103,11 +103,11 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 			e.excAddr = addr
 		}
 		// Record the address/data so younger loads can forward.
-		for j := len(c.sq) - 1; j >= 0; j-- {
-			if c.sq[j].seq == ent.seq {
-				c.sq[j].addrKnown = true
-				c.sq[j].addr = addr
-				c.sq[j].val = v1
+		for j := c.sqCnt - 1; j >= 0; j-- {
+			if s := c.sqAt(j); s.seq == ent.seq {
+				s.addrKnown = true
+				s.addr = addr
+				s.val = v1
 				break
 			}
 		}
@@ -160,8 +160,8 @@ func (c *Core) loadAccess(ent *iqEntry, addr uint64) (lat int, val uint64, exc e
 	}
 	speculate := c.memWait != nil && !c.memWait[c.memWaitIdx(ent.pc)]
 	var fwd *sqEntry
-	for j := len(c.sq) - 1; j >= 0; j-- {
-		s := &c.sq[j]
+	for j := c.sqCnt - 1; j >= 0; j-- {
+		s := c.sqAt(j)
 		if s.seq >= ent.seq {
 			continue
 		}
@@ -195,8 +195,8 @@ func (c *Core) memWaitIdx(pc uint64) int {
 // oldest such load is marked for replay at commit and its store-wait bit is
 // set so future instances issue conservatively.
 func (c *Core) checkOrderViolation(storeSeq, addr uint64) {
-	for j := range c.lq {
-		l := &c.lq[j]
+	for j := 0; j < c.lqCnt; j++ {
+		l := c.lqAt(j)
 		if l.seq <= storeSeq || !l.done || l.addr != addr {
 			continue
 		}
@@ -219,18 +219,14 @@ func (c *Core) pageAbsent(addr uint64) bool {
 	return !c.pagePresent[c.mem.PageNumber(addr)]
 }
 
-func (c *Core) schedule(cycle uint64, ev wbEvent) {
-	c.events[cycle] = append(c.events[cycle], ev)
-}
-
 // processEvents handles this cycle's writebacks: register-file writes,
 // wakeup broadcasts into the IQ, completion marking, and branch resolution.
 func (c *Core) processEvents() {
-	evs, any := c.events[c.cycle]
-	if !any {
+	b := &c.evRing[c.cycle&uint64(len(c.evRing)-1)]
+	evs := *b
+	if len(evs) == 0 {
 		return
 	}
-	delete(c.events, c.cycle)
 	for _, ev := range evs {
 		e := &c.rob[ev.robIdx]
 		if !e.active || e.seq != ev.seq {
@@ -251,24 +247,42 @@ func (c *Core) processEvents() {
 			c.resolveBranch(ev.robIdx)
 		}
 	}
+	*b = evs[:0]
+	c.evPending -= len(evs)
 }
 
-// broadcast wakes IQ entries waiting on (class, tag) and captures the value.
+// broadcast wakes the IQ source slots subscribed to (class, tag) and captures
+// the value. Waiters are registered in dispatch order, so tracker
+// notifications and value-read notes fire in the same order the old full-IQ
+// scan produced. Stale waiters — entry issued, squashed, or slot reused —
+// are detected by the generation check and skipped.
 func (c *Core) broadcast(class isa.RegClass, tag rename.Tag, val uint64) {
-	for i := range c.iq {
-		ent := &c.iq[i]
-		for s := range ent.src {
-			src := &ent.src[s]
-			if src.used && !src.ready && src.class == class && src.tag == tag {
-				src.ready = true
-				src.val = val
-				if t := c.tracker(class); t != nil {
-					t.NoteSrcConsumed(tag)
-				}
-				c.noteValueRead(class, tag.Reg)
-			}
+	lst := &c.waiters[classIdx(class)][tagIdx(tag)]
+	ws := *lst
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		ent := &c.iqPool[w.slot]
+		if !ent.active || ent.gen != w.gen {
+			continue
+		}
+		src := &ent.src[w.src]
+		if !src.used || src.ready {
+			continue
+		}
+		src.ready = true
+		src.val = val
+		if t := c.tracker(class); t != nil {
+			t.NoteSrcConsumed(tag)
+		}
+		c.noteValueRead(class, tag.Reg)
+		ent.pending--
+		if ent.pending == 0 {
+			c.pushReady(w.slot)
 		}
 	}
+	*lst = ws[:0]
 }
 
 // resolveBranch trains the predictor and squashes on a misprediction.
@@ -324,29 +338,48 @@ func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 
 	// Issue queue, load queue, store queue, fetch queue. Squashed entries
 	// with unconsumed source slots must be un-noted so the early-release
-	// scheme's pending-reader counters stay exact.
-	kept := c.iq[:0]
-	for _, ent := range c.iq {
-		if ent.seq <= bseq {
-			kept = append(kept, ent)
-			continue
+	// scheme's pending-reader counters stay exact — in ascending seq order,
+	// because the notification order decides the tracker's free-list order.
+	buf := c.squashBuf[:0]
+	for i := range c.iqPool {
+		if c.iqPool[i].active && c.iqPool[i].seq > bseq {
+			buf = append(buf, int32(i))
 		}
+	}
+	for i := 1; i < len(buf); i++ { // insertion sort by seq; the IQ is small
+		for j := i; j > 0 && c.iqPool[buf[j-1]].seq > c.iqPool[buf[j]].seq; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	for _, idx := range buf {
+		ent := &c.iqPool[idx]
 		if c.trackI != nil {
-			for i := range ent.src {
-				if ent.src[i].used && !ent.src[i].ready {
-					c.tracker(ent.src[i].class).NoteSrcConsumed(ent.src[i].tag)
+			for s := range ent.src {
+				if ent.src[s].used && !ent.src[s].ready {
+					c.tracker(ent.src[s].class).NoteSrcConsumed(ent.src[s].tag)
 				}
 			}
 		}
+		c.freeIQ(idx)
 	}
-	c.iq = kept
-	for len(c.lq) > 0 && c.lq[len(c.lq)-1].seq > bseq {
-		c.lq = c.lq[:len(c.lq)-1]
+	c.squashBuf = buf[:0]
+	rl := c.readyList
+	w := 0
+	for _, idx := range rl {
+		if c.iqPool[idx].active {
+			rl[w] = idx
+			w++
+		}
 	}
-	for len(c.sq) > 0 && c.sq[len(c.sq)-1].seq > bseq {
-		c.sq = c.sq[:len(c.sq)-1]
+	c.readyList = rl[:w]
+	for c.lqCnt > 0 && c.lqAt(c.lqCnt-1).seq > bseq {
+		c.lqCnt--
 	}
-	c.fetchQ = c.fetchQ[:0]
+	for c.sqCnt > 0 && c.sqAt(c.sqCnt-1).seq > bseq {
+		c.sqCnt--
+	}
+	c.fqHead = 0
+	c.fqCount = 0
 	c.fetchHalted = false
 	c.fetchLine = ^uint64(0)
 

@@ -203,8 +203,8 @@ func TestFetchQueueBounded(t *testing.T) {
 	c := New(cfg, p)
 	for !c.halted {
 		c.step()
-		if len(c.fetchQ) > 5 {
-			t.Fatalf("fetch queue grew to %d", len(c.fetchQ))
+		if c.fqCount > 5 {
+			t.Fatalf("fetch queue grew to %d", c.fqCount)
 		}
 		if c.cycle > 90000 {
 			t.Fatal("did not halt")

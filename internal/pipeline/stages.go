@@ -16,7 +16,7 @@ func (c *Core) fetch() {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= c.cfg.FetchQSize {
+		if c.fqCount >= c.cfg.FetchQSize {
 			return
 		}
 		line := c.fetchPC / memsys.LineBytes
@@ -45,7 +45,7 @@ func (c *Core) fetch() {
 				next = rec.pred.Target
 			}
 		}
-		c.fetchQ = append(c.fetchQ, rec)
+		c.fetchQPush(rec)
 		c.stats.FetchedInsts++
 		c.fetchPC = next
 		if inst.Op == isa.HALT {
@@ -74,8 +74,8 @@ func srcOperands(in isa.Inst) [2]iqSrc {
 // the fetch queue into the ROB, IQ and LSQ. A blocking condition stalls the
 // whole stage for the cycle (in-order front end).
 func (c *Core) renameDispatch() {
-	for slot := 0; slot < c.cfg.RenameWidth && len(c.fetchQ) > 0; slot++ {
-		rec := c.fetchQ[0]
+	for slot := 0; slot < c.cfg.RenameWidth && c.fqCount > 0; slot++ {
+		rec := *c.fetchQAt(0)
 		if c.robCount == len(c.rob) {
 			c.stats.StallROB++
 			return
@@ -87,7 +87,7 @@ func (c *Core) renameDispatch() {
 			e := c.newROBEntry(rec)
 			e.completed = true
 			e.halt = rec.inst.Op == isa.HALT
-			c.fetchQ = c.fetchQ[1:]
+			c.fetchQPop()
 			continue
 		}
 
@@ -95,7 +95,7 @@ func (c *Core) renameDispatch() {
 		// before the instruction can read them (§IV-D1).
 		if c.cfg.Scheme == Reuse {
 			if stolenLog, stolenClass, found := c.findStolenSrc(rec.inst); found {
-				if len(c.iq) >= c.cfg.IQSize {
+				if c.iqCount >= c.cfg.IQSize {
 					c.stats.StallIQ++
 					return
 				}
@@ -110,15 +110,15 @@ func (c *Core) renameDispatch() {
 		}
 
 		// Structural checks before any renaming side effects.
-		if len(c.iq) >= c.cfg.IQSize {
+		if c.iqCount >= c.cfg.IQSize {
 			c.stats.StallIQ++
 			return
 		}
-		if d.Load && len(c.lq) >= c.cfg.LQSize {
+		if d.Load && c.lqCnt >= c.cfg.LQSize {
 			c.stats.StallLSQ++
 			return
 		}
-		if d.Store && len(c.sq) >= c.cfg.SQSize {
+		if d.Store && c.sqCnt >= c.cfg.SQSize {
 			c.stats.StallLSQ++
 			return
 		}
@@ -148,7 +148,7 @@ func (c *Core) renameDispatch() {
 		destClass, destLog := rec.inst.DestReg()
 		var destRes rename.DestResult
 		if destClass != isa.NoReg {
-			srcLogs := sameClassSrcLogs(rec.inst, destClass)
+			srcLogs := c.sameClassSrcLogs(rec.inst, destClass)
 			res, ok := c.ren(destClass).RenameDest(rec.pc, destLog, srcLogs)
 			if !ok {
 				if c.trackI != nil {
@@ -170,17 +170,22 @@ func (c *Core) renameDispatch() {
 				}
 			}
 		} else {
-			// No destination: mark all source reads (dedup per class+reg).
-			seen := map[[2]uint8]bool{}
+			// No destination: mark all source reads, deduplicated per
+			// class+reg (there are at most two sources, so comparing against
+			// the first marked one suffices).
+			var first [2]uint8
+			haveFirst := false
 			for i := range srcs {
 				if !srcs[i].used {
 					continue
 				}
 				key := [2]uint8{uint8(srcs[i].class), regs[i]}
-				if !seen[key] {
-					seen[key] = true
-					c.ren(srcs[i].class).MarkSrcRead(regs[i])
+				if haveFirst && key == first {
+					continue
 				}
+				first = key
+				haveFirst = true
+				c.ren(srcs[i].class).MarkSrcRead(regs[i])
 			}
 		}
 
@@ -205,47 +210,44 @@ func (c *Core) renameDispatch() {
 			c.stats.Branches++
 		}
 
-		// Build the IQ entry with captured-ready operands.
-		ent := iqEntry{
-			robIdx:    c.lastROBIdx(),
-			seq:       e.seq,
-			pc:        rec.pc,
-			inst:      rec.inst,
-			fu:        d.Unit,
-			lat:       d.Latency,
-			unpipe:    isUnpipelined(rec.inst.Op),
-			hasDest:   e.hasDest,
-			destClass: destClass,
-			isLoad:    d.Load,
-			isStore:   d.Store,
-			isBranch:  rec.branch,
-			src:       srcs,
-		}
+		// Build the IQ entry in its pool slot with captured-ready operands;
+		// not-ready sources subscribe to their producer's wakeup list.
+		iqSlot := c.allocIQ()
+		ent := &c.iqPool[iqSlot]
+		ent.robIdx = c.lastROBIdx()
+		ent.seq = e.seq
+		ent.pc = rec.pc
+		ent.inst = rec.inst
+		ent.fu = d.Unit
+		ent.lat = d.Latency
+		ent.unpipe = isUnpipelined(rec.inst.Op)
+		ent.hasDest = e.hasDest
+		ent.destClass = destClass
+		ent.isLoad = d.Load
+		ent.isStore = d.Store
+		ent.isBranch = rec.branch
+		ent.src = srcs
 		if e.hasDest {
 			ent.destTag = destRes.Tag
 		}
 		for i := range ent.src {
-			if ent.src[i].used {
-				c.captureIfReady(&ent.src[i], false)
-				if c.cfg.DebugInvariants && !ent.src[i].ready {
-					c.assertInFlightProducer(ent.src[i], rec, e.seq)
-				}
-			} else {
-				ent.src[i].ready = true
+			c.registerSrc(iqSlot, i, false)
+			if c.cfg.DebugInvariants && ent.src[i].used && !ent.src[i].ready {
+				c.assertInFlightProducer(ent.src[i], rec, e.seq)
 			}
 		}
 		if traceSeqLo < traceSeqHi && e.seq >= traceSeqLo && e.seq < traceSeqHi {
 			fmt.Printf("[cyc %d] seq=%d %v srcs=[%v,%v] dest=%v\n",
 				c.cycle, e.seq, rec.inst, ent.src[0], ent.src[1], destRes)
 		}
-		c.iq = append(c.iq, ent)
+		c.finishDispatch(iqSlot)
 		if d.Load {
-			c.lq = append(c.lq, lqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+			c.lqPush(lqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
 		}
 		if d.Store {
-			c.sq = append(c.sq, sqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+			c.sqPush(sqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQPop()
 	}
 }
 
@@ -266,10 +268,11 @@ func (c *Core) findStolenSrc(in isa.Inst) (uint8, isa.RegClass, bool) {
 }
 
 // sameClassSrcLogs returns the deduplicated source logical registers of the
-// destination's class (the reuse candidates).
-func sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
+// destination's class (the reuse candidates). The result aliases the core's
+// scratch buffer and is only valid until the next call.
+func (c *Core) sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
 	d := in.Op.Describe()
-	var out []uint8
+	out := c.srcLogBuf[:0]
 	if d.Src1Class == destClass && !(destClass == isa.IntReg && in.Rs1 == isa.ZeroReg) {
 		out = append(out, in.Rs1)
 	}
@@ -297,22 +300,22 @@ func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 		// sequence of Figure 8.
 		lat = 3
 	}
-	ent := iqEntry{
-		robIdx:      c.lastROBIdx(),
-		seq:         e.seq,
-		pc:          pc,
-		fu:          isa.FUIntALU,
-		lat:         lat,
-		micro:       true,
-		microShadow: rep.Checkpointed,
-		hasDest:     true,
-		destClass:   class,
-		destTag:     rep.Dest.Tag,
-	}
+	iqSlot := c.allocIQ()
+	ent := &c.iqPool[iqSlot]
+	ent.robIdx = c.lastROBIdx()
+	ent.seq = e.seq
+	ent.pc = pc
+	ent.fu = isa.FUIntALU
+	ent.lat = lat
+	ent.micro = true
+	ent.microShadow = rep.Checkpointed
+	ent.hasDest = true
+	ent.destClass = class
+	ent.destTag = rep.Dest.Tag
 	ent.src[0] = iqSrc{used: true, class: class, tag: rep.From}
-	ent.src[1] = iqSrc{ready: true}
-	c.captureIfReady(&ent.src[0], true)
-	c.iq = append(c.iq, ent)
+	c.registerSrc(iqSlot, 0, true)
+	c.registerSrc(iqSlot, 1, true) // no second operand
+	c.finishDispatch(iqSlot)
 }
 
 // captureIfReady implements dispatch-time data capture: if the operand's

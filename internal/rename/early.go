@@ -101,6 +101,9 @@ type EarlyRenamer struct {
 
 	ckptPool []*earlyCkpt
 
+	// archLive is RestoreArch's scratch liveness map.
+	archLive []bool
+
 	stats Stats
 	// EarlyReleases counts successful early releases.
 	EarlyReleases uint64
@@ -150,6 +153,7 @@ func NewEarly(numLog int, rf *regfile.File) *EarlyRenamer {
 		inRing:       make([]bool, rf.Size()),
 		committedVer: make([]uint8, rf.Size()),
 		committedSet: make([]bool, rf.Size()),
+		archLive:     make([]bool, rf.Size()),
 	}
 	for k := range e.freeLists {
 		e.freeLists[k] = newFreeRing(rf.Size())
@@ -413,7 +417,10 @@ func (e *EarlyRenamer) recomputeInRing() {
 // RestoreArch implements Renamer.
 func (e *EarlyRenamer) RestoreArch() int {
 	recoveries := 0
-	live := make([]bool, e.rf.Size())
+	live := e.archLive
+	for p := range live {
+		live[p] = false
+	}
 	for l := 0; l < e.numLog; l++ {
 		t := e.retireMap[l]
 		e.mapTable[l] = t

@@ -24,12 +24,12 @@ func DefaultReuseConfig() ReuseConfig {
 	return ReuseConfig{MaxVersions: 3, SpeculativeReuse: true}
 }
 
-// prtEntry is one Physical Register Table entry (§IV-A): the Read bit and
-// 2-bit counter, plus the bookkeeping the predictor needs at release.
+// prtEntry holds the per-register predictor bookkeeping needed at release.
+// The checkpointed Physical Register Table state (§IV-A: the Read bit, the
+// 2-bit counter and the lifetime max version) lives in the renamer's
+// parallel ctr/readBit/maxVer slices instead, so Checkpoint/Restore are
+// bulk copies rather than per-entry gathers.
 type prtEntry struct {
-	readBit bool
-	ctr     uint8 // current (newest) version
-	maxVer  uint8 // highest version reached this allocation lifetime
 	predIdx int16 // type-predictor entry that allocated this register
 	// predSingle records whether the type predictor predicted this
 	// register single-use at allocation. This is the prediction itself,
@@ -56,11 +56,20 @@ type ReuseRenamer struct {
 	// at commit (register sharing can push it to 2 transiently).
 	retireRefs []uint8
 	prt        []prtEntry
-	freeLists  [regfile.MaxShadow + 1]*freeRing
-	rf         *regfile.File
-	pred       *TypePredictor
-	stats      Stats
-	ckptPool   []*reuseCkpt
+	// Checkpointed PRT state, struct-of-arrays (indexed by physical reg).
+	ctr     []uint8 // current (newest) version
+	readBit []bool
+	maxVer  []uint8 // highest version reached this allocation lifetime
+
+	freeLists [regfile.MaxShadow + 1]*freeRing
+	rf        *regfile.File
+	pred      *TypePredictor
+	stats     Stats
+	ckptPool  []*reuseCkpt
+
+	// RestoreArch scratch (exception/interrupt recovery).
+	archLive []bool
+	archVer  []uint8
 }
 
 type mapEntry struct {
@@ -94,8 +103,13 @@ func NewReuse(cfg ReuseConfig, numLog int, rf *regfile.File, pred *TypePredictor
 		retireMap:  make([]Tag, numLog),
 		retireRefs: make([]uint8, rf.Size()),
 		prt:        make([]prtEntry, rf.Size()),
+		ctr:        make([]uint8, rf.Size()),
+		readBit:    make([]bool, rf.Size()),
+		maxVer:     make([]uint8, rf.Size()),
 		rf:         rf,
 		pred:       pred,
+		archLive:   make([]bool, rf.Size()),
+		archVer:    make([]uint8, rf.Size()),
 	}
 	for i := range r.prt {
 		r.prt[i].predIdx = -1
@@ -110,7 +124,7 @@ func NewReuse(cfg ReuseConfig, numLog int, rf *regfile.File, pred *TypePredictor
 		r.mapTable[l] = mapEntry{tag: t}
 		r.retireMap[l] = t
 		r.retireRefs[l] = 1
-		r.prt[l].readBit = true // committed state: be conservative
+		r.readBit[l] = true // committed state: be conservative
 		rf.Write(uint16(l), 0, 0)
 	}
 	for p := numLog; p < rf.Size(); p++ {
@@ -126,7 +140,7 @@ func (r *ReuseRenamer) PeekSrc(log uint8) SrcInfo {
 	if e.stolen {
 		return SrcInfo{Tag: e.tag, Stolen: true}
 	}
-	return SrcInfo{Tag: e.tag, FirstUse: !r.prt[e.tag.Reg].readBit}
+	return SrcInfo{Tag: e.tag, FirstUse: !r.readBit[e.tag.Reg]}
 }
 
 // MarkSrcRead implements Renamer: set the Read bit; a second consumer of a
@@ -136,12 +150,13 @@ func (r *ReuseRenamer) MarkSrcRead(log uint8) Tag {
 	if e.stolen {
 		panic("rename: MarkSrcRead on stolen mapping (repair it first)")
 	}
-	pe := &r.prt[e.tag.Reg]
-	if pe.readBit && pe.predSingle {
+	p := e.tag.Reg
+	pe := &r.prt[p]
+	if r.readBit[p] && pe.predSingle {
 		r.stats.MultiUseSeen++
 		r.pred.Reset(int(pe.predIdx))
 	}
-	pe.readBit = true
+	r.readBit[p] = true
 	return e.tag
 }
 
@@ -159,11 +174,11 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 		}
 		p := e.tag.Reg
 		pe := &r.prt[p]
-		if pe.readBit {
+		if r.readBit[p] {
 			continue // not the first consumer
 		}
 		isRedef := sl == destLog
-		if !isRedef && !(r.cfg.SpeculativeReuse && pe.predSingle && pe.ctr == 0) {
+		if !isRedef && !(r.cfg.SpeculativeReuse && pe.predSingle && r.ctr[p] == 0) {
 			// Not the redefining instruction: reuse is only speculated
 			// when the register was predicted single-use, and only for
 			// its first (allocated) version — the predictor entry
@@ -172,11 +187,11 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 			// counts it knows nothing about.
 			continue
 		}
-		if pe.ctr >= r.cfg.MaxVersions {
+		if r.ctr[p] >= r.cfg.MaxVersions {
 			r.stats.BlockedSat++
 			continue
 		}
-		if pe.ctr >= r.rf.ShadowCells(p) {
+		if r.ctr[p] >= r.rf.ShadowCells(p) {
 			// No free shadow cell: reuse impossible; teach the
 			// predictor to allocate a bigger bank next time (§IV-D).
 			r.stats.BlockedShadow++
@@ -202,12 +217,11 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 		sl := srcLogs[reuseSrc]
 		e := r.mapTable[sl]
 		p := e.tag.Reg
-		pe := &r.prt[p]
-		newVer := pe.ctr + 1
-		pe.ctr = newVer
-		pe.readBit = false
-		if newVer > pe.maxVer {
-			pe.maxVer = newVer
+		newVer := r.ctr[p] + 1
+		r.ctr[p] = newVer
+		r.readBit[p] = false
+		if newVer > r.maxVer[p] {
+			r.maxVer[p] = newVer
 		}
 		if !sameLog {
 			// The source's logical register still maps the old version;
@@ -236,6 +250,7 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 		r.MarkSrcRead(sl)
 	}
 	r.prt[p] = prtEntry{predIdx: int16(idx), predSingle: want > 0, predWant: want}
+	r.ctr[p], r.readBit[p], r.maxVer[p] = 0, false, 0
 	r.rf.ResetOnAlloc(p)
 	r.mapTable[destLog] = mapEntry{tag: Tag{Reg: p}}
 	r.stats.Allocations++
@@ -278,7 +293,8 @@ func (r *ReuseRenamer) RepairSteal(log uint8) (Repair, bool) {
 	if !ok {
 		return Repair{}, false
 	}
-	r.prt[p2] = prtEntry{predIdx: -1, readBit: false}
+	r.prt[p2] = prtEntry{predIdx: -1}
+	r.ctr[p2], r.readBit[p2], r.maxVer[p2] = 0, false, 0
 	r.rf.ResetOnAlloc(p2)
 	r.mapTable[log] = mapEntry{tag: Tag{Reg: p2}}
 	r.stats.Repairs++
@@ -307,20 +323,21 @@ func (r *ReuseRenamer) Commit(res DestResult) {
 // its end-of-lifetime feedback (§IV-D).
 func (r *ReuseRenamer) release(p uint16) {
 	pe := &r.prt[p]
+	maxVer := r.maxVer[p]
 	shadows := r.rf.ShadowCells(p)
 	if pe.predIdx >= 0 {
 		// Update the entry toward the actual number of reuses (§IV-D).
-		if pe.maxVer < pe.predWant {
+		if maxVer < pe.predWant {
 			r.pred.Decrement(int(pe.predIdx))
-		} else if pe.maxVer > pe.predWant {
+		} else if maxVer > pe.predWant {
 			r.pred.Increment(int(pe.predIdx))
 		}
 		switch {
-		case shadows > 0 && pe.maxVer > 0:
+		case shadows > 0 && maxVer > 0:
 			r.stats.PredReuseRight++
 		case shadows > 0:
 			r.stats.PredReuseWrong++
-		case pe.maxVer == 0:
+		case maxVer == 0:
 			r.stats.PredNormalRight++
 		}
 	}
@@ -343,11 +360,9 @@ func (r *ReuseRenamer) Checkpoint() Checkpoint {
 			maxVer:   make([]uint8, len(r.prt)),
 		}
 	}
-	for i := range r.prt {
-		c.ctr[i] = r.prt[i].ctr
-		c.readBit[i] = r.prt[i].readBit
-		c.maxVer[i] = r.prt[i].maxVer
-	}
+	copy(c.ctr, r.ctr)
+	copy(c.readBit, r.readBit)
+	copy(c.maxVer, r.maxVer)
 	for k := range r.freeLists {
 		c.freeMarks[k] = r.freeLists[k].mark()
 	}
@@ -366,12 +381,11 @@ func (r *ReuseRenamer) ReleaseCheckpoint(c Checkpoint) {
 func (r *ReuseRenamer) Restore(c Checkpoint) int {
 	ck := c.(*reuseCkpt)
 	copy(r.mapTable, ck.mapTable)
+	copy(r.ctr, ck.ctr)
+	copy(r.readBit, ck.readBit)
+	copy(r.maxVer, ck.maxVer)
 	recoveries := 0
 	for i := range r.prt {
-		pe := &r.prt[i]
-		pe.ctr = ck.ctr[i]
-		pe.readBit = ck.readBit[i]
-		pe.maxVer = ck.maxVer[i]
 		if r.rf.Rollback(uint16(i), ck.ctr[i]) {
 			recoveries++
 		}
@@ -393,8 +407,11 @@ func (r *ReuseRenamer) Restore(c Checkpoint) int {
 // triggers the repair micro-op.
 func (r *ReuseRenamer) RestoreArch() int {
 	recoveries := 0
-	live := make([]bool, len(r.prt))
-	archVer := make([]uint8, len(r.prt))
+	live, archVer := r.archLive, r.archVer
+	for p := range live {
+		live[p] = false
+		archVer[p] = 0
+	}
 	for l := 0; l < r.numLog; l++ {
 		t := r.retireMap[l]
 		if !live[t.Reg] || t.Ver > archVer[t.Reg] {
@@ -410,9 +427,8 @@ func (r *ReuseRenamer) RestoreArch() int {
 		if !live[p] {
 			continue
 		}
-		pe := &r.prt[p]
-		pe.ctr = archVer[p]
-		pe.readBit = true // conservative: block reuse of pre-exception values
+		r.ctr[p] = archVer[p]
+		r.readBit[p] = true // conservative: block reuse of pre-exception values
 		if r.rf.Rollback(uint16(p), archVer[p]) {
 			recoveries++
 		}
@@ -450,7 +466,7 @@ func (r *ReuseRenamer) Stats() *Stats { return &r.stats }
 func (r *ReuseRenamer) LiveVersionCount(k uint8) int {
 	n := 0
 	for p := range r.prt {
-		if r.prt[p].ctr >= k && r.prt[p].maxVer > 0 && !r.isFree(uint16(p)) {
+		if r.ctr[p] >= k && r.maxVer[p] > 0 && !r.isFree(uint16(p)) {
 			n++
 		}
 	}

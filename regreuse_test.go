@@ -186,7 +186,7 @@ func TestPredictorBreakdownSmall(t *testing.T) {
 }
 
 func TestOccupancyStudySmall(t *testing.T) {
-	curves, err := OccupancyStudy(1, SPECfp)
+	curves, err := OccupancyStudy(1, SPECfp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
