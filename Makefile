@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet race ci bench bench-baseline
+.PHONY: test vet race smoke ci bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -17,7 +17,24 @@ vet:
 race:
 	$(GO) test -race ./internal/...
 
-ci: test vet race
+# smoke exercises the command-line surfaces end-to-end over a tiny
+# workload: the pipeline view, the Chrome trace export and the JSON run
+# artifact (both schema-checked with ckjson), metrics CSV streaming, and
+# one paper table.
+smoke:
+	$(GO) run ./cmd/trace -workload poly_horner -n 20 > /dev/null
+	$(GO) run ./cmd/trace -workload poly_horner -n 20 -chrome /tmp/regreuse_smoke_trace.json > /dev/null
+	$(GO) run ./cmd/ckjson traceEvents.0.ph displayTimeUnit < /tmp/regreuse_smoke_trace.json
+	rm -f /tmp/regreuse_smoke_trace.json
+	$(GO) run ./cmd/renamesim -workload poly_horner -json | \
+		$(GO) run ./cmd/ckjson ipc cycles instructions checksum_ok \
+			pipeline.Committed rename_int.Allocations \
+			metrics.counters metrics.histograms.0.name
+	$(GO) run ./cmd/renamesim -workload poly_horner -metrics-interval 500 > /dev/null
+	$(GO) run ./cmd/paper -table 3 > /dev/null
+	@echo smoke OK
+
+ci: test vet race smoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep.

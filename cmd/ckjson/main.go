@@ -1,0 +1,59 @@
+// Command ckjson validates a JSON document on stdin: it must parse, and
+// every dot-separated field path given as an argument must be present. Used
+// by `make smoke` to check the shape of machine-readable run artifacts.
+//
+//	renamesim -workload poly_horner -json | ckjson ipc cycles pipeline.Committed metrics.counters
+//
+// A path step that is a non-negative integer indexes into an array
+// (trace_event files: `ckjson traceEvents.0.ph < out.json`).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func lookup(doc any, path string) (any, error) {
+	cur := doc
+	for _, stepStr := range strings.Split(path, ".") {
+		switch v := cur.(type) {
+		case map[string]any:
+			next, ok := v[stepStr]
+			if !ok {
+				return nil, fmt.Errorf("missing field %q (of path %q)", stepStr, path)
+			}
+			cur = next
+		case []any:
+			i, err := strconv.Atoi(stepStr)
+			if err != nil || i < 0 || i >= len(v) {
+				return nil, fmt.Errorf("bad array index %q (of path %q, array length %d)", stepStr, path, len(v))
+			}
+			cur = v[i]
+		default:
+			return nil, fmt.Errorf("path %q: %q is not an object or array", path, stepStr)
+		}
+	}
+	return cur, nil
+}
+
+func main() {
+	var doc any
+	dec := json.NewDecoder(os.Stdin)
+	if err := dec.Decode(&doc); err != nil {
+		fmt.Fprintln(os.Stderr, "ckjson: invalid JSON:", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		if _, err := lookup(doc, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ckjson:", err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	regreuse "repro"
 	"repro/internal/area"
@@ -25,6 +26,23 @@ import (
 )
 
 var outDir string
+
+// step emits progress lines to stderr around a long-running artifact: one
+// when the simulations start and one with the wall-clock (and any extra
+// detail, e.g. an IPC summary) when they finish. Keeping these on stderr
+// leaves stdout as the clean table/CSV stream.
+func step(name string) func(format string, args ...any) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[paper] %s: running...\n", name)
+	return func(format string, args ...any) {
+		extra := fmt.Sprintf(format, args...)
+		if extra != "" {
+			extra = " (" + extra + ")"
+		}
+		fmt.Fprintf(os.Stderr, "[paper] %s: done in %s%s\n",
+			name, time.Since(start).Round(time.Millisecond), extra)
+	}
+}
 
 func emit(name string, t *stats.Table) {
 	fmt.Print(t)
@@ -66,10 +84,12 @@ func main() {
 	}
 
 	if all || *fig == 1 || *fig == 2 || *fig == 3 {
+		done := step("figures 1-3 (motivation analysis)")
 		rows, err := regreuse.Motivation(*scale)
 		if err != nil {
 			fail(err)
 		}
+		done("%d workloads", len(rows))
 		suites := regreuse.AggregateMotivation(rows)
 		if all || *fig == 1 {
 			fmt.Println("== Figure 1: single-use consumers (% of instructions) ==")
@@ -120,10 +140,12 @@ func main() {
 
 	if all || *fig == 9 {
 		fmt.Println("== Figure 9: registers with k shadow cells needed to cover X% of execution (SPECfp-like) ==")
+		done := step("figure 9 (occupancy study)")
 		curves, err := regreuse.OccupancyStudy(*scale, regreuse.SPECfp, *occIv)
 		if err != nil {
 			fail(err)
 		}
+		done("")
 		t := stats.NewTable("shadow level", "50%", "75%", "90%", "95%", "99%", "100%")
 		for _, c := range curves {
 			t.Row(fmt.Sprintf(">=%d", c.Level), c.Regs[0], c.Regs[1], c.Regs[2], c.Regs[3], c.Regs[4], c.Regs[5])
@@ -133,11 +155,25 @@ func main() {
 
 	var curves []regreuse.SuiteCurve
 	if all || *fig == 10 || *fig == 11 {
+		done := step("figures 10-11 (speedup sweep)")
 		pts, err := regreuse.SpeedupSweep(regreuse.SweepOptions{Scale: *scale})
 		if err != nil {
 			fail(err)
 		}
 		curves = regreuse.AggregateSweep(pts)
+		var ipcSum float64
+		var ipcN int
+		for _, c := range curves {
+			for _, v := range c.ReuseIPC {
+				ipcSum += v
+				ipcN++
+			}
+		}
+		if ipcN > 0 {
+			done("%d points, mean reuse IPC %.2f", len(pts), ipcSum/float64(ipcN))
+		} else {
+			done("%d points", len(pts))
+		}
 		if outDir != "" {
 			t := stats.NewTable("workload", "suite", "baseline regs", "base cycles", "reuse cycles", "speedup")
 			for _, p := range pts {
@@ -188,10 +224,12 @@ func main() {
 
 	if all || *fig == 12 {
 		fmt.Println("== Figure 12: register type predictor outcomes (% of allocations) ==")
+		done := step("figure 12 (predictor breakdown)")
 		rows, err := regreuse.PredictorBreakdown(*scale)
 		if err != nil {
 			fail(err)
 		}
+		done("")
 		t := stats.NewTable("suite", "pred-reuse right", "pred-reuse wrong", "pred-normal right", "lost opportunity", "repairs/1k inst")
 		for _, r := range rows {
 			t.Row(string(r.Suite), r.ReuseRight, r.ReuseWrong, r.NormalRight, r.NormalWrong, r.RepairRate)
@@ -203,6 +241,8 @@ func main() {
 // runExtensions prints the beyond-the-paper studies: the register-file
 // energy comparison and the reuse-depth ablation.
 func runExtensions(scale int, fail func(error)) {
+	done := step("extensions (energy, depth ablation, related work)")
+	defer done("")
 	fmt.Println("== Extension: register-file energy at the 64-register pairing ==")
 	t := stats.NewTable("workload", "relative RF energy", "relative runtime")
 	for _, name := range []string{"poly_horner", "dgemm", "gmm_score", "qsortint", "fir"} {

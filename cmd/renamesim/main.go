@@ -4,21 +4,47 @@
 // Usage:
 //
 //	renamesim -workload dgemm -scheme reuse -intregs 64 -fpregs 64 -scale 4
+//	renamesim -workload dgemm -json -o run.json
+//	renamesim -workload dgemm -metrics-interval 1000
 //	renamesim -list
 //	renamesim -asm program.s -scheme baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	regreuse "repro"
 	"repro/internal/area"
 	"repro/internal/asm"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/regfile"
+	"repro/internal/rename"
 	"repro/internal/stats"
 )
+
+// runJSON is the machine-readable run artifact emitted by -json: the
+// identifying parameters, the derived headline numbers, the full pipeline
+// and renamer statistics, and — when a metrics observer was attached — its
+// final snapshot.
+type runJSON struct {
+	Workload   string          `json:"workload"`
+	Scheme     string          `json:"scheme"`
+	Scale      int             `json:"scale"`
+	Cycles     uint64          `json:"cycles"`
+	Insts      uint64          `json:"instructions"`
+	IPC        float64         `json:"ipc"`
+	MPKI       float64         `json:"mpki"`
+	ChecksumOK bool            `json:"checksum_ok"`
+	Pipeline   *pipeline.Stats `json:"pipeline"`
+	RenameInt  *rename.Stats   `json:"rename_int"`
+	RenameFP   *rename.Stats   `json:"rename_fp"`
+	Metrics    *obs.Snapshot   `json:"metrics,omitempty"`
+}
 
 func main() {
 	var (
@@ -32,6 +58,9 @@ func main() {
 		oracle   = flag.Bool("oracle", true, "run the lockstep architectural oracle")
 		irq      = flag.Uint64("interrupt", 0, "timer interrupt period in cycles (0 = off)")
 		depth    = flag.Int("reusedepth", 0, "cap reuse-chain depth 1..3 (0 = paper default 3)")
+		jsonOut  = flag.Bool("json", false, "emit the run as JSON instead of the stats table")
+		outFile  = flag.String("o", "", "write -json output to this file instead of stdout")
+		interval = flag.Uint64("metrics-interval", 0, "stream a metrics CSV snapshot row every N cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -65,6 +94,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A metrics observer feeds both the -json snapshot and the periodic CSV
+	// stream. The CSV shares stdout with the table output unless -json owns
+	// stdout, in which case it moves to stderr.
+	var met *obs.Metrics
+	if *jsonOut || *interval > 0 {
+		csvW := io.Writer(os.Stdout)
+		if *jsonOut && *outFile == "" {
+			csvW = os.Stderr
+		}
+		met = obs.NewMetrics(*interval, csvW)
+		cfg.Observer = met
+	}
+
 	var (
 		res regreuse.Result
 		err error
@@ -87,6 +129,46 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if met != nil && met.Err() != nil {
+		fmt.Fprintln(os.Stderr, met.Err())
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		out := runJSON{
+			Workload:   res.Workload,
+			Scheme:     fmt.Sprint(res.Scheme),
+			Scale:      *scale,
+			Cycles:     res.Cycles,
+			Insts:      res.Insts,
+			IPC:        res.IPC,
+			MPKI:       res.MPKI,
+			ChecksumOK: res.ChecksumOK,
+			Pipeline:   res.Pipeline,
+			RenameInt:  res.RenInt,
+			RenameFP:   res.RenFP,
+		}
+		if met != nil {
+			snap := met.R.Snapshot()
+			out.Metrics = &snap
+		}
+		buf, merr := json.MarshalIndent(out, "", "  ")
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if *outFile != "" {
+			if werr := os.WriteFile(*outFile, buf, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+		} else if _, werr := os.Stdout.Write(buf); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload   %s (%s scheme, int %v, fp %v)\n",

@@ -1,10 +1,11 @@
 // Command trace runs a workload (or an assembly file) on the simulated core
-// and prints the committed-instruction trace with cycle numbers and renaming
-// decisions — the quickest way to watch the reuse scheme share physical
-// registers.
+// and prints a Kanata-style pipeline view: one line per committed
+// instruction with its per-cycle stage timeline and renaming decision — the
+// quickest way to watch the reuse scheme share physical registers.
 //
 //	trace -workload dgemm -n 40
 //	trace -asm prog.s -scheme reuse -n 100 -skip 500
+//	trace -workload poly_horner -n 30 -chrome out.json   # chrome://tracing
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/workloads"
@@ -20,11 +22,13 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "quickstart", "workload name, or use -asm")
+		workload = flag.String("workload", "poly_horner", "workload name, or use -asm")
 		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
-		scheme   = flag.String("scheme", "reuse", "baseline | reuse")
+		scheme   = flag.String("scheme", "reuse", "baseline | reuse | early")
+		scale    = flag.Int("scale", 1, "workload scale (1 = small, 4 = reference)")
 		n        = flag.Uint64("n", 50, "number of committed instructions to print")
 		skip     = flag.Uint64("skip", 0, "instructions to skip before printing")
+		chrome   = flag.String("chrome", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -42,7 +46,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		w, ok := workloads.ByName(*workload, 1)
+		w, ok := workloads.ByName(*workload, *scale)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q; available: %v\n", *workload, workloads.Names())
 			os.Exit(2)
@@ -50,47 +54,58 @@ func main() {
 		p = w.Program()
 	}
 
-	sch := pipeline.Reuse
-	if *scheme == "baseline" {
+	var sch pipeline.Scheme
+	switch *scheme {
+	case "baseline":
 		sch = pipeline.Baseline
+	case "reuse":
+		sch = pipeline.Reuse
+	case "early":
+		sch = pipeline.EarlyRelease
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
 	}
 	cfg := pipeline.DefaultConfig(sch)
 	cfg.MaxInsts = *skip + *n
-	var printed, seen uint64
-	cfg.CommitHook = func(ev pipeline.CommitEvent) {
-		seen++
-		if seen <= *skip || printed >= *n {
-			return
-		}
-		printed++
-		mark := "      "
-		switch {
-		case ev.Micro:
-			mark = "repair"
-		case ev.Reused:
-			mark = "reuse "
-		case ev.DestTag != "":
-			mark = "alloc "
-		}
-		line := fmt.Sprintf("cyc %-8d %s  %#06x  %-28s", ev.Cycle, mark, ev.PC, ev.Inst)
-		if ev.DestTag != "" && !ev.Micro {
-			line += " -> " + ev.DestTag
-		}
-		if ev.IsBranch {
-			if ev.Taken {
-				line += "  [taken]"
-			} else {
-				line += "  [not taken]"
-			}
-		}
-		fmt.Println(line)
+
+	view := obs.NewPipeView(os.Stdout, *skip, *n)
+	cfg.Observer = view
+	var tracer *obs.Tracer
+	if *chrome != "" {
+		// Size the ring to hold everything we intend to keep; squashed
+		// wrong-path work inflates the in-flight count, so leave headroom.
+		tracer = obs.NewTracer(int(*skip+*n)*2 + 1024)
+		cfg.Observer = obs.Combine(view, tracer)
 	}
+
 	core := pipeline.New(cfg, p)
 	if err := core.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := view.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	st := core.Stats()
 	fmt.Printf("\n%d instructions, %d cycles, IPC %.3f (%s scheme)\n",
 		st.Committed, st.Cycles, st.IPC(), sch)
+
+	if tracer != nil {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace: %s (%d records)\n", *chrome, len(tracer.Records()))
+	}
 }

@@ -11,14 +11,17 @@ package regreuse
 //	go test -run TestGoldenStats -update-golden .
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
@@ -121,6 +124,97 @@ func collectGolden(t *testing.T) map[string]goldenStats {
 		got[w.Name+"/reuse+occupancy"] = occ
 	}
 	return got
+}
+
+// TestObserverDeterminism asserts the observability layer's core contract:
+// attaching observers (tracer + pipeline view + metrics, the full built-in
+// set) must leave the architectural statistics bit-identical to an
+// observer-off run. Observers record; they never steer.
+func TestObserverDeterminism(t *testing.T) {
+	schemes := []Scheme{Baseline, Reuse, EarlyRelease}
+	for _, w := range workloads.Small() {
+		for _, s := range schemes {
+			plain, err := RunWorkload(w.Name, 1, Config{Scheme: s})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, s, err)
+			}
+			observed, err := RunWorkload(w.Name, 1, Config{
+				Scheme: s,
+				Observer: obs.Combine(
+					obs.NewTracer(256),
+					obs.NewPipeView(io.Discard, 0, 1<<20),
+					obs.NewMetrics(1000, io.Discard),
+				),
+			})
+			if err != nil {
+				t.Fatalf("%s/%v observed: %v", w.Name, s, err)
+			}
+			if g, p := goldenFromResult(observed), goldenFromResult(plain); g != p {
+				t.Errorf("%s/%v: observer changed architectural stats\nwith:    %+v\nwithout: %+v", w.Name, s, g, p)
+			}
+		}
+	}
+}
+
+// TestChromeTraceValid runs a workload with the ring-buffer tracer attached
+// (the same path `cmd/trace -chrome` uses) and checks the exported file is
+// well-formed Chrome trace_event JSON: the traceEvents array exists, every
+// event has a known phase, and spans carry positive durations.
+func TestChromeTraceValid(t *testing.T) {
+	tr := obs.NewTracer(4096)
+	if _, err := RunWorkload("poly_horner", 1, Config{Scheme: Reuse, Observer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Ph    string         `json:"ph"`
+			Ts    *uint64        `json:"ts"`
+			Dur   uint64         `json:"dur"`
+			Pid   *int           `json:"pid"`
+			Tid   *uint64        `json:"tid"`
+			Cat   string         `json:"cat"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var spans int
+	for _, e := range doc.TraceEvents {
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %q missing ts/pid/tid", e.Name)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur == 0 {
+				t.Errorf("span %q at ts %d has zero duration", e.Name, *e.Ts)
+			}
+			if e.Args["seq"] == nil || e.Args["pc"] == nil {
+				t.Errorf("span %q missing seq/pc args", e.Name)
+			}
+		case "i":
+			if e.Scope == "" {
+				t.Errorf("instant %q missing scope", e.Name)
+			}
+		case "M":
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no instruction spans")
+	}
 }
 
 // TestGoldenStats asserts that the simulator reproduces the recorded

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // commit retires up to CommitWidth completed instructions from the ROB head,
@@ -64,6 +65,24 @@ func (c *Core) commit() {
 		} else {
 			c.stats.Committed++
 		}
+		if c.o != nil {
+			kind := obs.RenameNone
+			switch {
+			case e.micro:
+				kind = obs.RenameRepair
+			case e.hasDest && e.dest.ReusedSameLog:
+				kind = obs.RenameReuseRedef
+			case e.hasDest && e.dest.Reused:
+				kind = obs.RenameReuseSpec
+			case e.hasDest:
+				kind = obs.RenameAlloc
+			}
+			c.o.Inst(obs.InstEvent{
+				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Stage: obs.StageCommit,
+				Inst: e.inst, Kind: kind, Reason: e.dest.Reason, Dest: e.dest.Tag,
+				Micro: e.micro, Branch: e.isBranch, Taken: e.actualTaken,
+			})
+		}
 		if c.cfg.CommitHook != nil {
 			ev := CommitEvent{
 				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Inst: e.inst.String(),
@@ -120,6 +139,9 @@ func (c *Core) takeException(e *robEntry) {
 		// store it raced with has committed by now, so the replayed load
 		// reads the correct value (and its wait bit keeps it conservative).
 		c.stats.MemReplays++
+		if c.o != nil {
+			c.obsCore(obs.CoreMemReplay, e.seq, e.excAddr)
+		}
 		c.flushAll(e.pc, 0)
 	case excMisalign:
 		// Correct-path misaligned accesses do not occur in the workloads;
@@ -154,6 +176,12 @@ func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
 		}
 		e.active = false
 		c.stats.SquashedInsts++
+		if c.o != nil {
+			c.o.Inst(obs.InstEvent{
+				Cycle: c.cycle, Seq: e.seq, PC: e.pc,
+				Stage: obs.StageSquash, Inst: e.inst, Micro: e.micro,
+			})
+		}
 	}
 	c.robCount = 0
 	c.resetIQ()
@@ -170,6 +198,9 @@ func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
 		extra = uint64((recoveries + c.cfg.RecoverWidth - 1) / c.cfg.RecoverWidth)
 		c.stats.ShadowRecoveries += uint64(recoveries)
 		c.stats.RecoveryCycles += extra
+	}
+	if c.o != nil {
+		c.obsCore(obs.CoreFlush, 0, uint64(recoveries))
 	}
 	c.fetchPC = resumePC
 	c.fetchResumeAt = c.cycle + 1 + handlerCycles + extra

@@ -10,6 +10,7 @@ package pipeline
 import (
 	"repro/internal/bpred"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/regfile"
 	"repro/internal/rename"
 )
@@ -106,8 +107,16 @@ type Config struct {
 	// on any divergence in committed PCs, register writes, or stores.
 	CheckOracle bool
 	// CommitHook, when non-nil, receives every committed instruction
-	// (repair micro-ops included), for tracing tools.
+	// (repair micro-ops included), for tracing tools. New consumers
+	// should prefer Observer, which sees the whole lifecycle.
 	CommitHook func(CommitEvent)
+	// Observer, when non-nil, receives the full instruction-lifecycle and
+	// core event stream (internal/obs). Every emission site is behind a
+	// single nil check, so the disabled path adds no per-cycle cost and
+	// attaching an observer never changes architectural behavior (it must
+	// not mutate simulation state). A typed-nil observer is not detected;
+	// pass a plain nil to disable.
+	Observer obs.Observer
 	// DebugInvariants enables expensive per-dispatch consistency checks
 	// (dangling wakeup tags); used by tests while debugging.
 	DebugInvariants bool

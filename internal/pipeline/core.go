@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/regfile"
 	"repro/internal/rename"
@@ -27,10 +28,11 @@ const (
 
 // fetchRec is one instruction in the fetch queue.
 type fetchRec struct {
-	pc     uint64
-	inst   isa.Inst
-	branch bool
-	pred   bpred.Prediction
+	pc      uint64
+	inst    isa.Inst
+	branch  bool
+	pred    bpred.Prediction
+	fetched uint64 // cycle the instruction entered the fetch queue
 }
 
 // robEntry is one reorder-buffer slot.
@@ -152,14 +154,14 @@ type Core struct {
 	squashBuf []int32         // scratch: squashed IQ slots in seq order
 
 	// In-order queues as fixed-capacity rings.
-	lq     []lqEntry
-	lqHead int
-	lqCnt  int
-	sq     []sqEntry
-	sqHead int
-	sqCnt  int
-	fetchQ []fetchRec
-	fqHead int
+	lq      []lqEntry
+	lqHead  int
+	lqCnt   int
+	sq      []sqEntry
+	sqHead  int
+	sqCnt   int
+	fetchQ  []fetchRec
+	fqHead  int
 	fqCount int
 
 	// Writeback calendar ring (indexed by cycle & (len-1)).
@@ -189,6 +191,12 @@ type Core struct {
 	// register's current lifetime (MeasureLifetimes).
 	lastRead [2][]uint64
 
+	// o is the attached observer (nil = observability off). Every
+	// emission site in the pipeline is guarded by one nil check on this
+	// field — the fast path the zero-allocation and benchmark contracts
+	// rely on.
+	o obs.Observer
+
 	halted bool
 	stats  Stats
 
@@ -217,6 +225,7 @@ func New(cfg Config, p *prog.Program) *Core {
 		fetchPC:      p.Entry(),
 		nextCommitPC: p.Entry(),
 		pagePresent:  make(map[uint64]bool),
+		o:            cfg.Observer,
 	}
 	c.resetIQ()
 	c.initEvents(1024)
@@ -361,11 +370,13 @@ func (c *Core) StepN(n int) {
 func (c *Core) step() {
 	c.processEvents()
 	if c.halted {
+		c.endCycle()
 		c.cycle++
 		return
 	}
 	c.commit()
 	if c.halted {
+		c.endCycle()
 		c.cycle++
 		return
 	}
@@ -384,7 +395,23 @@ func (c *Core) step() {
 		}
 		c.memWaitClear = c.cycle + c.cfg.MemWaitClearEvery
 	}
+	c.endCycle()
 	c.cycle++
+}
+
+// endCycle delivers the per-cycle observer tick; the caller advances the
+// clock. The nil check is all the disabled path pays — the emission itself
+// is out of line so this inlines to a compare-and-branch and the hot loop
+// keeps the same per-cycle cost it had before observability existed.
+func (c *Core) endCycle() {
+	if c.o != nil {
+		c.o.Tick(obs.Tick{Cycle: c.cycle, Committed: c.stats.Committed, IQ: c.iqCount, ROB: c.robCount})
+	}
+}
+
+// obsCore emits a core event. Callers must have checked c.o != nil.
+func (c *Core) obsCore(kind obs.CoreKind, seq, arg uint64) {
+	c.o.Core(obs.CoreEvent{Cycle: c.cycle, Kind: kind, Seq: seq, Arg: arg})
 }
 
 // advanceSpecBoundary computes the sequence number below which no

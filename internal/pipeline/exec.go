@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/rename"
 )
 
@@ -44,6 +45,12 @@ func (c *Core) issue() {
 			c.fuBusy[ent.fu][slot] = c.cycle + 1
 		}
 		c.schedule(c.cycle+uint64(lat), wbEvent{robIdx: ent.robIdx, seq: ent.seq})
+		if c.o != nil {
+			c.o.Inst(obs.InstEvent{
+				Cycle: c.cycle, Seq: ent.seq, PC: ent.pc,
+				Stage: obs.StageIssue, Inst: ent.inst, Micro: ent.micro,
+			})
+		}
 		c.freeIQ(idx)
 		issued++
 	}
@@ -243,6 +250,12 @@ func (c *Core) processEvents() {
 			}
 		}
 		e.completed = true
+		if c.o != nil {
+			c.o.Inst(obs.InstEvent{
+				Cycle: c.cycle, Seq: e.seq, PC: e.pc,
+				Stage: obs.StageWriteback, Inst: e.inst, Micro: e.micro,
+			})
+		}
 		if e.isBranch {
 			c.resolveBranch(ev.robIdx)
 		}
@@ -333,6 +346,12 @@ func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 		}
 		dead.active = false
 		c.stats.SquashedInsts++
+		if c.o != nil {
+			c.o.Inst(obs.InstEvent{
+				Cycle: c.cycle, Seq: dead.seq, PC: dead.pc,
+				Stage: obs.StageSquash, Inst: dead.inst, Micro: dead.micro,
+			})
+		}
 	}
 	c.robCount = pos + 1
 
@@ -395,6 +414,9 @@ func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 		extra = uint64((recoveries + c.cfg.RecoverWidth - 1) / c.cfg.RecoverWidth)
 		c.stats.ShadowRecoveries += uint64(recoveries)
 		c.stats.RecoveryCycles += extra
+	}
+	if c.o != nil {
+		c.obsCore(obs.CoreCheckpointRestore, bseq, uint64(recoveries))
 	}
 
 	// Branch predictor state.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/rename"
 )
 
@@ -36,7 +37,7 @@ func (c *Core) fetch() {
 			c.fetchHalted = true
 			return
 		}
-		rec := fetchRec{pc: c.fetchPC, inst: inst}
+		rec := fetchRec{pc: c.fetchPC, inst: inst, fetched: c.cycle}
 		next := c.fetchPC + isa.InstBytes
 		if inst.Op.Describe().Branch {
 			rec.branch = true
@@ -78,6 +79,9 @@ func (c *Core) renameDispatch() {
 		rec := *c.fetchQAt(0)
 		if c.robCount == len(c.rob) {
 			c.stats.StallROB++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallROB, 0, 0)
+			}
 			return
 		}
 		d := rec.inst.Op.Describe()
@@ -87,6 +91,9 @@ func (c *Core) renameDispatch() {
 			e := c.newROBEntry(rec)
 			e.completed = true
 			e.halt = rec.inst.Op == isa.HALT
+			if c.o != nil {
+				c.obsRenamed(rec, e.seq, rename.DestResult{}, isa.NoReg)
+			}
 			c.fetchQPop()
 			continue
 		}
@@ -97,6 +104,9 @@ func (c *Core) renameDispatch() {
 			if stolenLog, stolenClass, found := c.findStolenSrc(rec.inst); found {
 				if c.iqCount >= c.cfg.IQSize {
 					c.stats.StallIQ++
+					if c.o != nil {
+						c.obsCore(obs.CoreStallIQ, 0, 0)
+					}
 					return
 				}
 				rep, ok := c.ren(stolenClass).RepairSteal(stolenLog)
@@ -112,14 +122,23 @@ func (c *Core) renameDispatch() {
 		// Structural checks before any renaming side effects.
 		if c.iqCount >= c.cfg.IQSize {
 			c.stats.StallIQ++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallIQ, 0, 0)
+			}
 			return
 		}
 		if d.Load && c.lqCnt >= c.cfg.LQSize {
 			c.stats.StallLSQ++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallLSQ, 0, 0)
+			}
 			return
 		}
 		if d.Store && c.sqCnt >= c.cfg.SQSize {
 			c.stats.StallLSQ++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallLSQ, 0, 0)
+			}
 			return
 		}
 
@@ -190,6 +209,9 @@ func (c *Core) renameDispatch() {
 		}
 
 		e := c.newROBEntry(rec)
+		if c.o != nil {
+			c.obsRenamed(rec, e.seq, destRes, destClass)
+		}
 		if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == uint16(traceReg) {
 			fmt.Printf("[%d] seq=%d pc=%#x %v -> dest %+v\n", c.cycle, e.seq, rec.pc, rec.inst, destRes)
 		}
@@ -208,6 +230,9 @@ func (c *Core) renameDispatch() {
 			e.ckptI = c.renI.Checkpoint()
 			e.ckptF = c.renF.Checkpoint()
 			c.stats.Branches++
+			if c.o != nil {
+				c.obsCore(obs.CoreCheckpointCreate, e.seq, 0)
+			}
 		}
 
 		// Build the IQ entry in its pool slot with captured-ready operands;
@@ -284,6 +309,27 @@ func (c *Core) sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
 	return out
 }
 
+// obsRenamed emits the fetch and rename lifecycle events for an instruction
+// that just passed the rename stage. Callers must have checked c.o != nil.
+func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destClass isa.RegClass) {
+	c.o.Inst(obs.InstEvent{Cycle: rec.fetched, Seq: seq, PC: rec.pc, Stage: obs.StageFetch, Inst: rec.inst})
+	kind := obs.RenameNone
+	if destClass != isa.NoReg {
+		switch {
+		case res.ReusedSameLog:
+			kind = obs.RenameReuseRedef
+		case res.Reused:
+			kind = obs.RenameReuseSpec
+		default:
+			kind = obs.RenameAlloc
+		}
+	}
+	c.o.Inst(obs.InstEvent{
+		Cycle: c.cycle, Seq: seq, PC: rec.pc, Stage: obs.StageRename,
+		Inst: rec.inst, Kind: kind, Reason: res.Reason, Dest: res.Tag,
+	})
+}
+
 // dispatchMicro injects a repair move micro-op (§IV-D1) into ROB and IQ.
 func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 	e := c.newROBEntry(fetchRec{pc: pc, inst: isa.Inst{Op: isa.NOP}})
@@ -316,6 +362,12 @@ func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 	c.registerSrc(iqSlot, 0, true)
 	c.registerSrc(iqSlot, 1, true) // no second operand
 	c.finishDispatch(iqSlot)
+	if c.o != nil {
+		c.o.Inst(obs.InstEvent{
+			Cycle: c.cycle, Seq: e.seq, PC: pc, Stage: obs.StageRename,
+			Inst: e.inst, Kind: obs.RenameRepair, Dest: rep.Dest.Tag, Micro: true,
+		})
+	}
 }
 
 // captureIfReady implements dispatch-time data capture: if the operand's
@@ -374,8 +426,14 @@ func (c *Core) lastROBIdx() int { return c.robIdxAt(c.robCount - 1) }
 func (c *Core) countNoRegStall(class isa.RegClass) {
 	if class == isa.FPReg {
 		c.stats.StallNoRegFP++
+		if c.o != nil {
+			c.obsCore(obs.CoreStallNoRegFP, 0, 0)
+		}
 	} else {
 		c.stats.StallNoRegInt++
+		if c.o != nil {
+			c.obsCore(obs.CoreStallNoRegInt, 0, 0)
+		}
 	}
 }
 

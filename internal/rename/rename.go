@@ -51,6 +51,62 @@ type DestResult struct {
 	ReusedSameLog bool
 	// Allocated: a fresh physical register was taken from a free list.
 	Allocated bool
+	// Reason records why the reuse decision went the way it did, for
+	// observability consumers. It does not influence renaming.
+	Reason Reason
+}
+
+// Reason explains a reuse renamer's decision for one destination rename:
+// either which kind of reuse happened, or — for an allocation — the most
+// specific obstacle that prevented reusing a source register. The baseline
+// and early-release schemes always report ReasonNone.
+type Reason uint8
+
+// Reuse-decision reasons, roughly ordered from "no candidate existed" to
+// "candidate existed but a structural limit blocked it". When several source
+// candidates fail for different reasons the most specific (highest-valued)
+// one is reported.
+const (
+	// ReasonNone: no same-class source candidate (or a non-reuse scheme).
+	ReasonNone Reason = iota
+	// ReasonSrcRead: every candidate's value had already been consumed
+	// (Read bit set — this instruction is not the first consumer).
+	ReasonSrcRead
+	// ReasonNotPredicted: a first-consumer candidate existed but the
+	// instruction does not redefine it and the type predictor did not
+	// license speculative reuse (§IV-D).
+	ReasonNotPredicted
+	// ReasonCtrSaturated: the candidate's 2-bit version counter is at the
+	// configured maximum (§IV-A).
+	ReasonCtrSaturated
+	// ReasonNoShadowCell: the candidate's bank has no free shadow cell to
+	// checkpoint the superseded version into (§IV-C).
+	ReasonNoShadowCell
+	// ReasonReusedRedef: guaranteed reuse — the instruction redefines the
+	// single-use source's logical register.
+	ReasonReusedRedef
+	// ReasonReusedSpec: speculative predictor-guided reuse of a register
+	// the instruction does not redefine (§IV-D).
+	ReasonReusedSpec
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonSrcRead:
+		return "src-already-read"
+	case ReasonNotPredicted:
+		return "not-predicted-single-use"
+	case ReasonCtrSaturated:
+		return "counter-saturated"
+	case ReasonNoShadowCell:
+		return "no-shadow-cell"
+	case ReasonReusedRedef:
+		return "reused-redefining"
+	case ReasonReusedSpec:
+		return "reused-speculative"
+	}
+	return "no-candidate"
 }
 
 // Repair describes the move micro-op needed to fix a stolen mapping: copy

@@ -164,9 +164,12 @@ func (r *ReuseRenamer) MarkSrcRead(log uint8) Tag {
 // non-stolen source logical registers. On success the sources' Read bits are
 // set; a reused destination clears the bit again and bumps the counter.
 func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (DestResult, bool) {
-	// Decide reuse using pre-read state.
+	// Decide reuse using pre-read state. blocked remembers the most
+	// specific obstacle seen across the candidates, purely for
+	// observability (DestResult.Reason).
 	reuseSrc := -1
 	sameLog := false
+	blocked := ReasonNone
 	for i, sl := range srcLogs {
 		e := r.mapTable[sl]
 		if e.stolen {
@@ -175,6 +178,7 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 		p := e.tag.Reg
 		pe := &r.prt[p]
 		if r.readBit[p] {
+			blocked = maxReason(blocked, ReasonSrcRead)
 			continue // not the first consumer
 		}
 		isRedef := sl == destLog
@@ -185,10 +189,12 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 			// describes the allocating instruction's value; later
 			// versions belong to different producer PCs whose use
 			// counts it knows nothing about.
+			blocked = maxReason(blocked, ReasonNotPredicted)
 			continue
 		}
 		if r.ctr[p] >= r.cfg.MaxVersions {
 			r.stats.BlockedSat++
+			blocked = maxReason(blocked, ReasonCtrSaturated)
 			continue
 		}
 		if r.ctr[p] >= r.rf.ShadowCells(p) {
@@ -199,6 +205,7 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 				r.stats.PredNormalWrong++
 			}
 			r.pred.Increment(int(pe.predIdx))
+			blocked = maxReason(blocked, ReasonNoShadowCell)
 			continue
 		}
 		reuseSrc = i
@@ -233,9 +240,13 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 		}
 		r.stats.ReusesByVer[newVer]++
 		r.mapTable[destLog] = mapEntry{tag: Tag{Reg: p, Ver: newVer}}
+		reason := ReasonReusedSpec
+		if sameLog {
+			reason = ReasonReusedRedef
+		}
 		return DestResult{
 			Log: destLog, Tag: Tag{Reg: p, Ver: newVer},
-			Reused: true, ReusedSameLog: sameLog,
+			Reused: true, ReusedSameLog: sameLog, Reason: reason,
 		}, true
 	}
 
@@ -255,7 +266,14 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 	r.mapTable[destLog] = mapEntry{tag: Tag{Reg: p}}
 	r.stats.Allocations++
 	r.stats.AllocsPerBank[bank]++
-	return DestResult{Log: destLog, Tag: Tag{Reg: p}, Allocated: true}, true
+	return DestResult{Log: destLog, Tag: Tag{Reg: p}, Allocated: true, Reason: blocked}, true
+}
+
+func maxReason(a, b Reason) Reason {
+	if b > a {
+		return b
+	}
+	return a
 }
 
 // alloc takes a register from the bank closest to the predicted shadow-cell

@@ -20,14 +20,22 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// Row appends a row; cells are formatted with %v (floats with %.3f,
-// float-like precision via Cell for custom formatting).
+// Row appends a row. Floats of both widths render with three decimals —
+// %v on a float32 uses the shortest round-tripping form (e.g.
+// "0.6666667"), which breaks column-to-column precision — and integers of
+// every width render in plain decimal, so numeric cells are stable however
+// the caller's arithmetic was typed.
 func (t *Table) Row(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
 			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", float64(v))
+		case int, int8, int16, int32, int64,
+			uint, uint8, uint16, uint32, uint64, uintptr:
+			row[i] = fmt.Sprintf("%d", v)
 		case string:
 			row[i] = v
 		default:

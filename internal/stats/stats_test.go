@@ -28,6 +28,25 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestRowFormatting(t *testing.T) {
+	tb := NewTable("kind", "value")
+	tb.Row("f32", float32(1.3))      // %v printed "1.3": no fixed precision
+	tb.Row("f32b", float32(2.0)/3.0) // %v printed "0.6666667"
+	tb.Row("f64", 2.0/3.0)
+	tb.Row("int", -7)
+	tb.Row("uint64", uint64(1<<40))
+	tb.Row("bool", true)
+	out := tb.String()
+	for _, want := range []string{"1.300", "0.667", "-7", "1099511627776", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1.2999999") {
+		t.Errorf("float32 leaked shortest-repr formatting:\n%s", out)
+	}
+}
+
 func TestCSVEscaping(t *testing.T) {
 	tb := NewTable("a", "b")
 	tb.Row(`x,y`, `q"z`)

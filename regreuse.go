@@ -27,6 +27,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/emu"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/regfile"
@@ -78,6 +79,10 @@ type Config struct {
 	InterruptEvery uint64
 	// CheckOracle runs the lockstep architectural oracle.
 	CheckOracle bool
+	// Observer attaches an instruction-lifecycle/core-event observer
+	// (internal/obs: tracer, pipeline view, metrics — combine with
+	// obs.Combine). nil = observability off, the zero-overhead path.
+	Observer obs.Observer
 }
 
 func (c Config) pipelineConfig() pipeline.Config {
@@ -95,6 +100,7 @@ func (c Config) pipelineConfig() pipeline.Config {
 	cfg.ReuseCfg.SpeculativeReuse = !c.DisableSpeculativeReuse
 	cfg.InterruptEvery = c.InterruptEvery
 	cfg.CheckOracle = c.CheckOracle
+	cfg.Observer = c.Observer
 	cfg.MaxCycles = 1 << 36
 	return cfg
 }
