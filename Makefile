@@ -19,8 +19,9 @@ race:
 
 # smoke exercises the command-line surfaces end-to-end over a tiny
 # workload: the pipeline view, the Chrome trace export and the JSON run
-# artifact (both schema-checked with ckjson), metrics CSV streaming, and
-# one paper table.
+# artifact (both schema-checked with ckjson), metrics CSV streaming, one
+# paper table, and the sweepd HTTP flow (submit, poll, results schema,
+# cache-hit re-run).
 smoke:
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 > /dev/null
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 -chrome /tmp/regreuse_smoke_trace.json > /dev/null
@@ -32,6 +33,36 @@ smoke:
 			metrics.counters metrics.histograms.0.name
 	$(GO) run ./cmd/renamesim -workload poly_horner -metrics-interval 500 > /dev/null
 	$(GO) run ./cmd/paper -table 3 > /dev/null
+	$(GO) build -o /tmp/regreuse_smoke_sweepd ./cmd/sweepd
+	$(GO) build -o /tmp/regreuse_smoke_ckjson ./cmd/ckjson
+	@set -e; \
+	rm -rf /tmp/regreuse_smoke_sweeps; \
+	/tmp/regreuse_smoke_sweepd -addr 127.0.0.1:0 -dir /tmp/regreuse_smoke_sweeps \
+		> /tmp/regreuse_smoke_sweepd.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' /tmp/regreuse_smoke_sweepd.log && break; sleep 0.1; \
+	done; \
+	base=$$(sed -n 's/^sweepd listening on //p' /tmp/regreuse_smoke_sweepd.log); \
+	test -n "$$base" || { echo "sweepd did not start"; cat /tmp/regreuse_smoke_sweepd.log; exit 1; }; \
+	spec='{"name":"smoke","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"sizes":[64]}'; \
+	id=$$(curl -sf -X POST "$$base/sweeps" -d "$$spec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "sweep submission failed"; exit 1; }; \
+	for i in $$(seq 1 300); do \
+		curl -sf "$$base/sweeps/$$id" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/sweeps/$$id/results" | /tmp/regreuse_smoke_ckjson \
+		schema_version spec.name jobs.0.workload jobs.1.scheme \
+		results.0.cycles results.0.checksum_ok=true results.1.checksum_ok=true; \
+	id2=$$(curl -sf -X POST "$$base/sweeps" -d "$$spec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	for i in $$(seq 1 300); do \
+		curl -sf "$$base/sweeps/$$id2" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/metrics" | /tmp/regreuse_smoke_ckjson \
+		'counters.#sweep_jobs_executed.value=2' \
+		'counters.#sweep_jobs_cache_hits.value=2' \
+		'counters.#sweep_sweeps_completed.value=2'; \
+	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_ckjson /tmp/regreuse_smoke_sweepd.log
 	@echo smoke OK
 
 ci: test vet race smoke

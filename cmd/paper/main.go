@@ -9,6 +9,12 @@
 //	paper -fig 10         # one figure
 //	paper -scale 1        # quick pass with small workloads
 //	paper -out results/   # also write CSV files
+//	paper -cache off      # re-simulate every sweep point
+//
+// The sweep-backed figures (10-12) run through the internal/sweep engine
+// and, unless -cache off, persist per-point results in a content-addressed
+// cache (default: the regreuse/sweeps directory under os.UserCacheDir), so
+// a rerun only simulates what is missing.
 package main
 
 import (
@@ -63,9 +69,19 @@ func main() {
 		out   = flag.String("out", "", "directory for CSV artifacts")
 		ext   = flag.Bool("ext", false, "also run the extensions (energy model, reuse-depth ablation)")
 		occIv = flag.Uint64("occupancy-interval", 64, "Figure 9 occupancy sampling interval in cycles")
+		cache = flag.String("cache", "auto", `sweep result cache: "auto", "off", or a directory`)
 	)
 	flag.Parse()
 	outDir = *out
+	switch *cache {
+	case "off":
+	case "auto":
+		if base, err := os.UserCacheDir(); err == nil {
+			regreuse.SetSweepCacheDir(filepath.Join(base, "regreuse", "sweeps"))
+		}
+	default:
+		regreuse.SetSweepCacheDir(*cache)
+	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

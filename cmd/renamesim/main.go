@@ -76,22 +76,18 @@ func main() {
 		InterruptEvery: *irq,
 		ReuseDepth:     *depth,
 	}
-	switch *scheme {
-	case "baseline":
-		cfg.Scheme = regreuse.Baseline
+	sch, serr := regreuse.ParseScheme(*scheme)
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, serr)
+		os.Exit(2)
+	}
+	cfg.Scheme = sch
+	if sch == regreuse.Baseline {
 		cfg.IntRegs = regfile.Uniform(*intRegs, 0)
 		cfg.FPRegs = regfile.Uniform(*fpRegs, 0)
-	case "reuse":
-		cfg.Scheme = regreuse.Reuse
+	} else {
 		cfg.IntRegs = area.EqualAreaConfig(*intRegs, 64)
 		cfg.FPRegs = area.EqualAreaConfig(*fpRegs, 64)
-	case "early":
-		cfg.Scheme = regreuse.EarlyRelease
-		cfg.IntRegs = area.EqualAreaConfig(*intRegs, 64)
-		cfg.FPRegs = area.EqualAreaConfig(*fpRegs, 64)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
-		os.Exit(2)
 	}
 
 	// A metrics observer feeds both the -json snapshot and the periodic CSV

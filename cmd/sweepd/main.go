@@ -1,0 +1,63 @@
+// Command sweepd serves the design-space-exploration engine over HTTP: it
+// accepts SweepSpecs, fans their job grids out across a bounded worker
+// pool, deduplicates work through the shared content-addressed result
+// cache, and journals every sweep into a resumable on-disk manifest.
+//
+//	sweepd -addr :8080 -dir sweeps
+//
+//	curl -X POST localhost:8080/sweeps -d '{
+//	  "name": "fig10", "workloads": ["poly_horner"],
+//	  "schemes": ["baseline", "reuse"], "scale": 1, "sizes": [56, 64, 96]
+//	}'
+//	curl localhost:8080/sweeps/<id>           # status: state + progress counts
+//	curl localhost:8080/sweeps/<id>/results   # results.json once done
+//	curl localhost:8080/metrics               # engine counters + latency histogram
+//
+// Submitting an identical spec again completes with zero simulator
+// executions (every job is a cache hit); killing the daemon mid-sweep and
+// re-submitting resumes from the manifest with bit-identical results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for a random port)")
+		dir     = flag.String("dir", "sweeps", "state directory (content-addressed cache + per-sweep manifests)")
+		workers = flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+		timeout = flag.Duration("job-timeout", 10*time.Minute, "per-job attempt timeout")
+		retries = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+	)
+	flag.Parse()
+
+	srv, err := sweep.NewServer(*dir, sweep.ServerOptions{
+		Workers:    *workers,
+		JobTimeout: *timeout,
+		Retries:    *retries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout so scripts starting sweepd on a
+	// random port (make smoke) can discover it.
+	fmt.Printf("sweepd listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

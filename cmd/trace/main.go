@@ -54,16 +54,9 @@ func main() {
 		p = w.Program()
 	}
 
-	var sch pipeline.Scheme
-	switch *scheme {
-	case "baseline":
-		sch = pipeline.Baseline
-	case "reuse":
-		sch = pipeline.Reuse
-	case "early":
-		sch = pipeline.EarlyRelease
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+	sch, err := pipeline.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	cfg := pipeline.DefaultConfig(sch)

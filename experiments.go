@@ -1,6 +1,7 @@
 package regreuse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -12,24 +13,38 @@ import (
 	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/regfile"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
-// fpHeavyWorkloads marks workloads whose register pressure lives in the
-// floating-point file; sweeps vary that file and keep the other ample, as
-// the paper does ("integer and floating-point register files are decoupled",
-// §VI-B).
-var fpHeavyWorkloads = map[string]bool{
-	"dgemm": true, "jacobi2d": true, "daxpy_chain": true, "nbody": true,
-	"lu": true, "poly_horner": true, "montecarlo": true, "blackscholes": true,
-	"fir": true, "iir": true, "dct8x8": true,
-	"gmm_score": true, "dnn_mlp": true,
-	"spmv": true, "cholesky": true, "fft": true,
-	"conv2d": true, "kmeans": true,
+// sweepCacheDir, when set (SetSweepCacheDir), makes the engine-backed
+// experiments persist and reuse per-job results across process runs.
+var sweepCacheDir string
+
+// SetSweepCacheDir points the engine-backed experiments (SpeedupSweep,
+// PredictorBreakdown) at a content-addressed result cache: re-running a
+// figure only simulates points missing from the cache. "" (the default)
+// disables caching. Set it before launching experiments; it is not
+// synchronized against concurrent sweeps.
+func SetSweepCacheDir(dir string) { sweepCacheDir = dir }
+
+// sweepEngineOptions assembles engine options for the experiment entry
+// points. An unusable cache directory degrades to uncached execution rather
+// than failing the figure run.
+func sweepEngineOptions(workers int) sweep.Options {
+	opts := sweep.Options{Workers: workers}
+	if sweepCacheDir != "" {
+		if c, err := sweep.NewCache(sweepCacheDir); err == nil {
+			opts.Cache = c
+		}
+	}
+	return opts
 }
 
-// FPHeavy reports whether the named workload stresses the FP register file.
-func FPHeavy(name string) bool { return fpHeavyWorkloads[name] }
+// FPHeavy reports whether the named workload stresses the FP register file;
+// sweeps vary that file and keep the other ample, as the paper does
+// ("integer and floating-point register files are decoupled", §VI-B).
+func FPHeavy(name string) bool { return workloads.FPHeavy(name) }
 
 // ---- Figures 1-3: motivation analyses ----
 
@@ -131,11 +146,16 @@ type SweepOptions struct {
 	// ReuseDepth / DisableSpeculativeReuse forward to Config (ablations).
 	ReuseDepth              int
 	DisableSpeculativeReuse bool
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // SpeedupSweep reproduces Figure 10 (and the data behind Figure 11): for
 // every workload and every baseline register-file size, simulate the
-// baseline against the equal-area hybrid configuration from Table III.
+// baseline against the equal-area hybrid configuration from Table III. It
+// runs through the internal/sweep engine, so with SetSweepCacheDir the
+// points are content-addressed-cached and a rerun only simulates what is
+// missing.
 func SpeedupSweep(opt SweepOptions) ([]SweepPoint, error) {
 	if len(opt.Sizes) == 0 {
 		opt.Sizes = area.Table3Sizes()
@@ -147,62 +167,41 @@ func SpeedupSweep(opt SweepOptions) ([]SweepPoint, error) {
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
-	type job struct {
-		name string
-		size int
+	spec := sweep.Spec{
+		Name:                    "fig10-speedup",
+		Workloads:               names,
+		Schemes:                 []string{"baseline", "reuse"},
+		Scale:                   opt.Scale,
+		Sizes:                   opt.Sizes,
+		ReuseDepth:              opt.ReuseDepth,
+		DisableSpeculativeReuse: opt.DisableSpeculativeReuse,
 	}
-	var jobs []job
-	for _, n := range names {
-		for _, s := range opt.Sizes {
-			jobs = append(jobs, job{n, s})
+	res, err := sweep.Run(context.Background(), spec, sweepEngineOptions(opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+	// Expansion is workload-major, then size, then scheme (baseline at +0,
+	// reuse at +1).
+	points := make([]SweepPoint, 0, len(names)*len(opt.Sizes))
+	for wi, n := range names {
+		w, _ := workloads.ByName(n, opt.Scale)
+		for si, size := range opt.Sizes {
+			i := (wi*len(opt.Sizes) + si) * 2
+			base, reuse := res.Results[i], res.Results[i+1]
+			points = append(points, SweepPoint{
+				Workload:     n,
+				Suite:        w.Suite,
+				BaselineRegs: size,
+				HybridCfg:    area.EqualAreaConfig(size, 64),
+				BaseCycles:   base.Cycles,
+				ReuseCycles:  reuse.Cycles,
+				BaseIPC:      base.IPC,
+				ReuseIPC:     reuse.IPC,
+				Speedup:      float64(base.Cycles) / float64(reuse.Cycles),
+			})
 		}
 	}
-	points := make([]SweepPoint, len(jobs))
-	ample := regfile.Uniform(128, 0)
-	err := par.ForEach(len(jobs), 0, func(i int) error {
-		j := jobs[i]
-		w, ok := workloads.ByName(j.name, opt.Scale)
-		if !ok {
-			return fmt.Errorf("unknown workload %q", j.name)
-		}
-		hybrid := area.EqualAreaConfig(j.size, 64)
-		swept := regfile.Uniform(j.size, 0)
-
-		baseCfg := Config{Scheme: Baseline}
-		reuseCfg := Config{
-			Scheme:                  Reuse,
-			ReuseDepth:              opt.ReuseDepth,
-			DisableSpeculativeReuse: opt.DisableSpeculativeReuse,
-		}
-		if FPHeavy(j.name) {
-			baseCfg.FPRegs, baseCfg.IntRegs = swept, ample
-			reuseCfg.FPRegs, reuseCfg.IntRegs = hybrid, ample
-		} else {
-			baseCfg.IntRegs, baseCfg.FPRegs = swept, ample
-			reuseCfg.IntRegs, reuseCfg.FPRegs = hybrid, ample
-		}
-		base, err := runW(w, baseCfg)
-		if err != nil {
-			return fmt.Errorf("%s@%d baseline: %w", j.name, j.size, err)
-		}
-		reuse, err := runW(w, reuseCfg)
-		if err != nil {
-			return fmt.Errorf("%s@%d reuse: %w", j.name, j.size, err)
-		}
-		points[i] = SweepPoint{
-			Workload:     j.name,
-			Suite:        w.Suite,
-			BaselineRegs: j.size,
-			HybridCfg:    hybrid,
-			BaseCycles:   base.Cycles,
-			ReuseCycles:  reuse.Cycles,
-			BaseIPC:      base.IPC,
-			ReuseIPC:     reuse.IPC,
-			Speedup:      float64(base.Cycles) / float64(reuse.Cycles),
-		}
-		return nil
-	})
-	return points, err
+	return points, nil
 }
 
 // SuiteCurve is Figure 10/11 data for one suite: x = baseline size.
@@ -300,46 +299,47 @@ type PredictorRow struct {
 }
 
 // PredictorBreakdown runs the reuse scheme at the default configuration and
-// classifies predictor outcomes.
+// classifies predictor outcomes. Like SpeedupSweep it runs through the
+// internal/sweep engine and participates in the same result cache.
 func PredictorBreakdown(scale int) ([]PredictorRow, error) {
 	ws := workloads.All()
 	if scale == 1 {
 		ws = workloads.Small()
 	}
-	type acc struct {
-		rr, rw, nr, nw, rep, insts float64
-		n                          int
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
 	}
-	results := make([]Result, len(ws))
-	err := par.ForEach(len(ws), 0, func(i int) error {
-		r, err := runW(ws[i], Config{Scheme: Reuse})
-		if err != nil {
-			return fmt.Errorf("%s: %w", ws[i].Name, err)
-		}
-		results[i] = r
-		return nil
-	})
+	spec := sweep.Spec{
+		Name:      "fig12-predictor",
+		Workloads: names,
+		Schemes:   []string{"reuse"},
+		Scale:     scaleOrDefault(scale),
+	}
+	res, err := sweep.Run(context.Background(), spec, sweepEngineOptions(0))
 	if err != nil {
 		return nil, err
 	}
+	type acc struct {
+		rr, rw, nr, nw, rep float64
+		n                   int
+	}
 	m := map[Suite]*acc{}
 	for i, w := range ws {
-		r := results[i]
+		r := res.Results[i]
 		a := m[w.Suite]
 		if a == nil {
 			a = &acc{}
 			m[w.Suite] = a
 		}
-		ri, rf := r.RenInt, r.RenFP
-		tot := float64(ri.PredReuseRight + ri.PredReuseWrong + ri.PredNormalRight + ri.PredNormalWrong +
-			rf.PredReuseRight + rf.PredReuseWrong + rf.PredNormalRight + rf.PredNormalWrong)
+		tot := float64(r.PredReuseRight + r.PredReuseWrong + r.PredNormalRight + r.PredNormalWrong)
 		if tot == 0 {
 			continue
 		}
-		a.rr += float64(ri.PredReuseRight+rf.PredReuseRight) / tot
-		a.rw += float64(ri.PredReuseWrong+rf.PredReuseWrong) / tot
-		a.nr += float64(ri.PredNormalRight+rf.PredNormalRight) / tot
-		a.nw += float64(ri.PredNormalWrong+rf.PredNormalWrong) / tot
+		a.rr += float64(r.PredReuseRight) / tot
+		a.rw += float64(r.PredReuseWrong) / tot
+		a.nr += float64(r.PredNormalRight) / tot
+		a.nw += float64(r.PredNormalWrong) / tot
 		a.rep += 1000 * float64(r.Repairs) / float64(r.Insts)
 		a.n++
 	}

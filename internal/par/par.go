@@ -1,9 +1,10 @@
 // Package par provides the bounded worker pool shared by the experiment
-// sweeps. Every fan-out in the repo goes through ForEach so the degree of
-// parallelism is controlled in one place.
+// sweeps. Every fan-out in the repo goes through ForEach/ForEachCtx so the
+// degree of parallelism is controlled in one place.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -14,6 +15,17 @@ import (
 // GOMAXPROCS. ForEach itself is cheap for small n: no goroutine is spawned
 // when n <= 1.
 func ForEach(n, workers int, fn func(int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// further index is claimed (indices already running finish normally — fn is
+// never interrupted mid-call). First-error semantics: the returned error is
+// the first error any fn call produced; if no fn call failed but the context
+// was cancelled before all indices ran, ctx.Err() is returned. An fn error
+// does not cancel the remaining indices — callers wanting stop-on-first-error
+// cancel ctx from inside fn.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -23,14 +35,26 @@ func ForEach(n, workers int, fn func(int) error) error {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		var first error
+		ran := 0
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			ran++
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
 		}
-		return first
+		if first != nil {
+			return first
+		}
+		if ran < n {
+			return ctx.Err()
+		}
+		return nil
 	}
 
 	var (
@@ -44,6 +68,11 @@ func ForEach(n, workers int, fn func(int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -62,6 +91,9 @@ func ForEach(n, workers int, fn func(int) error) error {
 	wg.Wait()
 	if len(errs) > 0 {
 		return errs[0]
+	}
+	if next < uint64(n) {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -39,5 +40,71 @@ func TestForEachPropagatesError(t *testing.T) {
 func TestForEachEmpty(t *testing.T) {
 	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxCancelStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls int32
+		err := ForEachCtx(ctx, 1000, workers, func(i int) error {
+			if atomic.AddInt32(&calls, 1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// Indices already claimed may finish, but no new ones start: far
+		// fewer than the full range ran.
+		if n := atomic.LoadInt32(&calls); n >= 1000 {
+			t.Fatalf("workers=%d: all %d indices ran despite cancellation", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int32
+	err := ForEachCtx(ctx, 10, 4, func(int) error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachCtxFirstErrorWinsOverCancel(t *testing.T) {
+	want := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 50, 4, func(i int) error {
+		if i == 3 {
+			cancel()
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want the fn error %v", err, want)
+	}
+}
+
+func TestForEachCtxCompletesWithBackgroundCtx(t *testing.T) {
+	var hits [23]int32
+	if err := ForEachCtx(context.Background(), len(hits), 3, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
 	}
 }

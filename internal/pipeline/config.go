@@ -8,6 +8,8 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/memsys"
 	"repro/internal/obs"
@@ -39,6 +41,24 @@ func (s Scheme) String() string {
 	default:
 		return "baseline"
 	}
+}
+
+// SchemeNames lists the accepted scheme spellings, in display order.
+func SchemeNames() []string { return []string{"baseline", "reuse", "early"} }
+
+// ParseScheme maps a scheme name to its Scheme value. It is the single
+// validator shared by the CLI flags (renamesim, trace) and sweep specs, so
+// every surface accepts exactly the same spellings with one error message.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "baseline":
+		return Baseline, nil
+	case "reuse":
+		return Reuse, nil
+	case "early":
+		return EarlyRelease, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want baseline, reuse, or early)", s)
 }
 
 // Config is the core configuration. DefaultConfig reproduces Table I.

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed result store shared across sweeps: one
+// JSON file per job, named by the job's Key. Because the key covers every
+// behavior-affecting parameter plus SchemaVersion, a hit is always safe to
+// reuse; re-running any sweep only executes the missing points.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the on-disk cache record. The job is stored alongside the
+// result for human inspection and as a belt-and-braces identity check.
+type cacheEntry struct {
+	SchemaVersion int       `json:"schema_version"`
+	Job           Job       `json:"job"`
+	Result        JobResult `json:"result"`
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get looks the key up. Unreadable or schema-mismatched entries count as
+// misses (the sweep simply recomputes and overwrites them).
+func (c *Cache) Get(key string) (JobResult, bool) {
+	if c == nil {
+		return JobResult{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return JobResult{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.SchemaVersion != SchemaVersion {
+		return JobResult{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores a result under the key, atomically (temp file + rename) so a
+// concurrent reader or a crash can never observe a torn entry.
+func (c *Cache) Put(key string, job Job, res JobResult) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(cacheEntry{SchemaVersion: SchemaVersion, Job: job, Result: res}, "", "\t")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,274 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Dir is the sweep run directory: spec.json, manifest.jsonl, and
+	// results.json live here, and a rerun with the same Dir resumes from
+	// the manifest. "" runs fully in-memory (no manifest, no results
+	// file) — the mode the library-level experiments use.
+	Dir string
+	// Cache is the cross-sweep content-addressed result store; nil
+	// disables caching.
+	Cache *Cache
+	// Workers bounds simulation parallelism (<= 0 = GOMAXPROCS).
+	Workers int
+	// JobTimeout fails a single job attempt that runs longer (0 = 10m).
+	JobTimeout time.Duration
+	// Retries is how many extra attempts a failed or timed-out job gets
+	// before it is recorded as failed.
+	Retries int
+	// Metrics, when non-nil, receives engine counters/latencies.
+	Metrics *Metrics
+	// OnJob, when non-nil, is called after every job completes (from
+	// worker goroutines, serialized by the engine).
+	OnJob func(JobOutcome)
+}
+
+// JobOutcome reports one completed job to Options.OnJob.
+type JobOutcome struct {
+	Index   int
+	Job     Job
+	Source  string // "run" | "cache" | "resume" | "failed"
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunStats counts how a run's jobs were satisfied.
+type RunStats struct {
+	Total     int `json:"total"`
+	Executed  int `json:"executed"`   // simulated in this run
+	CacheHits int `json:"cache_hits"` // satisfied by the content-addressed cache
+	Resumed   int `json:"resumed"`    // satisfied by a previous run's manifest
+	Failed    int `json:"failed"`
+	Retried   int `json:"retried"` // extra attempts spent
+}
+
+// RunResult is a completed sweep. Jobs and Results are parallel slices in
+// the spec's deterministic expansion order. Stats is observability only —
+// it is excluded from results.json so a resumed run's artifact is
+// bit-identical to a cold run's.
+type RunResult struct {
+	SchemaVersion int         `json:"schema_version"`
+	Spec          Spec        `json:"spec"`
+	Jobs          []Job       `json:"jobs"`
+	Results       []JobResult `json:"results"`
+	Errors        []string    `json:"-"`
+	Stats         RunStats    `json:"-"`
+}
+
+const (
+	specFile     = "spec.json"
+	manifestFile = "manifest.jsonl"
+	resultsFile  = "results.json"
+)
+
+// Run expands spec and executes it to completion: manifest-recorded jobs
+// are skipped outright, cache hits skip simulation, and everything else is
+// simulated under the worker pool with per-job timeout, panic recovery, and
+// bounded retries. It returns once every job has an outcome (or ctx is
+// cancelled); if any job ultimately failed, the RunResult is still returned
+// alongside the error so callers can see partial results.
+func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.JobTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Minute
+	}
+
+	var (
+		resumed map[string]manifestEntry
+		journal *manifest
+	)
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if data, err := json.MarshalIndent(spec, "", "\t"); err == nil {
+			_ = writeFileAtomic(filepath.Join(opts.Dir, specFile), append(data, '\n'))
+		}
+		resumed = loadManifest(filepath.Join(opts.Dir, manifestFile))
+		journal, err = openManifest(filepath.Join(opts.Dir, manifestFile))
+		if err != nil {
+			return nil, err
+		}
+		defer journal.close()
+	}
+
+	res := &RunResult{
+		SchemaVersion: SchemaVersion,
+		Spec:          spec,
+		Jobs:          jobs,
+		Results:       make([]JobResult, len(jobs)),
+	}
+	res.Stats.Total = len(jobs)
+	errs := make([]error, len(jobs))
+
+	var mu sync.Mutex // guards res.Stats, journal appends, OnJob ordering
+	record := func(i int, source string, r JobResult, jerr error, elapsed time.Duration, retried int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Stats.Retried += retried
+		switch {
+		case jerr != nil:
+			res.Stats.Failed++
+			errs[i] = jerr
+		case source == "resume":
+			res.Stats.Resumed++
+			res.Results[i] = r
+		case source == "cache":
+			res.Stats.CacheHits++
+			res.Results[i] = r
+		default:
+			res.Stats.Executed++
+			res.Results[i] = r
+		}
+		opts.Metrics.jobDone(source, retried, elapsed)
+		if journal != nil && jerr == nil && source != "resume" {
+			if err := journal.append(manifestEntry{Key: jobs[i].Key(), Source: source, Result: r}); err != nil {
+				return fmt.Errorf("manifest append: %w", err)
+			}
+		}
+		if opts.OnJob != nil {
+			opts.OnJob(JobOutcome{Index: i, Job: jobs[i], Source: source, Err: jerr, Elapsed: elapsed})
+		}
+		return nil
+	}
+	opts.Metrics.jobsQueued(len(jobs))
+
+	err = par.ForEachCtx(ctx, len(jobs), opts.Workers, func(i int) error {
+		key := jobs[i].Key()
+		if e, ok := resumed[key]; ok {
+			return record(i, "resume", e.Result, nil, 0, 0)
+		}
+		if r, ok := opts.Cache.Get(key); ok {
+			return record(i, "cache", r, nil, 0, 0)
+		}
+		start := time.Now()
+		r, retried, jerr := executeWithRetry(ctx, jobs[i], timeout, opts.Retries)
+		elapsed := time.Since(start)
+		if jerr != nil {
+			return record(i, "failed", JobResult{}, jerr, elapsed, retried)
+		}
+		if perr := opts.Cache.Put(key, jobs[i], r); perr != nil {
+			// A broken cache must not fail the sweep; the manifest still
+			// records the result.
+			fmt.Fprintf(os.Stderr, "sweep: cache put %s: %v\n", key[:12], perr)
+		}
+		return record(i, "run", r, nil, elapsed, retried)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, jerr := range errs {
+		if jerr != nil {
+			res.Errors = append(res.Errors, fmt.Sprintf("%s/%s@%d: %v", jobs[i].Workload, jobs[i].Scheme, jobs[i].Size, jerr))
+		}
+	}
+	if len(res.Errors) > 0 {
+		return res, fmt.Errorf("sweep: %d of %d jobs failed (first: %s)", len(res.Errors), len(jobs), res.Errors[0])
+	}
+	if opts.Dir != "" {
+		data, err := marshalResults(res)
+		if err != nil {
+			return res, err
+		}
+		if err := writeFileAtomic(filepath.Join(opts.Dir, resultsFile), data); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// marshalResults renders the results.json artifact. It depends only on the
+// spec and the (deterministic) per-job results, never on scheduling order
+// or on how each result was obtained — the bit-identical-resume guarantee.
+func marshalResults(res *RunResult) ([]byte, error) {
+	data, err := json.MarshalIndent(res, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// executeWithRetry runs one job with panic recovery and a per-attempt
+// timeout, retrying up to `retries` extra times. It reports how many
+// retries were consumed.
+func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retries int) (JobResult, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		r, err := executeOnce(ctx, job, timeout)
+		if err == nil {
+			return r, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= retries {
+			return JobResult{}, attempt, lastErr
+		}
+	}
+}
+
+// executeOnce runs a single attempt on its own goroutine so a panicking or
+// overlong simulation cannot take the scheduler down with it. On timeout the
+// simulation goroutine is abandoned (the simulator has no preemption
+// points); MaxCycles bounds how long it can linger.
+func executeOnce(ctx context.Context, job Job, timeout time.Duration) (JobResult, error) {
+	type outcome struct {
+		res JobResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: fmt.Errorf("job panicked: %v", rec)}
+			}
+		}()
+		r, err := Execute(job)
+		ch <- outcome{res: r, err: err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return JobResult{}, fmt.Errorf("job timed out after %s", timeout)
+	case <-ctx.Done():
+		return JobResult{}, ctx.Err()
+	}
+}
+
+// writeFileAtomic writes data via a temp file + rename in the target's
+// directory.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

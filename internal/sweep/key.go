@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// SchemaVersion is folded into every cache key. Bump it whenever the
+// simulator's architectural behavior changes (i.e. whenever the golden-stats
+// file is regenerated) or the JobResult schema gains fields: the bump
+// invalidates every previously cached result at once, so a stale cache can
+// never masquerade as fresh data.
+const SchemaVersion = 1
+
+// Key returns the job's content-addressed cache key: a SHA-256 over an
+// explicit, field-by-field serialization of the job parameters plus the
+// schema version. The serialization is hand-written (not JSON) so the key
+// is stable across processes, Go versions, and struct-tag refactors; any
+// new Job field must be appended here, which changes the keys of jobs that
+// set it — exactly the invalidation we want.
+func (j Job) Key() string { return keyAt(j, SchemaVersion) }
+
+// keyAt derives the key under an explicit schema version (split out so
+// tests can prove a version bump invalidates every key).
+func keyAt(j Job, version int) string {
+	s := fmt.Sprintf(
+		"regreuse-sweep-job|v%d|workload=%s|scheme=%s|scale=%d|size=%d|reuse_depth=%d|spec_reuse=%t|max_insts=%d",
+		version, j.Workload, j.Scheme, j.Scale, j.Size,
+		j.ReuseDepth, !j.DisableSpeculativeReuse, j.MaxInsts,
+	)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,67 @@
+package sweep
+
+import "testing"
+
+// refJob is the fixture the key tests mutate one field at a time.
+func refJob() Job {
+	return Job{Workload: "poly_horner", Scheme: "reuse", Scale: 1, Size: 64}
+}
+
+// TestKeyStableAcrossProcesses pins the key of a reference job to a
+// recorded constant: the derivation must not depend on process state, map
+// order, struct tags, or the Go version, or any previously cached result
+// would silently stop matching. If this test fails, the key scheme changed
+// — bump SchemaVersion and re-record.
+func TestKeyStableAcrossProcesses(t *testing.T) {
+	const want = "65766af4fdc200660141a9f16abd20cbfde49db985dcff561d642c9e0d32efe3"
+	if got := refJob().Key(); got != want {
+		t.Errorf("key drifted:\n got %s\nwant %s", got, want)
+	}
+	if got := refJob().Key(); got != refJob().Key() {
+		t.Errorf("key not deterministic within a process: %s", got)
+	}
+}
+
+// TestKeySensitivity: every parameter field must feed the key, so changing
+// any one of them yields a different key.
+func TestKeySensitivity(t *testing.T) {
+	base := refJob().Key()
+	mutations := map[string]func(*Job){
+		"workload":                  func(j *Job) { j.Workload = "dgemm" },
+		"scheme":                    func(j *Job) { j.Scheme = "baseline" },
+		"scale":                     func(j *Job) { j.Scale = 4 },
+		"size":                      func(j *Job) { j.Size = 96 },
+		"size zero":                 func(j *Job) { j.Size = 0 },
+		"reuse depth":               func(j *Job) { j.ReuseDepth = 2 },
+		"disable speculative reuse": func(j *Job) { j.DisableSpeculativeReuse = true },
+		"max insts":                 func(j *Job) { j.MaxInsts = 1000 },
+	}
+	seen := map[string]string{base: "unchanged"}
+	for name, mutate := range mutations {
+		j := refJob()
+		mutate(&j)
+		k := j.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s (key %s)", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeySchemaVersionInvalidatesAll: bumping the schema version must change
+// every key, not just some.
+func TestKeySchemaVersionInvalidatesAll(t *testing.T) {
+	jobs := []Job{
+		refJob(),
+		{Workload: "dgemm", Scheme: "baseline", Scale: 4, Size: 48},
+		{Workload: "qsortint", Scheme: "early", Scale: 1},
+	}
+	for _, j := range jobs {
+		if keyAt(j, SchemaVersion) != j.Key() {
+			t.Fatalf("keyAt(SchemaVersion) disagrees with Key() for %+v", j)
+		}
+		if keyAt(j, SchemaVersion) == keyAt(j, SchemaVersion+1) {
+			t.Errorf("schema bump left key unchanged for %+v", j)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+)
+
+// manifestEntry is one line of a sweep run's append-only JSONL journal: a
+// completed job, how its result was obtained, and the result itself.
+// Because results are embedded, resuming never re-reads the cache — a run
+// directory is self-contained.
+type manifestEntry struct {
+	Key    string    `json:"key"`
+	Source string    `json:"source"` // "run" | "cache"
+	Result JobResult `json:"result"`
+}
+
+// loadManifest reads a manifest tolerantly: a truncated or corrupt line
+// (the tail of a killed run) ends the scan, and everything before it
+// counts. A missing file is an empty manifest.
+func loadManifest(path string) map[string]manifestEntry {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	done := map[string]manifestEntry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e manifestEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Key == "" {
+			break
+		}
+		done[e.Key] = e
+	}
+	return done
+}
+
+// manifest appends completed jobs to the journal. Writes are serialized by
+// the engine's mutex; each line is flushed (and synced) immediately so a
+// kill loses at most the in-flight line, which loadManifest tolerates.
+type manifest struct {
+	f *os.File
+}
+
+func openManifest(path string) (*manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &manifest{f: f}, nil
+}
+
+func (m *manifest) append(e manifestEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := m.f.Write(data); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+func (m *manifest) close() error { return m.f.Close() }

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics aggregates engine activity into an obs.Registry (the same
+// counter/histogram machinery the simulator's observability layer uses), so
+// sweepd's /metrics endpoint serves the standard obs.Snapshot schema. The
+// simulator drives a registry from a single goroutine; the sweep scheduler
+// is concurrent, so Metrics guards every update and snapshot with one
+// mutex. A nil *Metrics is valid and records nothing.
+type Metrics struct {
+	mu sync.Mutex
+	r  *obs.Registry
+
+	sweepsSubmitted *obs.Counter
+	sweepsCompleted *obs.Counter
+	sweepsFailed    *obs.Counter
+
+	jobsTotal    *obs.Counter
+	jobsExecuted *obs.Counter
+	jobsCacheHit *obs.Counter
+	jobsResumed  *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsRetried  *obs.Counter
+
+	jobMS *obs.Hist
+}
+
+// NewMetrics creates a Metrics over a fresh registry. Registration order is
+// fixed, so the snapshot layout is stable across runs.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		r:               r,
+		sweepsSubmitted: r.Counter("sweep_sweeps_submitted"),
+		sweepsCompleted: r.Counter("sweep_sweeps_completed"),
+		sweepsFailed:    r.Counter("sweep_sweeps_failed"),
+		jobsTotal:       r.Counter("sweep_jobs_total"),
+		jobsExecuted:    r.Counter("sweep_jobs_executed"),
+		jobsCacheHit:    r.Counter("sweep_jobs_cache_hits"),
+		jobsResumed:     r.Counter("sweep_jobs_resumed"),
+		jobsFailed:      r.Counter("sweep_jobs_failed"),
+		jobsRetried:     r.Counter("sweep_jobs_retried"),
+		jobMS:           r.Hist("sweep_job_ms"),
+	}
+}
+
+// Snapshot returns a point-in-time copy of the registry.
+func (m *Metrics) Snapshot() obs.Snapshot {
+	if m == nil {
+		return obs.Snapshot{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.r.Snapshot()
+}
+
+// sweepSubmitted records one accepted sweep.
+func (m *Metrics) sweepSubmitted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.sweepsSubmitted.Inc()
+	m.mu.Unlock()
+}
+
+// sweepFinished records a sweep reaching a terminal state.
+func (m *Metrics) sweepFinished(failed bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if failed {
+		m.sweepsFailed.Inc()
+	} else {
+		m.sweepsCompleted.Inc()
+	}
+	m.mu.Unlock()
+}
+
+// jobsQueued records n jobs entering a run.
+func (m *Metrics) jobsQueued(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.jobsTotal.Add(uint64(n))
+	m.mu.Unlock()
+}
+
+// jobDone records one job outcome: its source ("run" | "cache" | "resume" |
+// "failed"), retries consumed, and — for executed jobs — wall-clock latency.
+func (m *Metrics) jobDone(source string, retried int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.jobsRetried.Add(uint64(retried))
+	switch source {
+	case "run":
+		m.jobsExecuted.Inc()
+		m.jobMS.Observe(uint64(elapsed.Milliseconds()))
+	case "cache":
+		m.jobsCacheHit.Inc()
+	case "resume":
+		m.jobsResumed.Inc()
+	case "failed":
+		m.jobsFailed.Inc()
+	}
+	m.mu.Unlock()
+}

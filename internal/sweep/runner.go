@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/pipeline"
+	"repro/internal/regfile"
+	"repro/internal/workloads"
+)
+
+// JobResult is the machine-readable outcome of one job: the headline
+// numbers plus the renaming counters the paper's figures aggregate. Fields
+// are exact counters (or derived ratios of them) so results are
+// bit-reproducible and safe to cache.
+type JobResult struct {
+	Cycles     uint64  `json:"cycles"`
+	Insts      uint64  `json:"instructions"`
+	MicroOps   uint64  `json:"micro_ops,omitempty"`
+	IPC        float64 `json:"ipc"`
+	MPKI       float64 `json:"mpki"`
+	ChecksumOK bool    `json:"checksum_ok"`
+
+	Allocations uint64    `json:"allocations"`
+	Reuses      uint64    `json:"reuses,omitempty"`
+	ReusesByVer [4]uint64 `json:"reuses_by_ver,omitempty"`
+	Repairs     uint64    `json:"repairs,omitempty"`
+
+	// Predictor outcome classification (int + FP files summed), Figure 12.
+	PredReuseRight  uint64 `json:"pred_reuse_right,omitempty"`
+	PredReuseWrong  uint64 `json:"pred_reuse_wrong,omitempty"`
+	PredNormalRight uint64 `json:"pred_normal_right,omitempty"`
+	PredNormalWrong uint64 `json:"pred_normal_wrong,omitempty"`
+
+	StallNoReg uint64 `json:"stall_no_reg,omitempty"`
+	StallROB   uint64 `json:"stall_rob,omitempty"`
+	StallIQ    uint64 `json:"stall_iq,omitempty"`
+}
+
+// jobConfig derives the pipeline configuration for a job, mirroring the
+// conventions of the Figure 10/11 sweep: for Size > 0 the workload's
+// pressured register file (workloads.FPHeavy) is swept — uniform for the
+// baseline scheme, the equal-area hybrid of Table III for reuse/early —
+// while the other file stays ample at 128; Size 0 keeps the scheme's
+// default files.
+func jobConfig(j Job) (pipeline.Config, error) {
+	sch, err := pipeline.ParseScheme(j.Scheme)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	cfg := pipeline.DefaultConfig(sch)
+	if j.Size > 0 {
+		ample := regfile.Uniform(128, 0)
+		var swept regfile.BankSizes
+		if sch == pipeline.Baseline {
+			swept = regfile.Uniform(j.Size, 0)
+		} else {
+			swept = area.EqualAreaConfig(j.Size, 64)
+		}
+		if workloads.FPHeavy(j.Workload) {
+			cfg.FPRegs, cfg.IntRegs = swept, ample
+		} else {
+			cfg.IntRegs, cfg.FPRegs = swept, ample
+		}
+	}
+	if j.ReuseDepth > 0 {
+		cfg.ReuseCfg.MaxVersions = uint8(j.ReuseDepth)
+	}
+	cfg.ReuseCfg.SpeculativeReuse = !j.DisableSpeculativeReuse
+	cfg.MaxInsts = j.MaxInsts
+	cfg.MaxCycles = 1 << 36
+	return cfg, nil
+}
+
+// Execute runs one job to completion on the calling goroutine and returns
+// its result. The simulation is deterministic: equal jobs produce
+// bit-identical results, which is what makes the content-addressed cache
+// sound.
+func Execute(j Job) (JobResult, error) {
+	w, ok := workloads.ByName(j.Workload, j.Scale)
+	if !ok {
+		return JobResult{}, fmt.Errorf("unknown workload %q", j.Workload)
+	}
+	cfg, err := jobConfig(j)
+	if err != nil {
+		return JobResult{}, err
+	}
+	core := pipeline.New(cfg, w.Program())
+	if err := core.Run(); err != nil {
+		return JobResult{}, fmt.Errorf("%s/%s: %w", j.Workload, j.Scheme, err)
+	}
+	st := core.Stats()
+	ri, rf := core.RenStats(0), core.RenStats(1)
+	x, _ := core.ArchRegs()
+	res := JobResult{
+		Cycles:     st.Cycles,
+		Insts:      st.Committed,
+		MicroOps:   st.MicroOps,
+		IPC:        st.IPC(),
+		MPKI:       st.MPKI(),
+		ChecksumOK: !core.Halted() || x[workloads.CheckReg] == w.Want,
+
+		Allocations: ri.Allocations + rf.Allocations,
+		Reuses:      ri.TotalReuses() + rf.TotalReuses(),
+		Repairs:     ri.Repairs + rf.Repairs,
+
+		PredReuseRight:  ri.PredReuseRight + rf.PredReuseRight,
+		PredReuseWrong:  ri.PredReuseWrong + rf.PredReuseWrong,
+		PredNormalRight: ri.PredNormalRight + rf.PredNormalRight,
+		PredNormalWrong: ri.PredNormalWrong + rf.PredNormalWrong,
+
+		StallNoReg: st.StallNoRegInt + st.StallNoRegFP,
+		StallROB:   st.StallROB,
+		StallIQ:    st.StallIQ,
+	}
+	for v := 1; v < len(res.ReusesByVer); v++ {
+		res.ReusesByVer[v] = ri.ReusesByVer[v] + rf.ReusesByVer[v]
+	}
+	if !res.ChecksumOK {
+		return res, fmt.Errorf("%s/%s: checksum %#x, want %#x", j.Workload, j.Scheme, x[workloads.CheckReg], w.Want)
+	}
+	return res, nil
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ServerOptions configures a sweep server.
+type ServerOptions struct {
+	// Workers/JobTimeout/Retries forward to every engine run.
+	Workers    int
+	JobTimeout time.Duration
+	Retries    int
+	// BaseContext cancels every in-flight sweep when done (nil =
+	// context.Background()).
+	BaseContext context.Context
+}
+
+// Server owns a sweeps directory (<dir>/cache for the content-addressed
+// result store, <dir>/sweeps/<id> per submitted sweep) and exposes the
+// engine over HTTP:
+//
+//	POST /sweeps              submit a SweepSpec, returns {"id": ...}
+//	GET  /sweeps              list sweep statuses
+//	GET  /sweeps/{id}         one sweep's status
+//	GET  /sweeps/{id}/results the results.json artifact once done
+//	GET  /metrics             obs.Snapshot of the engine metrics registry
+type Server struct {
+	dir   string
+	opts  ServerOptions
+	cache *Cache
+	met   *Metrics
+
+	mu     sync.Mutex
+	seq    int
+	sweeps map[string]*SweepStatus
+	order  []string
+}
+
+// SweepStatus is the machine-readable state of one submitted sweep.
+type SweepStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"` // "running" | "done" | "failed"
+	Error string `json:"error,omitempty"`
+
+	Jobs      int `json:"jobs"`
+	Done      int `json:"done"`
+	Executed  int `json:"executed"`
+	CacheHits int `json:"cache_hits"`
+	Resumed   int `json:"resumed"`
+	Failed    int `json:"failed"`
+}
+
+// NewServer creates a server rooted at dir.
+func NewServer(dir string, opts ServerOptions) (*Server, error) {
+	if opts.BaseContext == nil {
+		opts.BaseContext = context.Background()
+	}
+	cache, err := NewCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sweeps"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Server{
+		dir:    dir,
+		opts:   opts,
+		cache:  cache,
+		met:    NewMetrics(),
+		sweeps: map[string]*SweepStatus{},
+	}, nil
+}
+
+// Metrics exposes the server's engine metrics (for embedding callers).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// newID derives a sweep ID: a content prefix of the spec (so related runs
+// sort together and re-submissions are recognizable at a glance) plus a
+// sequence number that skips over run directories left by earlier server
+// processes.
+func (s *Server) newID(spec Spec) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", spec)))
+	base := hex.EncodeToString(sum[:])[:12]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		s.seq++
+		id := fmt.Sprintf("%s-%d", base, s.seq)
+		if _, taken := s.sweeps[id]; taken {
+			continue
+		}
+		if _, err := os.Stat(s.runDir(id)); err == nil {
+			continue
+		}
+		return id
+	}
+}
+
+func (s *Server) runDir(id string) string {
+	return filepath.Join(s.dir, "sweeps", id)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := s.newID(spec)
+	st := &SweepStatus{ID: id, Name: spec.Name, State: "running", Jobs: len(jobs)}
+	s.mu.Lock()
+	s.sweeps[id] = st
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.met.sweepSubmitted()
+	go s.run(id, spec)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      id,
+		"jobs":    len(jobs),
+		"status":  "/sweeps/" + id,
+		"results": "/sweeps/" + id + "/results",
+	})
+}
+
+// run executes one sweep in the background and folds progress into its
+// status record.
+func (s *Server) run(id string, spec Spec) {
+	_, err := Run(s.opts.BaseContext, spec, Options{
+		Dir:        s.runDir(id),
+		Cache:      s.cache,
+		Workers:    s.opts.Workers,
+		JobTimeout: s.opts.JobTimeout,
+		Retries:    s.opts.Retries,
+		Metrics:    s.met,
+		OnJob: func(o JobOutcome) {
+			s.mu.Lock()
+			st := s.sweeps[id]
+			st.Done++
+			switch o.Source {
+			case "run":
+				st.Executed++
+			case "cache":
+				st.CacheHits++
+			case "resume":
+				st.Resumed++
+			case "failed":
+				st.Failed++
+			}
+			s.mu.Unlock()
+		},
+	})
+	s.mu.Lock()
+	st := s.sweeps[id]
+	if err != nil {
+		st.State = "failed"
+		st.Error = err.Error()
+	} else {
+		st.State = "done"
+	}
+	s.mu.Unlock()
+	s.met.sweepFinished(err != nil)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]SweepStatus, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, *s.sweeps[id])
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": list})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.sweeps[id]
+	var cp SweepStatus
+	if ok {
+		cp = *st
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.sweeps[id]
+	var state string
+	if ok {
+		state = st.State
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	if state != "done" {
+		writeError(w, http.StatusConflict, "sweep %q is %s; results are available once done", id, state)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.runDir(id), resultsFile))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "read results: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}

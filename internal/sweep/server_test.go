@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postSpec(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID   string `json:"id"`
+		Jobs int    `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" || out.Jobs != 2 {
+		t.Fatalf("submit response %+v", out)
+	}
+	return out.ID
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st SweepStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return st
+		case "failed":
+			t.Fatalf("sweep failed: %s", st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("sweep did not finish in time")
+	return SweepStatus{}
+}
+
+func counterValue(t *testing.T, ts *httptest.Server, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in /metrics", name)
+	return 0
+}
+
+// TestServerEndToEnd drives the full HTTP surface: submit a 2-point sweep,
+// poll to completion, fetch results, then re-submit the identical spec and
+// require zero additional simulator executions (every job a cache hit).
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const spec = `{"name":"e2e","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"sizes":[64]}`
+	id := postSpec(t, ts, spec)
+
+	// Results are 409 until the sweep is done.
+	if resp, err := http.Get(ts.URL + "/sweeps/" + id + "/results"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if st := waitDone(t, ts, id); st.Executed+st.CacheHits+st.Resumed != 2 {
+			t.Fatalf("status after done: %+v", st)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBody, rerr := readAll(resp)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d: %s", resp.StatusCode, firstBody)
+	}
+	var res RunResult
+	if err := json.Unmarshal(firstBody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 || res.Results[0].Cycles == 0 || !res.Results[1].ChecksumOK {
+		t.Fatalf("bad results payload: %+v", res.Results)
+	}
+	if res.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", res.SchemaVersion)
+	}
+	if executed := counterValue(t, ts, "sweep_jobs_executed"); executed != 2 {
+		t.Fatalf("executed = %d after first sweep", executed)
+	}
+
+	// Identical spec again: all cache hits, zero new executions, and a
+	// byte-identical results document.
+	id2 := postSpec(t, ts, spec)
+	if id2 == id {
+		t.Fatalf("re-submission reused id %s", id)
+	}
+	st := waitDone(t, ts, id2)
+	if st.CacheHits != 2 || st.Executed != 0 {
+		t.Fatalf("re-run status %+v, want 2 cache hits", st)
+	}
+	if executed := counterValue(t, ts, "sweep_jobs_executed"); executed != 2 {
+		t.Fatalf("executed = %d after identical re-run, want 2", executed)
+	}
+	if hits := counterValue(t, ts, "sweep_jobs_cache_hits"); hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", hits)
+	}
+	resp2, err := http.Get(ts.URL + "/sweeps/" + id2 + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondBody, rerr := readAll(resp2)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Error("cached re-run produced different results bytes")
+	}
+
+	// List shows both sweeps in submission order.
+	respList, err := http.Get(ts.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Sweeps []SweepStatus `json:"sweeps"`
+	}
+	err = json.NewDecoder(respList.Body).Decode(&list)
+	respList.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 2 || list.Sweeps[0].ID != id || list.Sweeps[1].ID != id2 {
+		t.Fatalf("list = %+v", list.Sweeps)
+	}
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{`,                             // malformed
+		`{"workloads":["poly_horner"]}`, // no schemes
+		`{"workloads":["poly_horner"],"schemes":["bogus"]}`,       // bad scheme
+		`{"workloads":["nope"],"schemes":["reuse"]}`,              // bad workload
+		`{"workloads":["poly_horner"],"schemes":["reuse"],"x":1}`, // unknown field
+	} {
+		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/sweeps/unknown"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown sweep: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -1,0 +1,136 @@
+// Package sweep is the design-space-exploration engine: it expands a
+// declarative SweepSpec into a deterministic job grid, runs the jobs over a
+// context-aware worker pool (per-job timeout, panic recovery, bounded
+// retries), deduplicates work through a content-addressed on-disk result
+// cache, and journals progress into a resumable manifest so an interrupted
+// sweep re-executes only its incomplete jobs. cmd/sweepd serves the engine
+// over HTTP; the paper figures (SpeedupSweep, PredictorBreakdown) run
+// through it as plain library calls.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// Spec declares a sweep: the cross product of workloads, schemes, and
+// baseline register-file sizes at one scale, with optional reuse-scheme
+// ablation knobs. The zero values of the optional fields select the paper's
+// defaults (scale 4, the scheme's default register file).
+type Spec struct {
+	// Name labels the sweep in status output; it does not affect job
+	// identity or caching.
+	Name string `json:"name,omitempty"`
+	// Workloads to run; empty = every workload.
+	Workloads []string `json:"workloads,omitempty"`
+	// Schemes by name: "baseline" | "reuse" | "early" (see ParseScheme).
+	Schemes []string `json:"schemes"`
+	// Scale is the workload scale (1 = small/test, 4 = reference; 0 = 4).
+	Scale int `json:"scale,omitempty"`
+	// Sizes are baseline-equivalent register-file sizes. For each size the
+	// workload's pressured file (FPHeavy) is swept — uniform for the
+	// baseline scheme, the equal-area hybrid for reuse/early — while the
+	// other file stays ample, exactly as the Figure 10/11 sweep does.
+	// Empty = [0], meaning the scheme's default register file.
+	Sizes []int `json:"sizes,omitempty"`
+	// ReuseDepth caps reuse-chain length (0 = the paper's 3).
+	ReuseDepth int `json:"reuse_depth,omitempty"`
+	// DisableSpeculativeReuse keeps only guaranteed reuse (§IV-D ablation).
+	DisableSpeculativeReuse bool `json:"disable_speculative_reuse,omitempty"`
+	// MaxInsts stops each simulation after that many committed
+	// instructions (0 = run to HALT).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+}
+
+// Job is one fully-specified simulation point. Its field values — and
+// nothing else — determine the cache key, so two jobs with equal fields are
+// interchangeable across sweeps and processes.
+type Job struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Scale    int    `json:"scale"`
+	// Size is the baseline-equivalent register-file size swept on the
+	// workload's pressured side; 0 = the scheme's default file.
+	Size                    int    `json:"size,omitempty"`
+	ReuseDepth              int    `json:"reuse_depth,omitempty"`
+	DisableSpeculativeReuse bool   `json:"disable_speculative_reuse,omitempty"`
+	MaxInsts                uint64 `json:"max_insts,omitempty"`
+}
+
+// normalized fills the spec's defaults.
+func (s Spec) normalized() Spec {
+	if s.Scale == 0 {
+		s.Scale = 4
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = workloads.Names()
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{0}
+	}
+	return s
+}
+
+// Jobs validates the spec and expands it deterministically: workload-major,
+// then size, then scheme, each in declaration order. Index arithmetic is
+// stable: job (w, s, c) sits at ((w*len(Sizes))+s)*len(Schemes)+c.
+func (s Spec) Jobs() ([]Job, error) {
+	s = s.normalized()
+	if len(s.Schemes) == 0 {
+		return nil, fmt.Errorf("sweep: spec has no schemes")
+	}
+	if s.Scale < 1 {
+		return nil, fmt.Errorf("sweep: bad scale %d", s.Scale)
+	}
+	if s.ReuseDepth < 0 || s.ReuseDepth > 3 {
+		return nil, fmt.Errorf("sweep: reuse_depth %d out of range 0..3", s.ReuseDepth)
+	}
+	for _, sch := range s.Schemes {
+		if _, err := pipeline.ParseScheme(sch); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, n := range s.Workloads {
+		if _, ok := workloads.ByName(n, s.Scale); !ok {
+			return nil, fmt.Errorf("sweep: unknown workload %q", n)
+		}
+	}
+	for _, sz := range s.Sizes {
+		if sz < 0 {
+			return nil, fmt.Errorf("sweep: negative size %d", sz)
+		}
+	}
+	jobs := make([]Job, 0, len(s.Workloads)*len(s.Sizes)*len(s.Schemes))
+	seen := make(map[string]int, cap(jobs))
+	for _, w := range s.Workloads {
+		for _, sz := range s.Sizes {
+			for _, sch := range s.Schemes {
+				j := Job{
+					Workload:                w,
+					Scheme:                  sch,
+					Scale:                   s.Scale,
+					Size:                    sz,
+					ReuseDepth:              s.ReuseDepth,
+					DisableSpeculativeReuse: s.DisableSpeculativeReuse,
+					MaxInsts:                s.MaxInsts,
+				}
+				if sch == "baseline" {
+					// The reuse knobs are no-ops for the baseline renamer;
+					// normalizing them keeps ablation sweeps hitting the
+					// same cached baseline runs.
+					j.ReuseDepth = 0
+					j.DisableSpeculativeReuse = false
+				}
+				k := j.Key()
+				if prev, dup := seen[k]; dup {
+					return nil, fmt.Errorf("sweep: duplicate job %d and %d (%s/%s size %d)", prev, len(jobs), w, sch, sz)
+				}
+				seen[k] = len(jobs)
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs, nil
+}

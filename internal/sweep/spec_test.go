@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestSpecExpansionDeterministic(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"poly_horner", "qsortint"},
+		Schemes:   []string{"baseline", "reuse"},
+		Scale:     1,
+		Sizes:     []int{56, 96},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 {
+		t.Fatalf("got %d jobs, want 8", len(jobs))
+	}
+	// Workload-major, then size, then scheme.
+	want := Job{Workload: "poly_horner", Scheme: "reuse", Scale: 1, Size: 96}
+	if jobs[3] != want {
+		t.Errorf("jobs[3] = %+v, want %+v", jobs[3], want)
+	}
+	again, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, jobs[i], again[i])
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	jobs, err := Spec{Schemes: []string{"reuse"}, Workloads: []string{"dgemm"}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Scale != 4 || jobs[0].Size != 0 {
+		t.Fatalf("defaults not applied: %+v", jobs)
+	}
+}
+
+// TestSpecSchemeValidationMatchesCLI: the spec and the CLI flags must reject
+// an unknown scheme with the same single error message.
+func TestSpecSchemeValidationMatchesCLI(t *testing.T) {
+	_, cliErr := pipeline.ParseScheme("bogus")
+	if cliErr == nil {
+		t.Fatal("ParseScheme accepted bogus")
+	}
+	_, specErr := Spec{Schemes: []string{"bogus"}, Workloads: []string{"dgemm"}}.Jobs()
+	if specErr == nil {
+		t.Fatal("spec accepted bogus scheme")
+	}
+	if !strings.Contains(specErr.Error(), cliErr.Error()) {
+		t.Errorf("spec error %q does not embed the shared ParseScheme message %q", specErr, cliErr)
+	}
+}
+
+func TestSpecRejectsUnknownWorkloadAndDuplicates(t *testing.T) {
+	if _, err := (Spec{Schemes: []string{"reuse"}, Workloads: []string{"nope"}}).Jobs(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := (Spec{Schemes: []string{"reuse", "reuse"}, Workloads: []string{"dgemm"}}).Jobs(); err == nil {
+		t.Error("duplicate job accepted")
+	}
+	// Baseline normalizes reuse knobs away, so baseline×{depth} ablations
+	// collide by design — declared twice they must be rejected too.
+	if _, err := (Spec{Schemes: []string{"baseline", "baseline"}, Workloads: []string{"dgemm"}}).Jobs(); err == nil {
+		t.Error("duplicate baseline accepted")
+	}
+}
+
+// TestBaselineNormalization: reuse knobs are no-ops for the baseline
+// renamer and must not fragment its cache identity.
+func TestBaselineNormalization(t *testing.T) {
+	a, err := Spec{Schemes: []string{"baseline"}, Workloads: []string{"dgemm"}, Scale: 1, ReuseDepth: 2}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Spec{Schemes: []string{"baseline"}, Workloads: []string{"dgemm"}, Scale: 1}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Key() != b[0].Key() {
+		t.Errorf("baseline ablation fragmented the cache: %s vs %s", a[0].Key(), b[0].Key())
+	}
+}

@@ -37,6 +37,22 @@ func Suites() []Suite { return []Suite{SPECint, SPECfp, Media, Cognitive} }
 // CheckReg is the integer register that holds the checksum at HALT.
 const CheckReg = 10
 
+// fpHeavy marks workloads whose register pressure lives in the
+// floating-point file; sweeps vary that file and keep the other ample, as
+// the paper does ("integer and floating-point register files are decoupled",
+// §VI-B).
+var fpHeavy = map[string]bool{
+	"dgemm": true, "jacobi2d": true, "daxpy_chain": true, "nbody": true,
+	"lu": true, "poly_horner": true, "montecarlo": true, "blackscholes": true,
+	"fir": true, "iir": true, "dct8x8": true,
+	"gmm_score": true, "dnn_mlp": true,
+	"spmv": true, "cholesky": true, "fft": true,
+	"conv2d": true, "kmeans": true,
+}
+
+// FPHeavy reports whether the named workload stresses the FP register file.
+func FPHeavy(name string) bool { return fpHeavy[name] }
+
 // Workload is one benchmark program.
 type Workload struct {
 	Name        string

@@ -47,6 +47,15 @@ const (
 	EarlyRelease = pipeline.EarlyRelease
 )
 
+// ParseScheme maps a scheme name ("baseline", "reuse", "early") to its
+// Scheme value. CLI flags and sweep specs all validate through this one
+// function, so every surface accepts the same spellings with one error
+// message.
+func ParseScheme(s string) (Scheme, error) { return pipeline.ParseScheme(s) }
+
+// SchemeNames lists the accepted scheme spellings.
+func SchemeNames() []string { return pipeline.SchemeNames() }
+
 // Suite re-exports the benchmark suite labels.
 type Suite = workloads.Suite
 
