@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet race smoke ci bench bench-baseline
+.PHONY: test vet race smoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -17,11 +17,20 @@ vet:
 race:
 	$(GO) test -race ./internal/...
 
+# ckpt-tests names the fast-forward correctness gates explicitly: the
+# checkpoint store round-trip, the snapshot round-trip, and the strongest
+# check — checkpoint-booted runs reproduce an uninterrupted run's committed
+# stream and final architectural state bit-exactly.
+ckpt-tests:
+	$(GO) test -run 'TestStoreRoundTrip|TestPrepare|TestSampleFunctional' ./internal/ckpt/
+	$(GO) test -run 'TestSnapshotRestoreRoundTrip|TestStepNMatchesStep' ./internal/emu/
+	$(GO) test -run 'TestCheckpointResumeEquivalence' ./internal/pipeline/
+
 # smoke exercises the command-line surfaces end-to-end over a tiny
 # workload: the pipeline view, the Chrome trace export and the JSON run
 # artifact (both schema-checked with ckjson), metrics CSV streaming, one
 # paper table, and the sweepd HTTP flow (submit, poll, results schema,
-# cache-hit re-run).
+# cache-hit re-run, checkpointed fast-forward sharing, interval sampling).
 smoke:
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 > /dev/null
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 -chrome /tmp/regreuse_smoke_trace.json > /dev/null
@@ -62,15 +71,37 @@ smoke:
 		'counters.#sweep_jobs_executed.value=2' \
 		'counters.#sweep_jobs_cache_hits.value=2' \
 		'counters.#sweep_sweeps_completed.value=2'; \
+	ffspec='{"name":"smoke-ff","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"fast_forward":2000,"warmup":500}'; \
+	id3=$$(curl -sf -X POST "$$base/sweeps" -d "$$ffspec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id3" || { echo "ff sweep submission failed"; exit 1; }; \
+	for i in $$(seq 1 300); do \
+		curl -sf "$$base/sweeps/$$id3" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/sweeps/$$id3/results" | /tmp/regreuse_smoke_ckjson \
+		results.0.ff_insts=2000 results.1.ff_insts=2000 \
+		results.0.checksum_ok=true results.1.checksum_ok=true; \
+	smspec='{"name":"smoke-sample","workloads":["poly_horner"],"schemes":["reuse"],"scale":1,"sample":"200:500:5000"}'; \
+	id4=$$(curl -sf -X POST "$$base/sweeps" -d "$$smspec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	for i in $$(seq 1 300); do \
+		curl -sf "$$base/sweeps/$$id4" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/sweeps/$$id4/results" | /tmp/regreuse_smoke_ckjson \
+		results.0.sampled.plan results.0.sampled.samples results.0.sampled.ipc_mean; \
+	curl -sf "$$base/metrics" | /tmp/regreuse_smoke_ckjson \
+		'counters.#sweep_ckpt_misses.value=1' \
+		'counters.#sweep_ckpt_hits.value=2' \
+		'counters.#sweep_jobs_sampled.value=1'; \
 	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_ckjson /tmp/regreuse_smoke_sweepd.log
 	@echo smoke OK
 
-ci: test vet race smoke
+ci: test vet race ckpt-tests smoke
 
 # bench runs every benchmark once with allocation counts — the quick
-# regression sweep.
+# regression sweep — and emits BENCH_core.json (per-benchmark ns/op,
+# allocs/op, and custom metrics, plus the fast-forward speedup ratio).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -echo -o BENCH_core.json
 
 # bench-baseline records the quick sweep into results/bench_baseline.txt so
 # future changes can `benchstat results/bench_baseline.txt new.txt`.

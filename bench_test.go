@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/area"
+	"repro/internal/ckpt"
 	"repro/internal/emu"
 	"repro/internal/pipeline"
 	"repro/internal/regfile"
@@ -231,6 +232,25 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
 		})
 	}
+}
+
+// BenchmarkFastForward measures the functional fast-forward interpreter
+// (emu.StepN's batched dispatch) end to end on the same workload as
+// BenchmarkSimulatorThroughput; the ratio of the two Minst/s figures is the
+// fast-forward speedup that cmd/benchjson records in BENCH_core.json.
+func BenchmarkFastForward(b *testing.B) {
+	w, _ := workloads.ByName("dgemm", 1)
+	p := w.Program()
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn, err := ckpt.FastForward(p, 1<<62)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += sn.InstCount
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
 // BenchmarkEmulatorThroughput measures the functional emulator's speed.

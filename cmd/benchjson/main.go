@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact (BENCH_core.json in `make bench`): one
+// record per benchmark with ns/op, allocs/op, and any custom ReportMetric
+// units, plus the headline fast-forward speedup — the functional
+// fast-forward interpreter's Minst/s over the detailed core's.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -echo -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchRecord is one parsed benchmark result line.
+type benchRecord struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "Minst/s", "IPC").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// artifact is the emitted document. FFSpeedup is present when both the
+// fast-forward and detailed-throughput benchmarks ran.
+type artifact struct {
+	SchemaVersion int           `json:"schema_version"`
+	Benchmarks    []benchRecord `json:"benchmarks"`
+	FFSpeedup     *float64      `json:"ff_speedup,omitempty"`
+}
+
+const schemaVersion = 1
+
+// The benchmarks whose Minst/s ratio defines the fast-forward speedup.
+const (
+	ffBench       = "BenchmarkFastForward"
+	detailedBench = "BenchmarkSimulatorThroughput/reuse"
+	rateUnit      = "Minst/s"
+)
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	echo := flag.Bool("echo", false, "copy the input through to stdout while parsing")
+	flag.Parse()
+
+	doc := artifact{SchemaVersion: schemaVersion}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if *echo {
+			fmt.Println(line)
+		}
+		if r, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	ff, haveFF := rateOf(doc.Benchmarks, ffBench)
+	det, haveDet := rateOf(doc.Benchmarks, detailedBench)
+	if haveFF && haveDet && det > 0 {
+		ratio := ff / det
+		doc.FFSpeedup = &ratio
+	}
+
+	data, err := json.MarshalIndent(doc, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if _, err := os.Stdout.Write(data); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName-8   100   123.4 ns/op   5 B/op   0 allocs/op   2.5 Minst/s
+//
+// Anything that is not a benchmark result (headers, PASS, ok) returns false.
+func parseLine(line string) (benchRecord, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchRecord{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchRecord{}, false
+	}
+	r := benchRecord{Name: f[0], Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchRecord{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, sawNs
+}
+
+// rateOf finds the Minst/s metric of the benchmark whose name starts with
+// prefix (names carry a -GOMAXPROCS suffix).
+func rateOf(recs []benchRecord, prefix string) (float64, bool) {
+	for _, r := range recs {
+		if r.Name == prefix || strings.HasPrefix(r.Name, prefix+"-") {
+			if v, ok := r.Metrics[rateUnit]; ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

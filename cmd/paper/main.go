@@ -10,6 +10,8 @@
 //	paper -scale 1        # quick pass with small workloads
 //	paper -out results/   # also write CSV files
 //	paper -cache off      # re-simulate every sweep point
+//	paper -fig 10 -ff 100000 -warmup 5000   # fast-forward every sweep job
+//	paper -fig 10 -sample 2000:5000:50000   # sampled (estimated) sweep
 //
 // The sweep-backed figures (10-12) run through the internal/sweep engine
 // and, unless -cache off, persist per-point results in a content-addressed
@@ -63,13 +65,16 @@ func emit(name string, t *stats.Table) {
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number to regenerate (1,2,3,9,10,11,12; 0 = all)")
-		table = flag.Int("table", 0, "table number to regenerate (1,2,3; 0 = all)")
-		scale = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
-		out   = flag.String("out", "", "directory for CSV artifacts")
-		ext   = flag.Bool("ext", false, "also run the extensions (energy model, reuse-depth ablation)")
-		occIv = flag.Uint64("occupancy-interval", 64, "Figure 9 occupancy sampling interval in cycles")
-		cache = flag.String("cache", "auto", `sweep result cache: "auto", "off", or a directory`)
+		fig    = flag.Int("fig", 0, "figure number to regenerate (1,2,3,9,10,11,12; 0 = all)")
+		table  = flag.Int("table", 0, "table number to regenerate (1,2,3; 0 = all)")
+		scale  = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
+		out    = flag.String("out", "", "directory for CSV artifacts")
+		ext    = flag.Bool("ext", false, "also run the extensions (energy model, reuse-depth ablation)")
+		occIv  = flag.Uint64("occupancy-interval", 64, "Figure 9 occupancy sampling interval in cycles")
+		cache  = flag.String("cache", "auto", `sweep result cache: "auto", "off", or a directory`)
+		ff     = flag.Uint64("ff", 0, "fast-forward N instructions per sweep job (figures 10-11; 0 = off)")
+		warmup = flag.Uint64("warmup", 0, "cache/bpred warmup instructions replayed at the fast-forward boot")
+		sample = flag.String("sample", "", "interval-sampling plan warmup:detail:interval for the sweep jobs")
 	)
 	flag.Parse()
 	outDir = *out
@@ -172,7 +177,12 @@ func main() {
 	var curves []regreuse.SuiteCurve
 	if all || *fig == 10 || *fig == 11 {
 		done := step("figures 10-11 (speedup sweep)")
-		pts, err := regreuse.SpeedupSweep(regreuse.SweepOptions{Scale: *scale})
+		pts, err := regreuse.SpeedupSweep(regreuse.SweepOptions{
+			Scale:       *scale,
+			FastForward: *ff,
+			Warmup:      *warmup,
+			Sample:      *sample,
+		})
 		if err != nil {
 			fail(err)
 		}

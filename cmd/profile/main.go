@@ -18,8 +18,9 @@
 //
 // Valid -figure names: fig1/fig2/fig3 (motivation analyses), fig9 (occupancy
 // study), fig10/fig11 (register-file size sweep), fig12 (predictor
-// breakdown). The sweep result is reduced to one summary line so dead-code
-// elimination cannot skip the work.
+// breakdown), ff (functional fast-forward over every workload — profiles the
+// emulator's StepN batch interpreter in isolation). The sweep result is
+// reduced to one summary line so dead-code elimination cannot skip the work.
 package main
 
 import (
@@ -38,7 +39,7 @@ func main() {
 		fig        = flag.Int("fig", 0, "figure to print: 1, 2, 3 (0 = all)")
 		scale      = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
 		detail     = flag.Bool("detail", false, "per-workload rows instead of suite averages")
-		figure     = flag.String("figure", "", "named figure sweep to run under profiling (fig1..fig3, fig9, fig10, fig11, fig12)")
+		figure     = flag.String("figure", "", "named figure sweep to run under profiling (fig1..fig3, fig9, fig10, fig11, fig12, ff)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the -figure sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the -figure sweep to this file")
 	)
@@ -145,8 +146,18 @@ func profileFigure(name string, scale int, cpuFile, memFile string) error {
 			return err
 		}
 		summary = fmt.Sprintf("%d predictor rows", len(rows))
+	case "ff":
+		var insts uint64
+		for _, wn := range regreuse.Workloads() {
+			n, err := regreuse.FastForwardWorkload(wn, scale)
+			if err != nil {
+				return err
+			}
+			insts += n
+		}
+		summary = fmt.Sprintf("%d instructions fast-forwarded", insts)
 	default:
-		return fmt.Errorf("unknown figure %q (want fig1..fig3, fig9, fig10, fig11 or fig12)", name)
+		return fmt.Errorf("unknown figure %q (want fig1..fig3, fig9, fig10, fig11, fig12 or ff)", name)
 	}
 	fmt.Printf("%s: %s\n", name, summary)
 

@@ -6,6 +6,8 @@
 //	renamesim -workload dgemm -scheme reuse -intregs 64 -fpregs 64 -scale 4
 //	renamesim -workload dgemm -json -o run.json
 //	renamesim -workload dgemm -metrics-interval 1000
+//	renamesim -workload dgemm -scale 4 -ff 100000 -warmup 5000 -ckpt-dir /tmp/ckpt
+//	renamesim -workload dgemm -scale 4 -sample 2000:5000:50000
 //	renamesim -list
 //	renamesim -asm program.s -scheme baseline
 package main
@@ -44,6 +46,9 @@ type runJSON struct {
 	RenameInt  *rename.Stats   `json:"rename_int"`
 	RenameFP   *rename.Stats   `json:"rename_fp"`
 	Metrics    *obs.Snapshot   `json:"metrics,omitempty"`
+
+	FFInsts uint64                   `json:"ff_insts,omitempty"`
+	Sampled *regreuse.SampleEstimate `json:"sampled,omitempty"`
 }
 
 func main() {
@@ -61,6 +66,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the run as JSON instead of the stats table")
 		outFile  = flag.String("o", "", "write -json output to this file instead of stdout")
 		interval = flag.Uint64("metrics-interval", 0, "stream a metrics CSV snapshot row every N cycles (0 = off)")
+		ff       = flag.Uint64("ff", 0, "fast-forward N instructions functionally before detailed simulation (0 = off)")
+		warmup   = flag.Uint64("warmup", 0, "replay the last N fast-forwarded instructions into caches/bpred at boot")
+		sample   = flag.String("sample", "", "interval-sampling plan warmup:detail:interval (mutually exclusive with -ff)")
+		ckptDir  = flag.String("ckpt-dir", "", "cache fast-forward checkpoints in this directory")
 	)
 	flag.Parse()
 
@@ -75,6 +84,10 @@ func main() {
 		CheckOracle:    *oracle,
 		InterruptEvery: *irq,
 		ReuseDepth:     *depth,
+		FastForward:    *ff,
+		Warmup:         *warmup,
+		Sample:         *sample,
+		CkptDir:        *ckptDir,
 	}
 	sch, serr := regreuse.ParseScheme(*scheme)
 	if serr != nil {
@@ -144,6 +157,8 @@ func main() {
 			Pipeline:   res.Pipeline,
 			RenameInt:  res.RenInt,
 			RenameFP:   res.RenFP,
+			FFInsts:    res.FFInsts,
+			Sampled:    res.Sampled,
 		}
 		if met != nil {
 			snap := met.R.Snapshot()
@@ -173,6 +188,16 @@ func main() {
 	t.Row("cycles", res.Cycles)
 	t.Row("instructions", res.Insts)
 	t.Row("IPC", res.IPC)
+	if res.FFInsts > 0 {
+		t.Row("fast-forwarded insts", res.FFInsts)
+	}
+	if s := res.Sampled; s != nil {
+		t.Row("sample plan", s.Plan)
+		t.Row("sampled intervals", s.Samples)
+		t.Row("IPC estimate", fmt.Sprintf("%.3f ± %.3f", s.IPCMean, s.IPCStdErr))
+		t.Row("reuse-rate estimate", fmt.Sprintf("%.4f ± %.4f", s.ReuseMean, s.ReuseStdErr))
+		t.Row("detail coverage", stats.Pct(s.Coverage))
+	}
 	t.Row("branch MPKI", res.MPKI)
 	t.Row("checksum ok", res.ChecksumOK)
 	t.Row("allocations", res.Allocations)

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/area"
+	"repro/internal/ckpt"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/par"
@@ -23,9 +25,11 @@ var sweepCacheDir string
 
 // SetSweepCacheDir points the engine-backed experiments (SpeedupSweep,
 // PredictorBreakdown) at a content-addressed result cache: re-running a
-// figure only simulates points missing from the cache. "" (the default)
-// disables caching. Set it before launching experiments; it is not
-// synchronized against concurrent sweeps.
+// figure only simulates points missing from the cache. Fast-forward
+// checkpoints live in a "ckpt" subdirectory beside the cached results, so
+// every scheme swept over a workload shares one functional prefix.
+// "" (the default) disables caching. Set it before launching experiments; it
+// is not synchronized against concurrent sweeps.
 func SetSweepCacheDir(dir string) { sweepCacheDir = dir }
 
 // sweepEngineOptions assembles engine options for the experiment entry
@@ -36,6 +40,9 @@ func sweepEngineOptions(workers int) sweep.Options {
 	if sweepCacheDir != "" {
 		if c, err := sweep.NewCache(sweepCacheDir); err == nil {
 			opts.Cache = c
+		}
+		if s, err := ckpt.NewStore(filepath.Join(sweepCacheDir, "ckpt")); err == nil {
+			opts.Ckpt = s
 		}
 	}
 	return opts
@@ -148,6 +155,16 @@ type SweepOptions struct {
 	DisableSpeculativeReuse bool
 	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// FastForward/Warmup skip the first FastForward instructions of every
+	// job at functional speed, replaying the last Warmup of them into
+	// caches/bpred (0 = fully detailed). With SetSweepCacheDir the
+	// checkpoint is built once per workload and shared by every point.
+	FastForward uint64
+	Warmup      uint64
+	// Sample runs every job in interval-sampling mode with the given
+	// "warmup:detail:interval" plan; mutually exclusive with FastForward.
+	// Sampled sweeps estimate speedups rather than measure them exactly.
+	Sample string
 }
 
 // SpeedupSweep reproduces Figure 10 (and the data behind Figure 11): for
@@ -175,6 +192,9 @@ func SpeedupSweep(opt SweepOptions) ([]SweepPoint, error) {
 		Sizes:                   opt.Sizes,
 		ReuseDepth:              opt.ReuseDepth,
 		DisableSpeculativeReuse: opt.DisableSpeculativeReuse,
+		FastForward:             opt.FastForward,
+		Warmup:                  opt.Warmup,
+		Sample:                  opt.Sample,
 	}
 	res, err := sweep.Run(context.Background(), spec, sweepEngineOptions(opt.Workers))
 	if err != nil {

@@ -1,0 +1,164 @@
+// Package ckpt provides architectural checkpointing, functional
+// fast-forward, and interval sampling for the simulator.
+//
+// A checkpoint is an emu.Snapshot — pure architectural state — serialized in
+// a versioned binary format and stored content-addressed under
+// (program digest, instruction count). Because the architectural prefix of a
+// program is identical across every scheme and size configuration, one
+// fast-forward pass serves every sweep point on the same workload: the first
+// job pays the functional execution, every later job loads the file and
+// boots the detailed core mid-program.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// Digest is the content identity of a program: instructions, initial data,
+// and entry point. Two programs with equal digests execute identically, so a
+// checkpoint taken on one is valid for the other.
+type Digest [sha256.Size]byte
+
+// String returns the full lowercase hex form.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
+
+// Short returns a 16-hex-digit prefix for filenames and log lines.
+func (d Digest) Short() string { return fmt.Sprintf("%x", d[:8]) }
+
+// ProgramDigest hashes a program's observable content. The encoding is
+// explicit field-by-field serialization (same discipline as the sweep cache
+// key): any change to instruction encoding or layout constants that alters
+// execution also alters the digest.
+func ProgramDigest(p *prog.Program) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("regreuse-ckpt-program|v1|"))
+	u64(p.Entry())
+	insts := p.Insts()
+	u64(uint64(len(insts)))
+	for i := range insts {
+		in := &insts[i]
+		u64(uint64(in.Op))
+		u64(uint64(in.Rd) | uint64(in.Rs1)<<8 | uint64(in.Rs2)<<16)
+		u64(uint64(in.Imm))
+	}
+	// InitialData iterates in unspecified order; serialize sorted.
+	addrs, bytes := sortedData(p)
+	u64(uint64(len(addrs)))
+	for i, a := range addrs {
+		u64(a)
+		h.Write([]byte{bytes[i]})
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func sortedData(p *prog.Program) ([]uint64, []byte) {
+	type kv struct {
+		a uint64
+		b byte
+	}
+	pairs := make([]kv, 0, p.DataLen())
+	p.InitialData(func(a uint64, b byte) { pairs = append(pairs, kv{a, b}) })
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].a < pairs[j].a })
+	addrs := make([]uint64, len(pairs))
+	bs := make([]byte, len(pairs))
+	for i, p := range pairs {
+		addrs[i], bs[i] = p.a, p.b
+	}
+	return addrs, bs
+}
+
+// FastForward functionally executes p from reset to exactly n instructions
+// (or halt, whichever comes first) and returns the architectural snapshot.
+func FastForward(p *prog.Program, n uint64) (*emu.Snapshot, error) {
+	s := emu.New(p)
+	return Advance(s, n)
+}
+
+// Advance runs an existing machine forward to absolute instruction count n
+// and snapshots it. It is a no-op when the machine is already at (or past) n.
+func Advance(s *emu.State, n uint64) (*emu.Snapshot, error) {
+	for s.InstCount() < n && !s.Halted() {
+		if _, err := s.StepN(n - s.InstCount()); err != nil {
+			return nil, fmt.Errorf("ckpt: fast-forward at inst %d: %w", s.InstCount(), err)
+		}
+	}
+	return s.Snapshot(), nil
+}
+
+// BootState is everything the detailed core needs to start mid-program: the
+// architectural snapshot at the boot point, plus the functionally-executed
+// commit trace of the Warmup instructions immediately preceding it, which
+// the core replays into its caches and branch predictor before cycle zero.
+type BootState struct {
+	Boot   *emu.Snapshot
+	Warmup []emu.Commit
+	// FFInsts is the number of instructions fast-forwarded functionally
+	// (checkpoint position + warmup replay) to build this state.
+	FFInsts uint64
+}
+
+// Prepare produces the BootState for starting detailed simulation at
+// instruction skip, warming with the preceding warmup instructions. When a
+// store is supplied, the expensive part — fast-forwarding to skip-warmup —
+// is served from the checkpoint cache when possible and saved back on miss;
+// hit reports which. A nil store always fast-forwards from reset.
+//
+// If the program halts before skip, the returned BootState has a halted
+// snapshot; the detailed core then has nothing to simulate and callers
+// normally fall back to the functional result.
+func Prepare(store *Store, p *prog.Program, d Digest, skip, warmup uint64) (*BootState, bool, error) {
+	if warmup > skip {
+		warmup = skip
+	}
+	base := skip - warmup
+
+	var s *emu.State
+	hit := false
+	if store != nil {
+		if sn, ok, err := store.Load(d, base); err != nil {
+			return nil, false, err
+		} else if ok {
+			s = emu.NewFromSnapshot(p, sn)
+			hit = true
+		}
+	}
+	if s == nil {
+		s = emu.New(p)
+		if _, err := Advance(s, base); err != nil {
+			return nil, false, err
+		}
+		if store != nil && !s.Halted() {
+			if err := store.Save(d, s.Snapshot()); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+
+	bs := &BootState{FFInsts: skip}
+	if warmup > 0 && !s.Halted() {
+		bs.Warmup = make([]emu.Commit, 0, warmup)
+		if _, err := s.Run(warmup, func(c emu.Commit) {
+			bs.Warmup = append(bs.Warmup, c)
+		}); err != nil {
+			return nil, false, fmt.Errorf("ckpt: warmup replay at inst %d: %w", s.InstCount(), err)
+		}
+	}
+	bs.Boot = s.Snapshot()
+	if bs.Boot.InstCount < skip {
+		bs.FFInsts = bs.Boot.InstCount
+	}
+	return bs, hit, nil
+}

@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// Plan describes SMARTS-style interval sampling: out of every Interval
+// instructions, the first Interval-2*Warmup-Detail run at functional speed,
+// the next Warmup are replayed functionally into the caches and branch
+// predictor, the next Warmup run detailed but unmeasured (filling the
+// pipeline and finishing the warmup at full fidelity), and the final Detail
+// are measured. Without the detailed warmup the estimate carries a large
+// cold-start bias — every interval would pay pipeline fill and residual
+// cold misses inside its measured region.
+type Plan struct {
+	Warmup   uint64
+	Detail   uint64
+	Interval uint64
+}
+
+// ParsePlan parses the CLI form "warmup:detail:interval".
+func ParsePlan(s string) (Plan, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Plan{}, fmt.Errorf("sample plan %q: want warmup:detail:interval", s)
+	}
+	var v [3]uint64
+	for i, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("sample plan %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	p := Plan{Warmup: v[0], Detail: v[1], Interval: v[2]}
+	return p, p.Validate()
+}
+
+// Validate rejects degenerate plans.
+func (p Plan) Validate() error {
+	if p.Detail == 0 {
+		return fmt.Errorf("sample plan: detail interval must be > 0")
+	}
+	if p.Interval < 2*p.Warmup+p.Detail {
+		return fmt.Errorf("sample plan: interval %d < 2*warmup %d + detail %d",
+			p.Interval, p.Warmup, p.Detail)
+	}
+	return nil
+}
+
+// String renders the CLI form.
+func (p Plan) String() string {
+	return fmt.Sprintf("%d:%d:%d", p.Warmup, p.Detail, p.Interval)
+}
+
+// IntervalStats is what one detailed interval reports back to the sampler.
+type IntervalStats struct {
+	Cycles    uint64
+	Insts     uint64
+	ReuseHits uint64 // physical-register reuse events (0 for baseline scheme)
+}
+
+// RunDetail boots a detailed core from the given state, simulates warmup
+// committed instructions unmeasured, then detail further instructions, and
+// reports only the measured region's timing (the stats delta across the
+// boundary). Implementations live above ckpt (the sweep runner, the public
+// API) so this package stays free of pipeline dependencies.
+type RunDetail func(bs *BootState, warmup, detail uint64) (IntervalStats, error)
+
+// Estimate is a sampled run's result: population statistics across the
+// measured intervals, with the standard error of the mean quantifying how
+// far the estimate may sit from the full-fidelity value.
+type Estimate struct {
+	Plan    Plan
+	Samples int
+
+	IPCMean   float64
+	IPCStdErr float64
+
+	// ReuseRate is reuse hits per committed instruction in the measured
+	// intervals — the paper's reuse-rate metric, estimated per sample.
+	ReuseMean   float64
+	ReuseStdErr float64
+
+	// Instruction accounting over the whole program.
+	TotalInsts  uint64 // functionally executed end to end
+	DetailInsts uint64 // of those, simulated in measured detail intervals
+	FFInsts     uint64 // the rest: functional skip plus (un)measured warmups
+}
+
+// CoverageRatio is the fraction of instructions that ran in measured detail.
+func (e *Estimate) CoverageRatio() float64 {
+	if e.TotalInsts == 0 {
+		return 0
+	}
+	return float64(e.DetailInsts) / float64(e.TotalInsts)
+}
+
+// Sample runs program p end to end, alternating functional fast-forward with
+// detailed intervals per plan, up to maxInsts functional instructions
+// (0 = to halt). It returns the estimate plus the final architectural
+// snapshot of the complete functional execution, which callers use for
+// checksum validation — sampling never weakens the correctness check.
+//
+// One functional machine walks the whole program; each period it skips
+// Interval-2*Warmup-Detail instructions with StepN, captures the next Warmup
+// commits as the detailed core's functional warmup trace, snapshots, and
+// hands both to run, which simulates Warmup more instructions unmeasured and
+// then the measured Detail. The detailed region is then re-executed
+// functionally (StepN again) so the walker stays the single source of
+// architectural truth.
+func Sample(p *prog.Program, plan Plan, maxInsts uint64, run RunDetail) (*Estimate, *emu.Snapshot, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if maxInsts == 0 {
+		maxInsts = math.MaxUint64
+	}
+	skip := plan.Interval - 2*plan.Warmup - plan.Detail
+
+	s := emu.New(p)
+	est := &Estimate{Plan: plan}
+	var ipcs, reuses []float64
+
+	for !s.Halted() && s.InstCount() < maxInsts {
+		if _, err := s.StepN(minU64(skip, maxInsts-s.InstCount())); err != nil {
+			return nil, nil, fmt.Errorf("ckpt: sample fast-forward: %w", err)
+		}
+		if s.Halted() || s.InstCount() >= maxInsts {
+			break
+		}
+
+		bs := &BootState{}
+		if plan.Warmup > 0 {
+			bs.Warmup = make([]emu.Commit, 0, plan.Warmup)
+			if _, err := s.Run(minU64(plan.Warmup, maxInsts-s.InstCount()), func(c emu.Commit) {
+				bs.Warmup = append(bs.Warmup, c)
+			}); err != nil {
+				return nil, nil, fmt.Errorf("ckpt: sample warmup: %w", err)
+			}
+			if s.Halted() || s.InstCount() >= maxInsts {
+				break
+			}
+		}
+		bs.FFInsts = s.InstCount()
+		bs.Boot = s.Snapshot()
+
+		warm := minU64(plan.Warmup, maxInsts-s.InstCount())
+		detail := minU64(plan.Detail, maxInsts-s.InstCount()-warm)
+		if detail == 0 {
+			// The budget ends inside the detailed warmup; nothing measurable
+			// remains, so just finish the walker functionally.
+			if _, err := s.StepN(warm); err != nil {
+				return nil, nil, fmt.Errorf("ckpt: sample advance: %w", err)
+			}
+			break
+		}
+		stats, err := run(bs, warm, detail)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ckpt: detail interval at inst %d: %w", s.InstCount(), err)
+		}
+		if stats.Cycles > 0 && stats.Insts > 0 {
+			ipcs = append(ipcs, float64(stats.Insts)/float64(stats.Cycles))
+			reuses = append(reuses, float64(stats.ReuseHits)/float64(stats.Insts))
+			est.DetailInsts += stats.Insts
+		}
+
+		// Advance the functional walker through the detailed region
+		// (unmeasured warmup + measured detail).
+		if _, err := s.StepN(warm + detail); err != nil {
+			return nil, nil, fmt.Errorf("ckpt: sample advance: %w", err)
+		}
+	}
+
+	est.Samples = len(ipcs)
+	est.TotalInsts = s.InstCount()
+	est.FFInsts = est.TotalInsts - est.DetailInsts
+	est.IPCMean, est.IPCStdErr = meanStdErr(ipcs)
+	est.ReuseMean, est.ReuseStdErr = meanStdErr(reuses)
+	return est, s.Snapshot(), nil
+}
+
+// meanStdErr returns the sample mean and the standard error of the mean
+// (sample standard deviation / sqrt(n)); 0 stderr for n < 2.
+func meanStdErr(xs []float64) (mean, stderr float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

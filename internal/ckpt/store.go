@@ -1,0 +1,257 @@
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// FormatVersion is the on-disk checkpoint format version. Bump it whenever
+// the layout below changes; readers treat any other version as a miss, so a
+// format change silently invalidates every stored checkpoint instead of
+// misreading it.
+const FormatVersion = 1
+
+// File layout (all integers little-endian):
+//
+//	magic     [8]byte  "RRCKPT\x00\x00"
+//	version   uint32
+//	digest    [32]byte program content digest (must match the loader's)
+//	instCount uint64
+//	pc        uint64
+//	halted    uint8
+//	x[32]     uint64
+//	f[32]     uint64   (IEEE-754 bits)
+//	numPages  uint32
+//	pages     numPages × { pn uint64, data [4096]byte }  (ascending pn)
+//	checksum  [32]byte sha256 of everything above
+//
+// The trailing checksum makes torn or bit-rotted files detectable: a corrupt
+// checkpoint is a cache miss, never a wrong simulation.
+var magic = [8]byte{'R', 'R', 'C', 'K', 'P', 'T', 0, 0}
+
+// Store is a content-addressed checkpoint directory, designed to sit beside
+// the sweep result cache. Files are written atomically (temp + rename), so
+// concurrent writers of the same key are safe — last rename wins and both
+// wrote identical bytes.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Key returns the filename serving (digest, instCount).
+func (st *Store) Key(d Digest, instCount uint64) string {
+	return fmt.Sprintf("%s-%d.ckpt", d.Short(), instCount)
+}
+
+func (st *Store) path(d Digest, instCount uint64) string {
+	return filepath.Join(st.dir, st.Key(d, instCount))
+}
+
+// Save writes a snapshot under (digest, snapshot.InstCount).
+func (st *Store) Save(d Digest, sn *emu.Snapshot) error {
+	path := st.path(d, sn.InstCount)
+	tmp, err := os.CreateTemp(st.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+
+	h := sha256.New()
+	w := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<16)
+	if err := encode(w, d, sn); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	}
+	if _, err := tmp.Write(h.Sum(nil)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load retrieves the snapshot stored under (digest, instCount). ok is false
+// on any recoverable mismatch — absent file, other format version, digest
+// mismatch, truncation, or checksum failure; callers just fast-forward and
+// re-save. The error return is reserved for I/O failures that indicate the
+// store itself is broken.
+func (st *Store) Load(d Digest, instCount uint64) (*emu.Snapshot, bool, error) {
+	data, err := os.ReadFile(st.path(d, instCount))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: load: %w", err)
+	}
+	if len(data) < sha256.Size {
+		return nil, false, nil
+	}
+	payload, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sha256.Sum256(payload) != [sha256.Size]byte(trailer) {
+		return nil, false, nil // torn or bit-rotted => miss
+	}
+	sn, err := decode(bytes.NewReader(payload), d)
+	if err != nil || sn.InstCount != instCount {
+		return nil, false, nil
+	}
+	return sn, true, nil
+}
+
+func encode(w io.Writer, d Digest, sn *emu.Snapshot) error {
+	var buf [8]byte
+	u64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], FormatVersion)
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	if _, err := w.Write(d[:]); err != nil {
+		return err
+	}
+	if err := u64(sn.InstCount); err != nil {
+		return err
+	}
+	if err := u64(sn.PC); err != nil {
+		return err
+	}
+	var halted byte
+	if sn.Halted {
+		halted = 1
+	}
+	if _, err := w.Write([]byte{halted}); err != nil {
+		return err
+	}
+	for _, v := range sn.X {
+		if err := u64(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range sn.F {
+		if err := u64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	pns := sn.Mem.PageNumbers()
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(pns)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, pn := range pns {
+		if err := u64(pn); err != nil {
+			return err
+		}
+		if _, err := w.Write(sn.Mem.PageData(pn)[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decode(r io.Reader, want Digest) (*emu.Snapshot, error) {
+	var buf [32]byte
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:8]), nil
+	}
+	if _, err := io.ReadFull(r, buf[:8]); err != nil {
+		return nil, err
+	}
+	if [8]byte(buf[:8]) != magic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[:4]) != FormatVersion {
+		return nil, fmt.Errorf("format version mismatch")
+	}
+	if _, err := io.ReadFull(r, buf[:32]); err != nil {
+		return nil, err
+	}
+	if Digest(buf) != want {
+		return nil, fmt.Errorf("program digest mismatch")
+	}
+
+	sn := &emu.Snapshot{Mem: emu.NewMemory()}
+	var err error
+	if sn.InstCount, err = u64(); err != nil {
+		return nil, err
+	}
+	if sn.PC, err = u64(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, buf[:1]); err != nil {
+		return nil, err
+	}
+	sn.Halted = buf[0] == 1
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if sn.X[i], err = u64(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		v, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		sn.F[i] = math.Float64frombits(v)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, err
+	}
+	numPages := binary.LittleEndian.Uint32(buf[:4])
+	const maxPages = 1 << 20 // 4 GiB of memory image; way past any workload
+	if numPages > maxPages {
+		return nil, fmt.Errorf("implausible page count %d", numPages)
+	}
+	var page [4096]byte
+	for i := uint32(0); i < numPages; i++ {
+		pn, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, page[:]); err != nil {
+			return nil, err
+		}
+		sn.Mem.SetPageData(pn, &page)
+	}
+	return sn, nil
+}

@@ -1,6 +1,9 @@
 package emu
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const (
 	pageBits = 12
@@ -10,8 +13,19 @@ const (
 
 // Memory is a sparse, paged, little-endian 64-bit byte-addressable memory.
 // Unwritten locations read as zero. The zero value is ready to use.
+//
+// The hot word-granularity accessors (LoadWord64/StoreWord64) keep a
+// one-entry page cache: workloads touch the same page many times in a row
+// (stack frames, array walks), so most accesses skip the map probe entirely.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	// Last-page pointer cache. lastPN is the page number lastPage serves;
+	// lastPage == nil means the cache is empty. Pages are never removed
+	// from the map, so a cached pointer can only go stale via Restore,
+	// which resets it.
+	lastPN   uint64
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -32,6 +46,9 @@ func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
+	}
 	return p
 }
 
@@ -48,11 +65,16 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 	m.page(addr, true)[addr&pageMask] = b
 }
 
-// Read64 loads the 8-byte little-endian word at addr. The address must be
-// 8-byte aligned; callers enforce alignment (the emulator faults first).
-func (m *Memory) Read64(addr uint64) uint64 {
+// LoadWord64 loads the 8-byte little-endian word at addr through the
+// single-page fast path: when the word lies inside the cached page it is one
+// bounds-checked slice read, with no map probe. Page-straddling accesses
+// fall back to the byte loop.
+func (m *Memory) LoadWord64(addr uint64) uint64 {
 	off := addr & pageMask
-	if off+8 <= pageSize {
+	if off <= pageSize-8 {
+		if addr>>pageBits == m.lastPN && m.lastPage != nil {
+			return binary.LittleEndian.Uint64(m.lastPage[off : off+8])
+		}
 		if p := m.page(addr, false); p != nil {
 			return binary.LittleEndian.Uint64(p[off : off+8])
 		}
@@ -65,10 +87,15 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	return v
 }
 
-// Write64 stores an 8-byte little-endian word at addr.
-func (m *Memory) Write64(addr uint64, v uint64) {
+// StoreWord64 stores an 8-byte little-endian word at addr through the
+// single-page fast path (see LoadWord64).
+func (m *Memory) StoreWord64(addr uint64, v uint64) {
 	off := addr & pageMask
-	if off+8 <= pageSize {
+	if off <= pageSize-8 {
+		if addr>>pageBits == m.lastPN && m.lastPage != nil {
+			binary.LittleEndian.PutUint64(m.lastPage[off:off+8], v)
+			return
+		}
 		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
 		return
 	}
@@ -77,6 +104,13 @@ func (m *Memory) Write64(addr uint64, v uint64) {
 	}
 }
 
+// Read64 loads the 8-byte little-endian word at addr. The address must be
+// 8-byte aligned; callers enforce alignment (the emulator faults first).
+func (m *Memory) Read64(addr uint64) uint64 { return m.LoadWord64(addr) }
+
+// Write64 stores an 8-byte little-endian word at addr.
+func (m *Memory) Write64(addr uint64, v uint64) { m.StoreWord64(addr, v) }
+
 // PageNumber returns the page index containing addr (used by the demand-
 // paging fault model in the timing simulator).
 func (m *Memory) PageNumber(addr uint64) uint64 { return addr >> pageBits }
@@ -84,7 +118,8 @@ func (m *Memory) PageNumber(addr uint64) uint64 { return addr >> pageBits }
 // PageSize returns the page size in bytes.
 func PageSize() uint64 { return pageSize }
 
-// Clone returns a deep copy of the memory (used by differential tests).
+// Clone returns a deep copy of the memory (used by differential tests and
+// checkpoints).
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
 	for pn, p := range m.pages {
@@ -93,4 +128,37 @@ func (m *Memory) Clone() *Memory {
 		c.pages[pn] = np
 	}
 	return c
+}
+
+// PageNumbers returns the numbers of every allocated page in ascending
+// order — the deterministic iteration order the checkpoint format needs.
+func (m *Memory) PageNumbers() []uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// PageData returns the raw 4 KiB backing array of page pn (nil when the page
+// was never written). Callers must treat it as read-only.
+func (m *Memory) PageData(pn uint64) *[pageSize]byte {
+	if m.pages == nil {
+		return nil
+	}
+	return m.pages[pn]
+}
+
+// SetPageData installs a full page image at page pn, replacing any prior
+// contents. The checkpoint loader uses it to rebuild a memory without going
+// through 4096 byte stores.
+func (m *Memory) SetPageData(pn uint64, data *[pageSize]byte) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	np := new([pageSize]byte)
+	*np = *data
+	m.pages[pn] = np
+	m.lastPN, m.lastPage = 0, nil
 }

@@ -82,3 +82,73 @@ func TestPageNumber(t *testing.T) {
 		t.Errorf("page size = %d", PageSize())
 	}
 }
+
+// BenchmarkLoadWord64 measures the single-page word fast path against the
+// eight-byte-probe loop it replaced (simulated here via LoadByte), on the
+// sequential same-page pattern the emulator's stack and array traffic shows.
+func BenchmarkLoadWord64(b *testing.B) {
+	m := NewMemory()
+	for a := uint64(0); a < 1<<16; a += 8 {
+		m.StoreWord64(a, a)
+	}
+	b.Run("fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += m.LoadWord64(uint64(i*8) & 0xFFF8)
+		}
+		benchSink = sink
+	})
+	b.Run("byteloop", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			addr := uint64(i*8) & 0xFFF8
+			var v uint64
+			for j := uint64(0); j < 8; j++ {
+				v |= uint64(m.LoadByte(addr+j)) << (8 * j)
+			}
+			sink += v
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkStoreWord64(b *testing.B) {
+	m := NewMemory()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.StoreWord64(uint64(i*8)&0xFFF8, uint64(i))
+	}
+}
+
+var benchSink uint64
+
+// TestWordFastPathStraddle pins the fallback: a word write straddling two
+// pages must land byte-exactly where eight byte stores would put it.
+func TestWordFastPathStraddle(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(2*4096 - 4)
+	m.StoreWord64(addr, 0x1122334455667788)
+	for i, want := range []byte{0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11} {
+		if got := m.LoadByte(addr + uint64(i)); got != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+	if got := m.LoadWord64(addr); got != 0x1122334455667788 {
+		t.Fatalf("straddling load = %#x", got)
+	}
+}
+
+// TestWordFastPathCacheInvalidation: SetPageData must not leave a stale
+// cached page pointer serving reads of replaced contents.
+func TestWordFastPathCacheInvalidation(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord64(0x1000, 0xAA) // caches page 1
+	var page [4096]byte
+	page[0] = 0xBB
+	m.SetPageData(1, &page)
+	if got := m.LoadWord64(0x1000); got != 0xBB {
+		t.Fatalf("read after SetPageData = %#x, want 0xBB", got)
+	}
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"math"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// bootFrom seeds the core's architectural state from a fast-forward
+// snapshot and replays the warmup trace into the microarchitectural
+// predictors. After this the core is indistinguishable — architecturally —
+// from one that committed the same prefix in detail: the renamers stay at
+// the reset identity map l→l, so writing physical register l version 0
+// seeds logical register l.
+func (c *Core) bootFrom(sn *emu.Snapshot, warmup []emu.Commit) {
+	c.mem = sn.Mem.Clone()
+	// Pages the functional prefix touched are resident; the demand-paging
+	// model should only fault on pages this run touches first.
+	for _, pn := range c.mem.PageNumbers() {
+		c.pagePresent[pn] = true
+	}
+
+	for l := 0; l < isa.NumIntRegs; l++ {
+		if l == isa.ZeroReg {
+			continue
+		}
+		c.rfInt.Write(uint16(l), 0, sn.X[l])
+	}
+	for l := 0; l < isa.NumFPRegs; l++ {
+		c.rfFP.Write(uint16(l), 0, math.Float64bits(sn.F[l]))
+	}
+
+	c.fetchPC = sn.PC
+	c.nextCommitPC = sn.PC
+	if sn.Halted {
+		c.halted = true
+		c.fetchHalted = true
+	}
+
+	for i := range warmup {
+		c.warmReplay(&warmup[i])
+	}
+}
+
+// warmReplay feeds one functionally-executed instruction through the
+// timing-irrelevant side effects of the front end and memory system: icache
+// fill, branch predictor training (including history repair on what would
+// have been a mispredict, mirroring resolveBranch), dcache/TLB fills, and
+// page residency. It never touches architectural state.
+func (c *Core) warmReplay(cm *emu.Commit) {
+	in, ok := c.prog.Fetch(cm.PC)
+	if !ok {
+		return
+	}
+	c.hier.FetchLatency(cm.PC, 0)
+	d := in.Op.Describe()
+	switch {
+	case d.Branch:
+		pred := c.bp.Predict(cm.PC, in)
+		c.bp.Resolve(cm.PC, in, pred, cm.Taken, cm.NextPC)
+		predictedNext := cm.PC + isa.InstBytes
+		if pred.Taken && pred.Target != 0 {
+			predictedNext = pred.Target
+		}
+		if predictedNext != cm.NextPC {
+			c.bp.Restore(pred.Snapshot, d.Cond, cm.Taken)
+			if d.Link {
+				c.bp.PushCallRestore(cm.PC + isa.InstBytes)
+			}
+		}
+	case d.Load || d.Store:
+		c.hier.DataAccess(cm.PC, cm.EffAddr, d.Store, 0)
+		c.pagePresent[c.mem.PageNumber(cm.EffAddr)] = true
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
+	"repro/internal/emu"
 	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/regfile"
@@ -123,6 +124,19 @@ type Config struct {
 	// Simulation control.
 	MaxInsts  uint64 // stop after this many committed instructions (0 = to HALT)
 	MaxCycles uint64 // hard safety limit (0 = default 2^40)
+	// Boot, when non-nil, starts the core mid-program from an architectural
+	// snapshot produced by functional fast-forward (internal/ckpt): memory
+	// image, registers and PC are seeded from the snapshot and the renamers
+	// begin at the identity logical→physical map, exactly the state a reset
+	// core would reach by committing the same prefix. The snapshot's pages
+	// count as resident for the demand-paging model.
+	Boot *emu.Snapshot
+	// BootWarmup is a functionally-executed commit trace of the
+	// instructions immediately preceding Boot; it is replayed into the
+	// caches and branch predictor before cycle zero so a sampled detail
+	// interval does not start from cold microarchitectural state. Ignored
+	// when Boot is nil.
+	BootWarmup []emu.Commit
 	// CheckOracle runs the architectural emulator in lockstep and fails
 	// on any divergence in committed PCs, register writes, or stores.
 	CheckOracle bool

@@ -229,7 +229,9 @@ func New(cfg Config, p *prog.Program) *Core {
 	}
 	c.resetIQ()
 	c.initEvents(1024)
-	p.InitialData(func(addr uint64, b byte) { c.mem.StoreByte(addr, b) })
+	if cfg.Boot == nil {
+		p.InitialData(func(addr uint64, b byte) { c.mem.StoreByte(addr, b) })
+	}
 
 	c.rfInt = regfile.New(cfg.IntRegs)
 	c.rfFP = regfile.New(cfg.FPRegs)
@@ -276,11 +278,18 @@ func New(cfg Config, p *prog.Program) *Core {
 		}
 	}
 	if cfg.CheckOracle {
-		c.oracle = emu.New(p)
+		if cfg.Boot != nil {
+			c.oracle = emu.NewFromSnapshot(p, cfg.Boot)
+		} else {
+			c.oracle = emu.New(p)
+		}
 	}
 	if cfg.MeasureLifetimes {
 		c.lastRead[0] = make([]uint64, cfg.IntRegs.Total())
 		c.lastRead[1] = make([]uint64, cfg.FPRegs.Total())
+	}
+	if cfg.Boot != nil {
+		c.bootFrom(cfg.Boot, cfg.BootWarmup)
 	}
 	return c
 }
@@ -332,13 +341,20 @@ func (c *Core) Halted() bool { return c.halted }
 // Run simulates until HALT commits, the configured instruction budget is
 // reached, or the cycle safety limit trips. It returns an error only for
 // internal inconsistencies (oracle divergence, runaway simulation).
-func (c *Core) Run() error {
+func (c *Core) Run() error { return c.RunTo(c.cfg.MaxInsts) }
+
+// RunTo simulates until the committed-instruction count reaches target
+// (0 = unlimited), HALT commits, or the cycle safety limit trips. The
+// target is absolute, so callers can run a core in phases and take stats
+// deltas at the boundaries — the sampling driver measures a detail interval
+// net of its detailed-warmup prefix this way.
+func (c *Core) RunTo(target uint64) error {
 	maxCycles := c.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}
 	for !c.halted && c.cycle < maxCycles {
-		if c.cfg.MaxInsts > 0 && c.stats.Committed >= c.cfg.MaxInsts {
+		if target > 0 && c.stats.Committed >= target {
 			break
 		}
 		c.step()

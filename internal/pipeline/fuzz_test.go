@@ -2,12 +2,14 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/asm"
+	"repro/internal/ckpt"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/regfile"
@@ -170,6 +172,119 @@ func TestRandomProgramsDifferential(t *testing.T) {
 			for l := 0; l < isa.NumFPRegs; l++ {
 				if fregs[l] != ref.F[l] && !(fregs[l] != fregs[l] && ref.F[l] != ref.F[l]) {
 					t.Logf("seed %d %v: f%d = %v, want %v", seed, scheme, l, fregs[l], ref.F[l])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointResumeEquivalence is the correctness gate for mid-program
+// boot: for random programs, a core booted from a functional checkpoint
+// (snapshot + warmup trace, the exact production path through ckpt.Prepare)
+// must commit the same architectural instruction suffix and reach the same
+// final architectural state as an uninterrupted detailed run — per scheme,
+// with the same stressed configurations as the differential test.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	count := 12
+	if testing.Short() {
+		count = 4
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genRandomProgram(r)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Logf("seed %d: assembler rejected generated program: %v", seed, err)
+			return false
+		}
+		ref := emu.New(p)
+		if _, err := ref.RunToHalt(3_000_000, nil); err != nil {
+			t.Logf("seed %d: emulator: %v", seed, err)
+			return false
+		}
+		total := ref.InstCount()
+		skip := total / 3
+		warmup := uint64(2000)
+		if warmup > skip {
+			warmup = skip
+		}
+		bs, _, err := ckpt.Prepare(nil, p, ckpt.ProgramDigest(p), skip, warmup)
+		if err != nil {
+			t.Logf("seed %d: Prepare: %v", seed, err)
+			return false
+		}
+
+		for _, scheme := range []Scheme{Baseline, Reuse, EarlyRelease} {
+			mkcfg := func() Config {
+				cfg := DefaultConfig(scheme)
+				cfg.CheckOracle = true
+				cfg.MaxCycles = 40_000_000
+				cfg.InterruptEvery = 777
+				cfg.MemSpeculation = seed%2 == 0
+				if scheme == Baseline {
+					cfg.IntRegs = regfile.Uniform(44, 0)
+					cfg.FPRegs = regfile.Uniform(44, 0)
+				} else {
+					cfg.IntRegs = regfile.BankSizes{34, 4, 3, 3}
+					cfg.FPRegs = regfile.BankSizes{34, 4, 3, 3}
+				}
+				return cfg
+			}
+			runOne := func(cfg Config) ([]uint64, [isa.NumIntRegs]uint64, [isa.NumFPRegs]float64, error) {
+				var pcs []uint64
+				cfg.CommitHook = func(e CommitEvent) {
+					if !e.Micro {
+						pcs = append(pcs, e.PC)
+					}
+				}
+				core := New(cfg, p)
+				if err := core.Run(); err != nil {
+					var x [isa.NumIntRegs]uint64
+					var fr [isa.NumFPRegs]float64
+					return nil, x, fr, err
+				}
+				x, fr := core.ArchRegs()
+				return pcs, x, fr, nil
+			}
+
+			fullPCs, fullX, fullF, err := runOne(mkcfg())
+			if err != nil {
+				t.Logf("seed %d %v: full run: %v", seed, scheme, err)
+				return false
+			}
+			cfg := mkcfg()
+			cfg.Boot = bs.Boot
+			cfg.BootWarmup = bs.Warmup
+			resPCs, resX, resF, err := runOne(cfg)
+			if err != nil {
+				t.Logf("seed %d %v: resumed run: %v", seed, scheme, err)
+				return false
+			}
+
+			if uint64(len(fullPCs)) != total || uint64(len(resPCs)) != total-skip {
+				t.Logf("seed %d %v: committed %d full / %d resumed, want %d / %d",
+					seed, scheme, len(fullPCs), len(resPCs), total, total-skip)
+				return false
+			}
+			for i, pc := range resPCs {
+				if fullPCs[skip+uint64(i)] != pc {
+					t.Logf("seed %d %v: commit %d: resumed pc %#x, full pc %#x",
+						seed, scheme, skip+uint64(i), pc, fullPCs[skip+uint64(i)])
+					return false
+				}
+			}
+			if resX != fullX {
+				t.Logf("seed %d %v: final integer state differs", seed, scheme)
+				return false
+			}
+			for l := 0; l < isa.NumFPRegs; l++ {
+				if math.Float64bits(resF[l]) != math.Float64bits(fullF[l]) {
+					t.Logf("seed %d %v: f%d = %v, want %v", seed, scheme, l, resF[l], fullF[l])
 					return false
 				}
 			}

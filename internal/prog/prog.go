@@ -70,16 +70,23 @@ func (p *Program) TextEnd() uint64 { return TextBase + uint64(len(p.insts)*isa.I
 // Fetch returns the instruction at pc. ok is false when pc lies outside the
 // text section or is misaligned — the simulator treats such fetches as
 // wrong-path bubbles, and the emulator treats them as a crash.
+//
+// Instructions were validated once at New, so fetch is pure index
+// arithmetic: pc < TextBase wraps the subtraction around to a huge index
+// that the single length comparison rejects, covering both ends of the text
+// section with one branch.
 func (p *Program) Fetch(pc uint64) (isa.Inst, bool) {
-	if pc < TextBase || pc%isa.InstBytes != 0 {
-		return isa.Inst{}, false
-	}
 	idx := (pc - TextBase) / isa.InstBytes
-	if idx >= uint64(len(p.insts)) {
+	if idx >= uint64(len(p.insts)) || pc&(isa.InstBytes-1) != 0 {
 		return isa.Inst{}, false
 	}
 	return p.insts[idx], true
 }
+
+// Insts exposes the pre-decoded text image for fast-forward interpreters
+// that index it directly instead of calling Fetch per instruction. Callers
+// must treat the slice as read-only.
+func (p *Program) Insts() []isa.Inst { return p.insts }
 
 // Symbol resolves a label to its address.
 func (p *Program) Symbol(name string) (uint64, bool) {

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/par"
+	"repro/internal/workloads"
 )
 
 // Options configures one engine run.
@@ -22,6 +24,12 @@ type Options struct {
 	// Cache is the cross-sweep content-addressed result store; nil
 	// disables caching.
 	Cache *Cache
+	// Ckpt is the shared checkpoint store for fast-forward jobs; nil makes
+	// every job fast-forward from reset itself. With a store, the engine
+	// pre-warms each workload's checkpoint serially before the parallel
+	// phase, so the functional fast-forward runs exactly once per
+	// (workload, position) no matter how many schemes and sizes share it.
+	Ckpt *ckpt.Store
 	// Workers bounds simulation parallelism (<= 0 = GOMAXPROCS).
 	Workers int
 	// JobTimeout fails a single job attempt that runs longer (0 = 10m).
@@ -149,6 +157,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 		return nil
 	}
 	opts.Metrics.jobsQueued(len(jobs))
+	if opts.Ckpt != nil {
+		prewarmCheckpoints(jobs, resumed, opts)
+	}
 
 	err = par.ForEachCtx(ctx, len(jobs), opts.Workers, func(i int) error {
 		key := jobs[i].Key()
@@ -159,7 +170,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 			return record(i, "cache", r, nil, 0, 0)
 		}
 		start := time.Now()
-		r, retried, jerr := executeWithRetry(ctx, jobs[i], timeout, opts.Retries)
+		r, retried, jerr := executeWithRetry(ctx, jobs[i], timeout, opts.Retries, opts.Ckpt, opts.Metrics)
 		elapsed := time.Since(start)
 		if jerr != nil {
 			return record(i, "failed", JobResult{}, jerr, elapsed, retried)
@@ -205,13 +216,58 @@ func marshalResults(res *RunResult) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// prewarmCheckpoints builds, serially, the checkpoint every fast-forward
+// job of this run will boot from — one functional execution per unique
+// (workload, scale, position) that still has work to do. Errors are left
+// for job execution to surface (a job with no checkpoint just fast-forwards
+// itself).
+func prewarmCheckpoints(jobs []Job, resumed map[string]manifestEntry, opts Options) {
+	type site struct {
+		workload string
+		scale    int
+		base     uint64
+	}
+	seen := make(map[site]bool)
+	for i := range jobs {
+		j := &jobs[i]
+		if j.FastForward == 0 {
+			continue
+		}
+		if _, ok := resumed[j.Key()]; ok {
+			continue
+		}
+		if _, ok := opts.Cache.Get(j.Key()); ok {
+			continue
+		}
+		k := site{j.Workload, j.Scale, j.FastForward - j.Warmup}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		w, ok := workloads.ByName(j.Workload, j.Scale)
+		if !ok {
+			continue
+		}
+		p := w.Program()
+		_, hit, err := ckpt.Prepare(opts.Ckpt, p, ckpt.ProgramDigest(p), k.base, 0)
+		if err != nil {
+			continue
+		}
+		ffDone := uint64(0)
+		if !hit {
+			ffDone = k.base
+		}
+		opts.Metrics.ckptLookup(hit, ffDone)
+	}
+}
+
 // executeWithRetry runs one job with panic recovery and a per-attempt
 // timeout, retrying up to `retries` extra times. It reports how many
 // retries were consumed.
-func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retries int) (JobResult, int, error) {
+func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retries int, store *ckpt.Store, m *Metrics) (JobResult, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		r, err := executeOnce(ctx, job, timeout)
+		r, err := executeOnce(ctx, job, timeout, store, m)
 		if err == nil {
 			return r, attempt, nil
 		}
@@ -226,7 +282,7 @@ func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retri
 // overlong simulation cannot take the scheduler down with it. On timeout the
 // simulation goroutine is abandoned (the simulator has no preemption
 // points); MaxCycles bounds how long it can linger.
-func executeOnce(ctx context.Context, job Job, timeout time.Duration) (JobResult, error) {
+func executeOnce(ctx context.Context, job Job, timeout time.Duration, store *ckpt.Store, m *Metrics) (JobResult, error) {
 	type outcome struct {
 		res JobResult
 		err error
@@ -238,7 +294,7 @@ func executeOnce(ctx context.Context, job Job, timeout time.Duration) (JobResult
 				ch <- outcome{err: fmt.Errorf("job panicked: %v", rec)}
 			}
 		}()
-		r, err := Execute(job)
+		r, err := ExecuteWith(job, store, m)
 		ch <- outcome{res: r, err: err}
 	}()
 	timer := time.NewTimer(timeout)

@@ -11,7 +11,12 @@ import (
 // file is regenerated) or the JobResult schema gains fields: the bump
 // invalidates every previously cached result at once, so a stale cache can
 // never masquerade as fresh data.
-const SchemaVersion = 1
+// Version history:
+//
+//	1: initial engine (PR 3)
+//	2: JobResult gained fast-forward/sampling fields (FFInsts, Sampled);
+//	   keys gained ff/warm/sample
+const SchemaVersion = 2
 
 // Key returns the job's content-addressed cache key: a SHA-256 over an
 // explicit, field-by-field serialization of the job parameters plus the
@@ -25,9 +30,10 @@ func (j Job) Key() string { return keyAt(j, SchemaVersion) }
 // tests can prove a version bump invalidates every key).
 func keyAt(j Job, version int) string {
 	s := fmt.Sprintf(
-		"regreuse-sweep-job|v%d|workload=%s|scheme=%s|scale=%d|size=%d|reuse_depth=%d|spec_reuse=%t|max_insts=%d",
+		"regreuse-sweep-job|v%d|workload=%s|scheme=%s|scale=%d|size=%d|reuse_depth=%d|spec_reuse=%t|max_insts=%d|ff=%d|warm=%d|sample=%s",
 		version, j.Workload, j.Scheme, j.Scale, j.Size,
 		j.ReuseDepth, !j.DisableSpeculativeReuse, j.MaxInsts,
+		j.FastForward, j.Warmup, j.Sample,
 	)
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])

@@ -13,7 +13,7 @@ func refJob() Job {
 // would silently stop matching. If this test fails, the key scheme changed
 // — bump SchemaVersion and re-record.
 func TestKeyStableAcrossProcesses(t *testing.T) {
-	const want = "65766af4fdc200660141a9f16abd20cbfde49db985dcff561d642c9e0d32efe3"
+	const want = "353dedd4379f3a8339ef7c06b8adc476d9168096b2509a364a15653a9a55221d"
 	if got := refJob().Key(); got != want {
 		t.Errorf("key drifted:\n got %s\nwant %s", got, want)
 	}
@@ -35,6 +35,9 @@ func TestKeySensitivity(t *testing.T) {
 		"reuse depth":               func(j *Job) { j.ReuseDepth = 2 },
 		"disable speculative reuse": func(j *Job) { j.DisableSpeculativeReuse = true },
 		"max insts":                 func(j *Job) { j.MaxInsts = 1000 },
+		"fast forward":              func(j *Job) { j.FastForward = 10000 },
+		"warmup":                    func(j *Job) { j.Warmup = 500 },
+		"sample":                    func(j *Job) { j.Sample = "1000:2000:50000" },
 	}
 	seen := map[string]string{base: "unchanged"}
 	for name, mutate := range mutations {

@@ -27,6 +27,11 @@ type Metrics struct {
 	jobsResumed  *obs.Counter
 	jobsFailed   *obs.Counter
 	jobsRetried  *obs.Counter
+	jobsSampled  *obs.Counter
+
+	ckptHits    *obs.Counter
+	ckptMisses  *obs.Counter
+	ckptFFInsts *obs.Counter
 
 	jobMS *obs.Hist
 }
@@ -46,6 +51,10 @@ func NewMetrics() *Metrics {
 		jobsResumed:     r.Counter("sweep_jobs_resumed"),
 		jobsFailed:      r.Counter("sweep_jobs_failed"),
 		jobsRetried:     r.Counter("sweep_jobs_retried"),
+		jobsSampled:     r.Counter("sweep_jobs_sampled"),
+		ckptHits:        r.Counter("sweep_ckpt_hits"),
+		ckptMisses:      r.Counter("sweep_ckpt_misses"),
+		ckptFFInsts:     r.Counter("sweep_ckpt_ff_insts"),
 		jobMS:           r.Hist("sweep_job_ms"),
 	}
 }
@@ -91,6 +100,33 @@ func (m *Metrics) jobsQueued(n int) {
 	}
 	m.mu.Lock()
 	m.jobsTotal.Add(uint64(n))
+	m.mu.Unlock()
+}
+
+// ckptLookup records a checkpoint store lookup and the functional
+// instructions spent (or saved) building the boot state.
+func (m *Metrics) ckptLookup(hit bool, ffInsts uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if hit {
+		m.ckptHits.Inc()
+	} else {
+		m.ckptMisses.Inc()
+	}
+	m.ckptFFInsts.Add(ffInsts)
+	m.mu.Unlock()
+}
+
+// jobSampled records one job that ran in interval-sampling mode.
+func (m *Metrics) jobSampled(ffInsts uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.jobsSampled.Inc()
+	m.ckptFFInsts.Add(ffInsts)
 	m.mu.Unlock()
 }
 

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/ckpt"
 )
 
 // ServerOptions configures a sweep server.
@@ -37,6 +39,7 @@ type Server struct {
 	dir   string
 	opts  ServerOptions
 	cache *Cache
+	ckpt  *ckpt.Store
 	met   *Metrics
 
 	mu     sync.Mutex
@@ -69,6 +72,10 @@ func NewServer(dir string, opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckstore, err := ckpt.NewStore(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(filepath.Join(dir, "sweeps"), 0o755); err != nil {
 		return nil, err
 	}
@@ -76,6 +83,7 @@ func NewServer(dir string, opts ServerOptions) (*Server, error) {
 		dir:    dir,
 		opts:   opts,
 		cache:  cache,
+		ckpt:   ckstore,
 		met:    NewMetrics(),
 		sweeps: map[string]*SweepStatus{},
 	}, nil
@@ -168,6 +176,7 @@ func (s *Server) run(id string, spec Spec) {
 	_, err := Run(s.opts.BaseContext, spec, Options{
 		Dir:        s.runDir(id),
 		Cache:      s.cache,
+		Ckpt:       s.ckpt,
 		Workers:    s.opts.Workers,
 		JobTimeout: s.opts.JobTimeout,
 		Retries:    s.opts.Retries,

@@ -11,6 +11,7 @@ package sweep
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
@@ -42,6 +43,22 @@ type Spec struct {
 	// MaxInsts stops each simulation after that many committed
 	// instructions (0 = run to HALT).
 	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// FastForward skips the first N instructions of every job at
+	// functional speed (internal/ckpt), booting the detailed core from a
+	// shared per-workload checkpoint. Timing statistics then cover only
+	// the detailed region; architectural correctness is still checked end
+	// to end. 0 = detailed from reset (bit-identical to previous
+	// behavior).
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	// Warmup functionally replays the last N pre-boot instructions into
+	// the caches and branch predictor before detailed simulation (only
+	// meaningful with FastForward or Sample).
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Sample, in the form "warmup:detail:interval", switches jobs to
+	// SMARTS-style interval sampling: alternating functional fast-forward
+	// with detailed intervals, reporting IPC/reuse-rate estimates with
+	// standard errors. Mutually exclusive with FastForward.
+	Sample string `json:"sample,omitempty"`
 }
 
 // Job is one fully-specified simulation point. Its field values — and
@@ -57,6 +74,9 @@ type Job struct {
 	ReuseDepth              int    `json:"reuse_depth,omitempty"`
 	DisableSpeculativeReuse bool   `json:"disable_speculative_reuse,omitempty"`
 	MaxInsts                uint64 `json:"max_insts,omitempty"`
+	FastForward             uint64 `json:"fast_forward,omitempty"`
+	Warmup                  uint64 `json:"warmup,omitempty"`
+	Sample                  string `json:"sample,omitempty"`
 }
 
 // normalized fills the spec's defaults.
@@ -102,6 +122,17 @@ func (s Spec) Jobs() ([]Job, error) {
 			return nil, fmt.Errorf("sweep: negative size %d", sz)
 		}
 	}
+	if s.Sample != "" {
+		if s.FastForward > 0 {
+			return nil, fmt.Errorf("sweep: sample and fast_forward are mutually exclusive")
+		}
+		if _, err := ckpt.ParsePlan(s.Sample); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	if s.Warmup > 0 && s.FastForward > 0 && s.Warmup > s.FastForward {
+		return nil, fmt.Errorf("sweep: warmup %d exceeds fast_forward %d", s.Warmup, s.FastForward)
+	}
 	jobs := make([]Job, 0, len(s.Workloads)*len(s.Sizes)*len(s.Schemes))
 	seen := make(map[string]int, cap(jobs))
 	for _, w := range s.Workloads {
@@ -115,6 +146,9 @@ func (s Spec) Jobs() ([]Job, error) {
 					ReuseDepth:              s.ReuseDepth,
 					DisableSpeculativeReuse: s.DisableSpeculativeReuse,
 					MaxInsts:                s.MaxInsts,
+					FastForward:             s.FastForward,
+					Warmup:                  s.Warmup,
+					Sample:                  s.Sample,
 				}
 				if sch == "baseline" {
 					// The reuse knobs are no-ops for the baseline renamer;

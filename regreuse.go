@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/ckpt"
 	"repro/internal/emu"
 	"repro/internal/memsys"
 	"repro/internal/obs"
@@ -92,6 +93,28 @@ type Config struct {
 	// (internal/obs: tracer, pipeline view, metrics — combine with
 	// obs.Combine). nil = observability off, the zero-overhead path.
 	Observer obs.Observer
+
+	// FastForward skips the first N instructions at functional-emulator
+	// speed (~40x the detailed core) and boots the detailed core
+	// mid-program with the exact architectural state (0 = off). The
+	// committed instruction stream from that point on is bit-identical to
+	// an uninterrupted run's suffix.
+	FastForward uint64
+	// Warmup replays the last N fast-forwarded instructions (clamped to
+	// FastForward) into the caches and branch predictor before detailed
+	// simulation starts, shrinking the cold-boot bias.
+	Warmup uint64
+	// Sample enables interval sampling with plan "warmup:detail:interval"
+	// (see internal/ckpt.Plan): the run alternates functional fast-forward
+	// with short detailed intervals and reports IPC/reuse-rate estimates
+	// with standard errors in Result.Sampled. Mutually exclusive with
+	// FastForward. The checksum is still validated on the complete
+	// functional execution.
+	Sample string
+	// CkptDir, when non-empty, persists fast-forward checkpoints in a
+	// content-addressed on-disk store so repeated runs of the same
+	// workload skip the functional prefix entirely.
+	CkptDir string
 }
 
 func (c Config) pipelineConfig() pipeline.Config {
@@ -147,11 +170,34 @@ type Result struct {
 	Interrupts       uint64
 	ShadowRecoveries uint64
 
+	// FFInsts counts instructions executed at functional speed instead of
+	// in the detailed core (fast-forward prefix or skipped sampled
+	// regions); Cycles/Insts and the counters above cover only the
+	// detailed portion.
+	FFInsts uint64
+	// Sampled carries the statistical estimates of an interval-sampled run
+	// (nil for full-fidelity runs).
+	Sampled *SampleEstimate
+
 	// Full detail for power users.
 	Pipeline *pipeline.Stats
 	RenInt   *rename.Stats
 	RenFP    *rename.Stats
 	Hier     *memsys.Hierarchy
+}
+
+// SampleEstimate reports an interval-sampled run's estimates: sample means
+// across the measured detail intervals with the standard error of each mean.
+type SampleEstimate struct {
+	Plan        string // "warmup:detail:interval"
+	Samples     int    // measured intervals
+	IPCMean     float64
+	IPCStdErr   float64
+	ReuseMean   float64 // reuse hits per committed instruction
+	ReuseStdErr float64
+	TotalInsts  uint64 // functionally executed end to end
+	DetailInsts uint64 // of those, measured in detail
+	Coverage    float64
 }
 
 // RunWorkload simulates a named workload (scale 1 = small/test, 4 =
@@ -175,10 +221,49 @@ func runW(w workloads.Workload, cfg Config) (Result, error) {
 }
 
 func run(p *prog.Program, seed Result, want uint64, check bool, cfg Config) (Result, error) {
-	core := pipeline.New(cfg.pipelineConfig(), p)
+	if cfg.Sample != "" {
+		if cfg.FastForward > 0 {
+			return Result{}, fmt.Errorf("regreuse: Sample and FastForward are mutually exclusive")
+		}
+		return runSampled(p, seed, want, check, cfg)
+	}
+	pcfg := cfg.pipelineConfig()
+	var ffInsts uint64
+	if cfg.FastForward > 0 {
+		var store *ckpt.Store
+		if cfg.CkptDir != "" {
+			var err error
+			if store, err = ckpt.NewStore(cfg.CkptDir); err != nil {
+				return Result{}, fmt.Errorf("regreuse: checkpoint store: %w", err)
+			}
+		}
+		bs, _, err := ckpt.Prepare(store, p, ckpt.ProgramDigest(p), cfg.FastForward, cfg.Warmup)
+		if err != nil {
+			return Result{}, fmt.Errorf("regreuse: fast-forward: %w", err)
+		}
+		if bs.Boot.Halted {
+			// The program ended inside the fast-forward prefix: no detailed
+			// simulation, but the checksum still validates the functional run.
+			res := seed
+			res.Scheme = cfg.Scheme
+			res.Halted = true
+			res.Checksum = bs.Boot.X[workloads.CheckReg]
+			res.ChecksumOK = !check || res.Checksum == want
+			res.FFInsts = bs.FFInsts
+			if check && !res.ChecksumOK {
+				return res, fmt.Errorf("regreuse: %s checksum %#x, want %#x", seed.Workload, res.Checksum, want)
+			}
+			return res, nil
+		}
+		pcfg.Boot = bs.Boot
+		pcfg.BootWarmup = bs.Warmup
+		ffInsts = bs.FFInsts
+	}
+	core := pipeline.New(pcfg, p)
 	if err := core.Run(); err != nil {
 		return Result{}, err
 	}
+	seed.FFInsts = ffInsts
 	st := core.Stats()
 	ri, rf := core.RenStats(0), core.RenStats(1)
 	x, _ := core.ArchRegs()
@@ -216,8 +301,111 @@ func run(p *prog.Program, seed Result, want uint64, check bool, cfg Config) (Res
 	return res, nil
 }
 
+// runSampled runs the interval-sampling mode: a functional machine walks the
+// whole program while short detailed intervals (each with a detailed,
+// unmeasured warmup prefix) are booted from in-memory snapshots along the
+// way. Result.Cycles/Insts/Reuses/Allocations accumulate over the measured
+// regions only; Result.IPC is the interval-mean estimate; the full-detail
+// stats pointers stay nil because no single core runs end to end.
+func runSampled(p *prog.Program, seed Result, want uint64, check bool, cfg Config) (Result, error) {
+	plan, err := ckpt.ParsePlan(cfg.Sample)
+	if err != nil {
+		return Result{}, fmt.Errorf("regreuse: %w", err)
+	}
+	var agg struct {
+		cycles, insts, micro uint64
+		allocs, reuses       uint64
+		stallNoReg, rob, iq  uint64
+	}
+	run := func(bs *ckpt.BootState, warmup, detail uint64) (ckpt.IntervalStats, error) {
+		pcfg := cfg.pipelineConfig()
+		pcfg.Boot = bs.Boot
+		pcfg.BootWarmup = bs.Warmup
+		pcfg.MaxInsts = warmup + detail
+		core := pipeline.New(pcfg, p)
+		if err := core.RunTo(warmup); err != nil {
+			return ckpt.IntervalStats{}, err
+		}
+		st := core.Stats()
+		ri, rf := core.RenStats(0), core.RenStats(1)
+		base := []uint64{st.Cycles, st.Committed, st.MicroOps,
+			ri.Allocations + rf.Allocations, ri.TotalReuses() + rf.TotalReuses(),
+			st.StallNoRegInt + st.StallNoRegFP, st.StallROB, st.StallIQ}
+		if err := core.RunTo(warmup + detail); err != nil {
+			return ckpt.IntervalStats{}, err
+		}
+		is := ckpt.IntervalStats{
+			Cycles:    st.Cycles - base[0],
+			Insts:     st.Committed - base[1],
+			ReuseHits: ri.TotalReuses() + rf.TotalReuses() - base[4],
+		}
+		agg.cycles += is.Cycles
+		agg.insts += is.Insts
+		agg.micro += st.MicroOps - base[2]
+		agg.allocs += ri.Allocations + rf.Allocations - base[3]
+		agg.reuses += is.ReuseHits
+		agg.stallNoReg += st.StallNoRegInt + st.StallNoRegFP - base[5]
+		agg.rob += st.StallROB - base[6]
+		agg.iq += st.StallIQ - base[7]
+		return is, nil
+	}
+	est, final, err := ckpt.Sample(p, plan, cfg.MaxInsts, run)
+	if err != nil {
+		return Result{}, fmt.Errorf("regreuse: %w", err)
+	}
+	res := seed
+	res.Scheme = cfg.Scheme
+	res.Cycles = agg.cycles
+	res.Insts = agg.insts
+	res.IPC = est.IPCMean
+	res.MicroOps = agg.micro
+	res.Allocations = agg.allocs
+	res.Reuses = agg.reuses
+	res.StallNoReg = agg.stallNoReg
+	res.StallROB = agg.rob
+	res.StallIQ = agg.iq
+	res.Halted = final.Halted
+	res.Checksum = final.X[workloads.CheckReg]
+	res.ChecksumOK = !check || !final.Halted || res.Checksum == want
+	res.FFInsts = est.FFInsts
+	res.Sampled = &SampleEstimate{
+		Plan:        plan.String(),
+		Samples:     est.Samples,
+		IPCMean:     est.IPCMean,
+		IPCStdErr:   est.IPCStdErr,
+		ReuseMean:   est.ReuseMean,
+		ReuseStdErr: est.ReuseStdErr,
+		TotalInsts:  est.TotalInsts,
+		DetailInsts: est.DetailInsts,
+		Coverage:    est.CoverageRatio(),
+	}
+	if check && final.Halted && res.Checksum != want {
+		return res, fmt.Errorf("regreuse: %s sampled checksum %#x, want %#x", seed.Workload, res.Checksum, want)
+	}
+	return res, nil
+}
+
 // Workloads lists the available workload names.
 func Workloads() []string { return workloads.Names() }
+
+// FastForwardWorkload runs a named workload end to end on the functional
+// fast-forward interpreter (no detailed simulation, no checkpointing) and
+// returns the instruction count. It exists for profiling and calibration:
+// the ratio of this rate to the detailed core's is the fast-forward speedup.
+func FastForwardWorkload(name string, scale int) (uint64, error) {
+	w, ok := workloads.ByName(name, scale)
+	if !ok {
+		return 0, fmt.Errorf("regreuse: unknown workload %q", name)
+	}
+	sn, err := ckpt.FastForward(w.Program(), 1<<62)
+	if err != nil {
+		return 0, err
+	}
+	if sn.Halted && sn.X[workloads.CheckReg] != w.Want {
+		return sn.InstCount, fmt.Errorf("regreuse: %s checksum %#x, want %#x", name, sn.X[workloads.CheckReg], w.Want)
+	}
+	return sn.InstCount, nil
+}
 
 // AnalyzeWorkload runs the functional emulator over a workload and returns
 // the single-use / consumer-count / reuse-chain report (Figures 1-3).
