@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet race smoke ci ckpt-tests bench bench-baseline
+.PHONY: test vet lint race smoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -14,7 +14,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs renamelint (internal/lint): determinism, hotpath, tagpair and
+# obsguard analyzers over every package. Zero findings is a hard gate; see
+# DESIGN.md §13 for the directives that scope and suppress it.
+lint:
+	$(GO) run ./cmd/renamelint ./...
+
+# race covers the root package and commands too; -short skips the full
+# multi-workload sweeps there (race-instrumented, they blow the CI budget —
+# the un-instrumented sweeps still run in `make test`).
 race:
+	$(GO) test -race -short . ./cmd/...
 	$(GO) test -race ./internal/...
 
 # ckpt-tests names the fast-forward correctness gates explicitly: the
@@ -32,6 +42,9 @@ ckpt-tests:
 # paper table, and the sweepd HTTP flow (submit, poll, results schema,
 # cache-hit re-run, checkpointed fast-forward sharing, interval sampling).
 smoke:
+	$(GO) run ./cmd/renamelint -json ./... | \
+		$(GO) run ./cmd/ckjson 'schema_version=1' analyzers.0 analyzers.3 \
+			'count=0' findings
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 > /dev/null
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 -chrome /tmp/regreuse_smoke_trace.json > /dev/null
 	$(GO) run ./cmd/ckjson traceEvents.0.ph displayTimeUnit < /tmp/regreuse_smoke_trace.json
@@ -94,7 +107,7 @@ smoke:
 	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_ckjson /tmp/regreuse_smoke_sweepd.log
 	@echo smoke OK
 
-ci: test vet race ckpt-tests smoke
+ci: test vet lint race ckpt-tests smoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep — and emits BENCH_core.json (per-benchmark ns/op,

@@ -1,0 +1,103 @@
+// Command renamelint runs the repository's invariant analyzers (see
+// internal/lint) over Go packages and reports findings as file:line
+// diagnostics or, with -json, as a machine-readable artifact whose schema is
+// pinned by cmd/ckjson in make smoke. The exit status is 1 when any finding
+// survives, so `make lint` is a hard CI gate.
+//
+// Usage:
+//
+//	renamelint [-json] [-enable determinism,hotpath,tagpair,obsguard] [packages]
+//
+// With no package arguments it analyzes ./...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// schemaVersion gates the -json artifact layout.
+const schemaVersion = 1
+
+type artifact struct {
+	SchemaVersion int            `json:"schema_version"`
+	Analyzers     []string       `json:"analyzers"`
+	Findings      []lint.Finding `json:"findings"`
+	Count         int            `json:"count"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the findings artifact as JSON on stdout")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*enable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renamelint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renamelint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifact{
+			SchemaVersion: schemaVersion,
+			Analyzers:     names,
+			Findings:      findings,
+			Count:         len(findings),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "renamelint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(enable string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if enable == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(enable, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

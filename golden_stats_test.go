@@ -131,6 +131,10 @@ func collectGolden(t *testing.T) map[string]goldenStats {
 // set) must leave the architectural statistics bit-identical to an
 // observer-off run. Observers record; they never steer.
 func TestObserverDeterminism(t *testing.T) {
+	if testing.Short() {
+		// Two full workload sweeps; too slow under -race. See TestGoldenStats.
+		t.Skip("short mode: skipping observer-determinism sweep")
+	}
 	schemes := []Scheme{Baseline, Reuse, EarlyRelease}
 	for _, w := range workloads.Small() {
 		for _, s := range schemes {
@@ -221,6 +225,12 @@ func TestChromeTraceValid(t *testing.T) {
 // statistics exactly — IPC inputs (cycles, instructions), renaming behavior,
 // speculation counters, and occupancy sampling.
 func TestGoldenStats(t *testing.T) {
+	if testing.Short() {
+		// The full golden sweep simulates every pinned workload end to end;
+		// under -race that exceeds any reasonable CI budget. make race runs
+		// this package with -short, make test still runs the sweep.
+		t.Skip("short mode: skipping full golden-stats sweep")
+	}
 	got := collectGolden(t)
 
 	if *updateGolden {

@@ -8,6 +8,8 @@
 //   - Figure 3: the percentage of instructions that could reuse a physical
 //     register, bucketed by position in the reuse chain (one, two, three,
 //     or more reuses of the same register).
+//
+//repro:deterministic
 package analysis
 
 import (
@@ -148,6 +150,7 @@ func (c *Collector) Finalize() Report {
 	}
 	// Figure 1: count each consuming instruction once; prefer the
 	// redefining classification when both apply.
+	//repro:allow determinism per-key counter increments commute
 	for _, ids := range soleOf {
 		redef := false
 		hasDest := false

@@ -3,6 +3,8 @@
 // programs instruction-at-a-time with no microarchitectural state, and its
 // committed-instruction stream feeds the trace analyses behind Figures 1-3
 // of the paper.
+//
+//repro:deterministic
 package emu
 
 import (

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism inside
+// //repro:deterministic scopes: wall-clock reads, the global math/rand
+// generator, and iteration over maps whose visit order can leak into output
+// or simulator state.
+//
+// Map ranges are not banned outright — three idioms are provably
+// order-insensitive and stay allowed:
+//
+//   - collect-then-sort: the body only appends keys/values to a slice that a
+//     later statement in the same function sorts;
+//   - keyed writes: every statement stores into a map/slice indexed by the
+//     loop variables (the final contents are order-independent);
+//   - commutative accumulation: only +=, *=, |=, &=, ^= or ++/-- updates.
+//
+// Anything else — early returns, callbacks, channel sends, appends that are
+// never sorted — is flagged.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock, global math/rand, and order-dependent map iteration in //repro:deterministic scopes",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.Pkg.Directives.Deterministic(fd) {
+				continue
+			}
+			checkDeterministicFunc(p, fd)
+		}
+	}
+}
+
+func checkDeterministicFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, pkg := calleePkgFunc(p.Pkg.Info, n); pkg != "" {
+				switch {
+				case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					p.Reportf(n.Pos(), "call to time.%s in deterministic scope", name)
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && name != "New" && name != "NewSource":
+					// New/NewSource are pure constructors; everything else
+					// reads or mutates the shared global generator.
+					p.Reportf(n.Pos(), "global math/rand call rand.%s in deterministic scope (use a seeded *rand.Rand)", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && !orderInsensitiveRange(p.Pkg, fd, n) {
+					p.Reportf(n.Pos(), "map iteration order may leak into output/state; sort the keys or restrict the body to order-insensitive writes")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleePkgFunc resolves a call to a package-level function, returning the
+// function name and its package path ("" when the callee is anything else:
+// a method, builtin, conversion or local function value).
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (name, pkgPath string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", "" // method call, e.g. (*rand.Rand).Intn — deterministic if seeded
+	}
+	return fn.Name(), fn.Pkg().Path()
+}
+
+// orderInsensitiveRange reports whether a map-range body cannot observe
+// iteration order, per the idioms documented on Determinism.
+func orderInsensitiveRange(pkg *Package, fd *ast.FuncDecl, r *ast.RangeStmt) bool {
+	cl := &rangeClassifier{pkg: pkg, locals: map[types.Object]bool{}}
+	if !cl.stmts(r.Body.List) {
+		return false
+	}
+	for _, obj := range cl.appended {
+		if !sortedAfter(pkg, fd, r, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+type rangeClassifier struct {
+	pkg      *Package
+	appended []types.Object        // slices accumulated in the body; must be sorted later
+	locals   map[types.Object]bool // variables defined inside the body (per-iteration state)
+}
+
+func (cl *rangeClassifier) stmts(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !cl.assign(s) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// x++ / x-- accumulation commutes.
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(cl.pkg.Info, call, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (cl *rangeClassifier) assign(s *ast.AssignStmt) bool {
+	switch s.Tok.String() {
+	case "+=", "*=", "|=", "&=", "^=":
+		return true // commutative accumulation
+	case ":=":
+		// Defining per-iteration locals is harmless as long as the
+		// initializer has no side effects (only allocation-like builtins).
+		for _, rhs := range s.Rhs {
+			if !sideEffectFree(cl.pkg.Info, rhs) {
+				return false
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := cl.pkg.Info.ObjectOf(id); obj != nil {
+					cl.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case "=":
+	default:
+		return false
+	}
+	// s = append(s, ...) accumulation: allowed if the slice is sorted later
+	// (checked by the caller).
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(cl.pkg.Info, call, "append") {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if obj := cl.pkg.Info.ObjectOf(id); obj != nil {
+					cl.appended = append(cl.appended, obj)
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Keyed writes m[k] = v are order-independent (each key is written at
+	// most once per iteration); so are stores through per-iteration locals.
+	for i, lhs := range s.Lhs {
+		if !sideEffectFree(cl.pkg.Info, s.Rhs[min(i, len(s.Rhs)-1)]) {
+			return false
+		}
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			continue
+		}
+		if root := rootIdent(lhs); root != nil {
+			if obj := cl.pkg.Info.ObjectOf(root); obj != nil && cl.locals[obj] {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// sideEffectFree reports whether expr contains no calls other than
+// allocation-like builtins (new, make, len, cap).
+func sideEffectFree(info *types.Info, expr ast.Expr) bool {
+	ok := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return ok
+		}
+		switch {
+		case isBuiltin(info, call, "new"), isBuiltin(info, call, "make"),
+			isBuiltin(info, call, "len"), isBuiltin(info, call, "cap"):
+		default:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// sortedAfter reports whether some statement after the range loop (in the
+// same function) passes obj to a sort.* or slices.Sort* call.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, r *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() || found {
+			return true
+		}
+		if _, pkgPath := calleePkgFunc(pkg.Info, call); pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

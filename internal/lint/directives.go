@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comment prefixes. They use the //repro: namespace so gofmt leaves
+// them pinned to their declarations (like //go: directives).
+const (
+	dirDeterministic = "//repro:deterministic"
+	dirHotpath       = "//repro:hotpath"
+	dirObsEmit       = "//repro:obsemit"
+	dirAllow         = "//repro:allow"
+)
+
+// funcMarks are the per-function directive flags.
+type funcMarks struct {
+	deterministic bool
+	hotpath       bool
+	obsemit       bool
+}
+
+// Directives indexes every //repro: comment in a package.
+type Directives struct {
+	// PkgDeterministic is set by //repro:deterministic in any file's
+	// package doc comment: the determinism analyzer then covers every
+	// function in the package.
+	PkgDeterministic bool
+
+	funcs map[*ast.FuncDecl]funcMarks
+	// allows maps "file:line" to the analyzers suppressed on that line.
+	allows map[string]map[string]bool
+}
+
+func parseDirectives(p *Package) *Directives {
+	d := &Directives{
+		funcs:  map[*ast.FuncDecl]funcMarks{},
+		allows: map[string]map[string]bool{},
+	}
+	for _, f := range p.Files {
+		if f.Doc != nil && docHas(f.Doc, dirDeterministic) {
+			d.PkgDeterministic = true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			d.funcs[fd] = funcMarks{
+				deterministic: docHas(fd.Doc, dirDeterministic),
+				hotpath:       docHas(fd.Doc, dirHotpath),
+				obsemit:       docHas(fd.Doc, dirObsEmit),
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, dirAllow)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				if d.allows[key] == nil {
+					d.allows[key] = map[string]bool{}
+				}
+				d.allows[key][fields[0]] = true
+			}
+		}
+	}
+	return d
+}
+
+func docHas(doc *ast.CommentGroup, directive string) bool {
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func posKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Small manual itoa keeps this allocation-light for large runs.
+	b.WriteString(itoa(line))
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// allowed reports whether an //repro:allow for analyzer sits on the finding's
+// line or the line directly above it.
+func (d *Directives) allowed(analyzer string, pos token.Position) bool {
+	if d.allows[posKey(pos.Filename, pos.Line)][analyzer] {
+		return true
+	}
+	return d.allows[posKey(pos.Filename, pos.Line-1)][analyzer]
+}
+
+// funcAllowed reports whether the function's doc comment carries an
+// //repro:allow for analyzer (suppressing the whole function body).
+func (d *Directives) funcAllowed(analyzer string, fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, dirAllow)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 && fields[0] == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether fd is in the determinism analyzer's scope.
+func (d *Directives) Deterministic(fd *ast.FuncDecl) bool {
+	return d.PkgDeterministic || d.funcs[fd].deterministic
+}
+
+// Hotpath reports whether fd is marked //repro:hotpath.
+func (d *Directives) Hotpath(fd *ast.FuncDecl) bool { return d.funcs[fd].hotpath }
+
+// ObsEmit reports whether fd is marked //repro:obsemit.
+func (d *Directives) ObsEmit(fd *ast.FuncDecl) bool { return d.funcs[fd].obsemit }

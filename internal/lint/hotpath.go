@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath flags allocation-inducing constructs inside functions marked
+// //repro:hotpath — the static complement of the runtime zero-allocation
+// gate (TestCoreStepZeroAllocs). Flagged: fmt.* calls, string concatenation,
+// function literals (closure captures), implicit or explicit conversions of
+// concrete values to interface types, append to slices the receiver does not
+// own, and map/slice composite literals.
+//
+// Two paths are exempt because they are cold by construction: arguments of
+// panic (the failure path) and statements guarded by an observer nil-check
+// (`if x != nil { ... }` where x is an internal/obs Observer — the
+// observability slow path the nil-observer contract makes opt-in).
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flags allocation-inducing constructs in //repro:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.Pkg.Directives.Hotpath(fd) {
+				continue
+			}
+			h := &hotChecker{p: p, backed: receiverBackedSlices(p.Pkg, fd)}
+			h.walk(fd.Body)
+		}
+	}
+}
+
+type hotChecker struct {
+	p      *Pass
+	backed map[types.Object]bool // receiver-owned slice variables
+}
+
+func (h *hotChecker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isObsNilGuard(h.p.Pkg.Info, n.Cond) {
+				// Observer-enabled slow path: skip the guarded block, keep
+				// checking init/cond/else ourselves.
+				h.walk(n.Init)
+				h.walk(n.Else)
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false // failure path is cold; fmt.Sprintf etc. allowed
+			}
+			h.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(h.p.Pkg.Info.TypeOf(n)) {
+				h.p.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(h.p.Pkg.Info.TypeOf(n.Lhs[0])) {
+				h.p.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.FuncLit:
+			h.p.Reportf(n.Pos(), "function literal in hot path (closure capture allocates)")
+			return false
+		case *ast.CompositeLit:
+			switch h.p.Pkg.Info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				h.p.Reportf(n.Pos(), "map literal allocates in hot path")
+			case *types.Slice:
+				h.p.Reportf(n.Pos(), "slice literal allocates in hot path")
+			}
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	info := h.p.Pkg.Info
+	// Explicit conversion to an interface type: iface(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && concreteValue(info, call.Args[0]) {
+			h.p.Reportf(call.Pos(), "conversion to interface type %s allocates in hot path", types.TypeString(tv.Type, types.RelativeTo(h.p.Pkg.Types)))
+		}
+		return
+	}
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		if !h.receiverOwned(call.Args[0]) {
+			h.p.Reportf(call.Pos(), "append to a slice the receiver does not own may allocate in hot path")
+		}
+		return
+	}
+	if name, pkg := calleePkgFunc(info, call); pkg == "fmt" {
+		h.p.Reportf(call.Pos(), "fmt.%s allocates in hot path", name)
+		return
+	}
+	// Implicit conversions: concrete argument passed to an interface
+	// parameter boxes the value.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && concreteValue(info, arg) {
+			h.p.Reportf(arg.Pos(), "passing concrete value to interface parameter allocates in hot path")
+		}
+	}
+}
+
+// receiverOwned reports whether expr is rooted in the method receiver (or in
+// a local variable initialized from a receiver-owned slice), e.g. c.buf,
+// c.buf[:0], or `out` after `out := c.buf[:0]`. Appending to such slices is
+// amortized by pre-sizing, which the zero-alloc test verifies at runtime.
+func (h *hotChecker) receiverOwned(expr ast.Expr) bool {
+	root := rootIdent(expr)
+	if root == nil {
+		return false
+	}
+	obj := h.p.Pkg.Info.ObjectOf(root)
+	return obj != nil && h.backed[obj]
+}
+
+// receiverBackedSlices seeds the receiver-owned set with the receiver itself
+// and every local whose initializer is rooted at a receiver-owned value.
+func receiverBackedSlices(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	backed := map[types.Object]bool{}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := pkg.Info.ObjectOf(fd.Recv.List[0].Names[0]); obj != nil {
+			backed[obj] = true
+		}
+	}
+	if len(backed) == 0 {
+		return backed
+	}
+	// One forward pass suffices: Go requires declaration before use inside a
+	// function body, so a backed local's initializer precedes its uses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			// `out = append(out, ...)` keeps `out` backed; skip so the
+			// append check (not this pass) judges it.
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pkg.Info, call, "append") {
+				continue
+			}
+			root := rootIdent(rhs)
+			if root == nil {
+				continue
+			}
+			if rootObj := pkg.Info.ObjectOf(root); rootObj != nil && backed[rootObj] {
+				if obj := pkg.Info.ObjectOf(id); obj != nil {
+					backed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return backed
+}
+
+// rootIdent strips selectors, indexing, slicing, derefs and parens down to
+// the base identifier, or nil when the expression has no simple root.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// concreteValue reports whether expr is a non-interface, non-nil value (the
+// case where assigning to an interface boxes and may allocate).
+func concreteValue(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// isObsNilGuard matches `x != nil` where x is an internal/obs Observer — the
+// repository's observability fast-path idiom.
+func isObsNilGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	var operand ast.Expr
+	switch {
+	case isNilExpr(info, be.Y):
+		operand = be.X
+	case isNilExpr(info, be.X):
+		operand = be.Y
+	default:
+		return false
+	}
+	return isObsObserver(info.TypeOf(operand))
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isObsObserver matches the Observer interface of an internal/obs package
+// (path-suffix match so the lint testdata can use the real one).
+func isObsObserver(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || !types.IsInterface(t) {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Observer" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

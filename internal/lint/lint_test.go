@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expected-diagnostic annotations: // want `regex`
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// checkGolden loads one testdata package, runs the given analyzers, and
+// verifies the findings exactly match the package's // want comments.
+func checkGolden(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	findings, err := Run([]string{"./testdata/src/" + dir}, analyzers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Expected diagnostics, keyed by file:line.
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{}
+	glob, err := filepath.Glob(filepath.Join("testdata", "src", dir, "*.go"))
+	if err != nil || len(glob) == 0 {
+		t.Fatalf("no testdata sources for %s (err=%v)", dir, err)
+	}
+	for _, path := range glob {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", abs, i+1)
+				wants[key] = append(wants[key], &want{re: regexp.MustCompile(m[1])})
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		consumed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q not reported", key, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	checkGolden(t, "det_bad", []*Analyzer{Determinism})
+}
+
+func TestHotpathGolden(t *testing.T) {
+	checkGolden(t, "hotpath_bad", []*Analyzer{Hotpath})
+}
+
+func TestTagPairGolden(t *testing.T) {
+	checkGolden(t, "tagpair_bad", []*Analyzer{TagPair})
+}
+
+func TestObsGuardGolden(t *testing.T) {
+	checkGolden(t, "obsguard_bad", []*Analyzer{ObsGuard})
+}
+
+// TestCleanPackage runs the full suite over a package built from every
+// allowed idiom (collect-then-sort, keyed writes, commutative accumulation,
+// receiver-owned appends, guarded emissions, paired tags, //repro:allow) and
+// asserts zero findings.
+func TestCleanPackage(t *testing.T) {
+	checkGolden(t, "clean", All())
+}
+
+// TestRepoClean pins the tentpole acceptance criterion: the repository's own
+// packages carry zero findings. Wildcard patterns skip testdata directories,
+// so the seeded-violation packages above do not trip it.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo lint")
+	}
+	findings, err := Run([]string{"repro/..."}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard enforces the nil-observer fast path: every observer emission —
+// a direct call on an internal/obs Observer value, or a call to a helper
+// marked //repro:obsemit — must sit inside an `if o != nil { ... }` block.
+// The contract keeps observability free when disabled: a simulation with no
+// observer attached pays exactly one nil check per potential emission, and
+// never constructs an event value.
+//
+// Helpers marked //repro:obsemit may emit unguarded inside their own body
+// (they document "callers must have checked"); the analyzer transfers the
+// obligation to their call sites.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "flags observer emissions not behind the nil-observer fast path",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(p *Pass) {
+	if strings.HasSuffix(p.Pkg.ImportPath, "internal/obs") {
+		return // the observer package itself fans out events by design
+	}
+	// Observer-emission helpers declared in this package.
+	emitters := map[types.Object]bool{}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && p.Pkg.Directives.ObsEmit(fd) {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					emitters[obj] = true
+				}
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		guarded := guardedSpans(p.Pkg.Info, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Pkg.Directives.ObsEmit(fd) {
+				continue // body emits on the caller's guard
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isEmission(p.Pkg.Info, call, emitters) {
+					return true
+				}
+				if !guarded.covers(call.Pos()) {
+					p.Reportf(call.Pos(), "observer emission outside a nil-observer guard; wrap in `if o != nil { ... }` or mark the enclosing helper //repro:obsemit")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isEmission reports whether call emits an observer event: a method call on
+// an Observer interface value, or a call to an //repro:obsemit helper.
+func isEmission(info *types.Info, call *ast.CallExpr, emitters map[types.Object]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if ok && isObsObserver(info.TypeOf(sel.X)) {
+		return true
+	}
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = info.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = info.Uses[fun.Sel]
+	}
+	return callee != nil && emitters[callee]
+}
+
+// span is a [start, end] position range.
+type span struct{ start, end token.Pos }
+
+type spans []span
+
+func (s spans) covers(pos token.Pos) bool {
+	for _, sp := range s {
+		if pos >= sp.start && pos <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedSpans collects the bodies of every `if x != nil` statement whose
+// operand is an Observer — the regions where emissions are legal.
+func guardedSpans(info *types.Info, file *ast.File) spans {
+	var out spans
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if ok && isObsNilGuard(info, ifs.Cond) {
+			out = append(out, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}

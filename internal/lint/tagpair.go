@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TagPair enforces the paper's tagging discipline: a physical-register index
+// is ambiguous without its version counter (the same register can hold up to
+// four live versions under the reuse scheme), so any API surface that crosses
+// a package boundary must carry the (physReg, version) pair together —
+// either an explicit regfile.Ver alongside the regfile.PhysReg, or a
+// rename.Tag, which bundles both.
+//
+// Checked surfaces: exported function/method signatures and exported struct
+// fields, in every package except regfile itself (the layer that owns the
+// versioned cells and legitimately addresses bare registers).
+var TagPair = &Analyzer{
+	Name: "tagpair",
+	Doc:  "flags exported signatures/fields carrying regfile.PhysReg without an accompanying version",
+	Run:  runTagPair,
+}
+
+func runTagPair(p *Pass) {
+	if strings.HasSuffix(p.Pkg.ImportPath, "internal/regfile") {
+		return // the defining layer addresses bare registers by design
+	}
+	phys, ver := findRegfileTypes(p.Pkg.Types)
+	if phys == nil {
+		return // package cannot name PhysReg at all
+	}
+	tc := &tagChecker{p: p, phys: phys, ver: ver}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				tc.checkFunc(d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						tc.checkType(ts)
+					}
+				}
+			}
+		}
+	}
+}
+
+// findRegfileTypes locates regfile.PhysReg and regfile.Ver in the package's
+// transitive imports (path-suffix match keeps the lint testdata usable).
+func findRegfileTypes(pkg *types.Package) (phys, ver types.Type) {
+	seen := map[*types.Package]bool{}
+	var walk func(*types.Package)
+	walk = func(p *types.Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if strings.HasSuffix(p.Path(), "internal/regfile") {
+			if o := p.Scope().Lookup("PhysReg"); o != nil {
+				phys = o.Type()
+			}
+			if o := p.Scope().Lookup("Ver"); o != nil {
+				ver = o.Type()
+			}
+			return
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(pkg)
+	return phys, ver
+}
+
+type tagChecker struct {
+	p         *Pass
+	phys, ver types.Type
+}
+
+func (tc *tagChecker) checkFunc(fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !receiverExported(tc.p.Pkg.Info, fd) {
+		return
+	}
+	obj, ok := tc.p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	hasPhys, hasVer := false, false
+	scan := func(tup *types.Tuple) {
+		for i := 0; i < tup.Len(); i++ {
+			hasPhys = hasPhys || tc.contains(tup.At(i).Type(), tc.phys)
+			hasVer = hasVer || tc.contains(tup.At(i).Type(), tc.ver)
+		}
+	}
+	scan(sig.Params())
+	scan(sig.Results())
+	if hasPhys && !hasVer {
+		tc.p.Reportf(fd.Name.Pos(), "exported signature carries regfile.PhysReg without a version; pair it with regfile.Ver or use rename.Tag")
+	}
+}
+
+func (tc *tagChecker) checkType(ts *ast.TypeSpec) {
+	if !ts.Name.IsExported() {
+		return
+	}
+	obj := tc.p.Pkg.Info.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// If any field of the struct carries a version, the pair travels
+	// together at the struct granularity and every field passes.
+	for i := 0; i < st.NumFields(); i++ {
+		if tc.contains(st.Field(i).Type(), tc.ver) {
+			return
+		}
+	}
+	stAST, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range stAST.Fields.List {
+		t := tc.p.Pkg.Info.TypeOf(field.Type)
+		if t == nil || !tc.contains(t, tc.phys) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				tc.p.Reportf(name.Pos(), "exported field %s carries regfile.PhysReg but struct %s has no version field; add a regfile.Ver or use rename.Tag", name.Name, ts.Name.Name)
+			}
+		}
+	}
+}
+
+// contains reports whether t transitively contains target (through pointers,
+// slices, arrays, maps and struct fields — rename.Tag therefore "contains"
+// both PhysReg and Ver).
+func (tc *tagChecker) contains(t, target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if types.Identical(t, target) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// receiverExported reports whether fd is a plain function or a method on an
+// exported named type (methods on unexported types cannot cross a package
+// boundary).
+func receiverExported(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return !ok || n.Obj().Exported()
+}

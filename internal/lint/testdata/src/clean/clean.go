@@ -1,0 +1,87 @@
+// Package clean exercises every analyzer's allowed idioms and the
+// //repro:allow suppression mechanism; the golden test asserts the full
+// suite produces zero findings here.
+//
+//repro:deterministic
+package clean
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/regfile"
+	"repro/internal/rename"
+)
+
+// Keys demonstrates the collect-then-sort idiom.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invert demonstrates keyed map writes.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Sum demonstrates commutative accumulation.
+func Sum(m map[string]int) (total int, count int) {
+	for _, v := range m {
+		total += v
+		count++
+	}
+	return total, count
+}
+
+// Clone demonstrates per-iteration locals feeding keyed writes.
+func Clone(m map[uint64]*[8]byte) map[uint64]*[8]byte {
+	out := make(map[uint64]*[8]byte, len(m))
+	for k, v := range m {
+		p := new([8]byte)
+		*p = *v
+		out[k] = p
+	}
+	return out
+}
+
+// Elapsed is observability-only timing, justified at the call site.
+func Elapsed(start time.Time) time.Duration {
+	//repro:allow determinism observability-only timing, not in any result key
+	return time.Since(start)
+}
+
+// Core mirrors the simulator's hot-loop ownership patterns.
+type Core struct {
+	buf []uint64
+	o   obs.Observer
+}
+
+// Step is a hot path built only from allocation-free constructs.
+//
+//repro:hotpath
+func (c *Core) Step(v uint64) {
+	c.buf = append(c.buf, v)
+	scratch := c.buf[:0]
+	scratch = append(scratch, v)
+	_ = scratch
+	if c.o != nil {
+		c.o.Tick(obs.Tick{Cycle: v})
+	}
+	if v == 0 {
+		panic("clean: zero step")
+	}
+}
+
+// ReadCell carries the (physReg, version) pair together.
+func ReadCell(f *regfile.File, t rename.Tag) uint64 {
+	return f.Read(t.Reg, t.Ver)
+}

@@ -1,0 +1,50 @@
+// Package det_bad seeds determinism violations for the lint golden tests.
+//
+//repro:deterministic
+package det_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock leaks wall-clock time into a result.
+func Clock() (int64, time.Duration) {
+	now := time.Now()                  // want `call to time.Now in deterministic scope`
+	return now.Unix(), time.Since(now) // want `call to time.Since in deterministic scope`
+}
+
+// Roll uses the global math/rand generator.
+func Roll() int {
+	return rand.Intn(6) // want `global math/rand call rand.Intn`
+}
+
+// SeededRoll uses a locally seeded generator: deterministic, no finding.
+func SeededRoll() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// FirstKey returns whichever key the runtime enumerates first.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want `map iteration order may leak`
+		return k
+	}
+	return ""
+}
+
+// Callback invokes fn in unspecified order.
+func Callback(m map[string]int, fn func(string, int)) {
+	for k, v := range m { // want `map iteration order may leak`
+		fn(k, v)
+	}
+}
+
+// UnsortedAppend accumulates map keys without ever sorting them.
+func UnsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order may leak`
+		out = append(out, k)
+	}
+	return out
+}

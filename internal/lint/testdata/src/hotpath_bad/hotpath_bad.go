@@ -1,0 +1,67 @@
+// Package hotpath_bad seeds hot-path allocation violations for the lint
+// golden tests.
+package hotpath_bad
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Sink is a local interface used to provoke boxing conversions.
+type Sink interface{ Take() }
+
+// Boxed satisfies Sink.
+type Boxed struct{ v int }
+
+// Take implements Sink.
+func (Boxed) Take() {}
+
+// Core mimics a simulator core with receiver-owned scratch storage.
+type Core struct {
+	buf []int
+	o   obs.Observer
+}
+
+// Step is the seeded hot path.
+//
+//repro:hotpath
+func (c *Core) Step(s Sink, b Boxed, name string) {
+	fmt.Println("step", name) // want `fmt.Println allocates in hot path`
+	_ = name + "!"            // want `string concatenation allocates in hot path`
+	f := func() int {         // want `function literal in hot path`
+		return len(c.buf)
+	}
+	_ = f
+	s = Sink(b) // want `conversion to interface type Sink allocates`
+	take(b)     // want `passing concrete value to interface parameter allocates`
+	take(s)     // interface-to-interface: no boxing, no finding
+
+	var local []int
+	local = append(local, 1) // want `append to a slice the receiver does not own`
+	_ = local
+	c.buf = append(c.buf, 2) // receiver-owned: amortized, no finding
+	scratch := c.buf[:0]
+	scratch = append(scratch, 3) // receiver-backed local: no finding
+	_ = scratch
+
+	_ = map[int]int{1: 2} // want `map literal allocates in hot path`
+	_ = []int{1, 2}       // want `slice literal allocates in hot path`
+	_ = [2]int{1, 2}      // array literal lives on the stack: no finding
+
+	if c.o != nil {
+		// Observer slow path: emissions may allocate freely.
+		c.o.Core(obs.CoreEvent{Kind: obs.CoreFlush, Arg: uint64(len(name))})
+	}
+	if len(c.buf) > 1<<20 {
+		panic(fmt.Sprintf("core overflow: %d", len(c.buf))) // failure path: no finding
+	}
+}
+
+// Unmarked is identical but carries no directive: no findings.
+func (c *Core) Unmarked(name string) {
+	fmt.Println("step", name)
+	_ = name + "!"
+}
+
+func take(s Sink) { _ = s }

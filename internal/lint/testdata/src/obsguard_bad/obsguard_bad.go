@@ -1,0 +1,44 @@
+// Package obsguard_bad seeds nil-observer fast-path violations for the lint
+// golden tests.
+package obsguard_bad
+
+import "repro/internal/obs"
+
+// Core holds an optional observer, nil when observability is disabled.
+type Core struct {
+	o     obs.Observer
+	cycle uint64
+}
+
+// BadTick emits without checking the observer for nil.
+func (c *Core) BadTick() {
+	c.o.Tick(obs.Tick{Cycle: c.cycle}) // want `observer emission outside a nil-observer guard`
+}
+
+// GoodTick pays one compare-and-branch before emitting: no finding.
+func (c *Core) GoodTick() {
+	if c.o != nil {
+		c.o.Tick(obs.Tick{Cycle: c.cycle})
+	}
+}
+
+// emit is a documented emission helper; its body may emit unguarded because
+// every call site owns the guard.
+//
+//repro:obsemit
+func (c *Core) emit(kind obs.CoreKind) {
+	c.o.Core(obs.CoreEvent{Cycle: c.cycle, Kind: kind})
+}
+
+// BadHelperUse calls the helper without the guard the helper's contract
+// requires.
+func (c *Core) BadHelperUse() {
+	c.emit(obs.CoreFlush) // want `observer emission outside a nil-observer guard`
+}
+
+// GoodHelperUse owns the guard: no finding.
+func (c *Core) GoodHelperUse() {
+	if c.o != nil {
+		c.emit(obs.CoreFlush)
+	}
+}

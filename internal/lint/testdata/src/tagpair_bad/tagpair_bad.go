@@ -1,0 +1,57 @@
+// Package tagpair_bad seeds (physReg, version) pairing violations for the
+// lint golden tests.
+package tagpair_bad
+
+import (
+	"repro/internal/regfile"
+	"repro/internal/rename"
+)
+
+// Lookup carries a bare physical-register index across the API boundary.
+func Lookup(p regfile.PhysReg) uint64 { // want `carries regfile.PhysReg without a version`
+	return uint64(p)
+}
+
+// Steal returns bare indices in a slice.
+func Steal() []regfile.PhysReg { // want `carries regfile.PhysReg without a version`
+	return nil
+}
+
+// ReadCell pairs the index with its version explicitly: no finding.
+func ReadCell(p regfile.PhysReg, v regfile.Ver) uint64 {
+	return uint64(p) + uint64(v)
+}
+
+// Resolve carries the pair inside a rename.Tag: no finding.
+func Resolve(t rename.Tag) uint64 {
+	return uint64(t.Reg)
+}
+
+// Mapping is an exported struct whose exported field carries a bare index.
+type Mapping struct {
+	Reg  regfile.PhysReg // want `exported field Reg carries regfile.PhysReg`
+	Live bool
+}
+
+// Entry carries the version alongside: no finding.
+type Entry struct {
+	Reg regfile.PhysReg
+	Ver regfile.Ver
+}
+
+// TaggedEntry embeds the pair via rename.Tag: no finding.
+type TaggedEntry struct {
+	Tag  rename.Tag
+	Live bool
+}
+
+// hidden is unexported: not an API boundary, no finding.
+type hidden struct {
+	reg regfile.PhysReg
+}
+
+// peek is unexported: no finding.
+func peek(p regfile.PhysReg) uint64 { return uint64(p) }
+
+var _ = hidden{}
+var _ = peek

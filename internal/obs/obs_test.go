@@ -23,7 +23,7 @@ func TestTracerRecordsAndChrome(t *testing.T) {
 	tr := NewTracer(4) // rounds up to the 64-entry minimum
 	add := isa.Inst{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3}
 	for seq := uint64(0); seq < 10; seq++ {
-		lifecycle(tr, seq, 10*seq, add, RenameAlloc, rename.Tag{Reg: uint16(40 + seq)})
+		lifecycle(tr, seq, 10*seq, add, RenameAlloc, rename.Tag{Reg: rename.PhysReg(40 + seq)})
 	}
 	tr.Core(CoreEvent{Cycle: 5, Kind: CoreCheckpointCreate, Seq: 3})
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/regfile"
 )
 
 // bootFrom seeds the core's architectural state from a fast-forward
@@ -25,10 +26,10 @@ func (c *Core) bootFrom(sn *emu.Snapshot, warmup []emu.Commit) {
 		if l == isa.ZeroReg {
 			continue
 		}
-		c.rfInt.Write(uint16(l), 0, sn.X[l])
+		c.rfInt.Write(regfile.PhysReg(l), 0, sn.X[l])
 	}
 	for l := 0; l < isa.NumFPRegs; l++ {
-		c.rfFP.Write(uint16(l), 0, math.Float64bits(sn.F[l]))
+		c.rfFP.Write(regfile.PhysReg(l), 0, math.Float64bits(sn.F[l]))
 	}
 
 	c.fetchPC = sn.PC

@@ -6,10 +6,13 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/regfile"
 )
 
 // commit retires up to CommitWidth completed instructions from the ROB head,
 // taking precise exceptions and timer interrupts at instruction boundaries.
+//
+//repro:hotpath
 func (c *Core) commit() {
 	// Timer interrupt: taken at a commit boundary before any instruction
 	// of this cycle retires.
@@ -90,9 +93,11 @@ func (c *Core) commit() {
 				IsBranch: e.isBranch, Taken: e.actualTaken,
 			}
 			if e.hasDest {
+				//repro:allow hotpath commit-hook observability slow path
 				ev.DestTag = fmt.Sprintf("P%d.%d", e.dest.Tag.Reg, e.dest.Tag.Ver)
 			}
 			if e.micro {
+				//repro:allow hotpath commit-hook observability slow path
 				ev.Inst = fmt.Sprintf("mvrepair %s <- P%d.%d", ev.DestTag, e.microFrom.Reg, e.microFrom.Ver)
 			}
 			c.cfg.CommitHook(ev)
@@ -114,6 +119,8 @@ func (c *Core) commit() {
 // commitStore retires a store: the committed memory state is updated and
 // the D-cache sees the access (timing-wise the store drains through a write
 // buffer, so commit does not stall on it).
+//
+//repro:hotpath
 func (c *Core) commitStore(e *robEntry) {
 	c.mem.Write64(e.effAddr, e.resultVal)
 	c.hier.DataAccess(e.pc, e.effAddr, true, c.cycle)
@@ -207,6 +214,8 @@ func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
 }
 
 // releaseCkpts recycles a retired or squashed branch's renamer snapshots.
+//
+//repro:hotpath
 func (c *Core) releaseCkpts(e *robEntry) {
 	if e.ckptI != nil {
 		c.renI.ReleaseCheckpoint(e.ckptI)
@@ -276,7 +285,9 @@ func (c *Core) ArchRegs() (x [isa.NumIntRegs]uint64, f [isa.NumFPRegs]float64) {
 // version lives in a shadow cell, which Read handles; if the speculative
 // producer has not executed yet the main cell still holds the architectural
 // version.
-func readVerFor(c *Core, class isa.RegClass, reg uint16, ver uint8) uint8 {
+//
+//repro:hotpath
+func readVerFor(c *Core, class isa.RegClass, reg regfile.PhysReg, ver regfile.Ver) regfile.Ver {
 	rf := c.rf(class)
 	if rf.MainVer(reg) < ver {
 		return rf.MainVer(reg)

@@ -5,6 +5,8 @@
 // store-to-load forwarding, functional-unit pools, branch checkpointing,
 // and precise exceptions/interrupts recovered through the check-pointed
 // register file.
+//
+//repro:deterministic
 package pipeline
 
 import (

@@ -383,6 +383,8 @@ func (c *Core) StepN(n int) {
 // produced at cycle T can feed instructions issuing at T (back-to-back
 // dependent execution), and younger stages see the machine state left by
 // older ones.
+//
+//repro:hotpath
 func (c *Core) step() {
 	c.processEvents()
 	if c.halted {
@@ -419,6 +421,8 @@ func (c *Core) step() {
 // clock. The nil check is all the disabled path pays — the emission itself
 // is out of line so this inlines to a compare-and-branch and the hot loop
 // keeps the same per-cycle cost it had before observability existed.
+//
+//repro:hotpath
 func (c *Core) endCycle() {
 	if c.o != nil {
 		c.o.Tick(obs.Tick{Cycle: c.cycle, Committed: c.stats.Committed, IQ: c.iqCount, ROB: c.robCount})
@@ -426,12 +430,16 @@ func (c *Core) endCycle() {
 }
 
 // obsCore emits a core event. Callers must have checked c.o != nil.
+//
+//repro:obsemit
 func (c *Core) obsCore(kind obs.CoreKind, seq, arg uint64) {
 	c.o.Core(obs.CoreEvent{Cycle: c.cycle, Kind: kind, Seq: seq, Arg: arg})
 }
 
 // advanceSpecBoundary computes the sequence number below which no
 // unresolved branch remains and notifies the early-release trackers.
+//
+//repro:hotpath
 func (c *Core) advanceSpecBoundary() {
 	boundary := c.seqNext
 	for i := 0; i < c.robCount; i++ {
@@ -448,10 +456,11 @@ func (c *Core) advanceSpecBoundary() {
 	}
 }
 
+//repro:hotpath
 func (c *Core) sampleOccupancy() {
 	c.stats.OccupancySamples++
 	for k := 1; k <= regfile.MaxShadow; k++ {
-		n := c.reuseI.LiveVersionCount(uint8(k)) + c.reuseF.LiveVersionCount(uint8(k))
+		n := c.reuseI.LiveVersionCount(regfile.Ver(k)) + c.reuseF.LiveVersionCount(regfile.Ver(k))
 		if n >= len(c.stats.Occupancy[k]) {
 			n = len(c.stats.Occupancy[k]) - 1
 		}

@@ -96,7 +96,7 @@ func TestEarlyReleaseFreeListConservation(t *testing.T) {
 	}
 	// Drain: everything committed at halt. Count distinct architecturally
 	// mapped registers.
-	seen := map[uint16]bool{}
+	seen := map[rename.PhysReg]bool{}
 	for l := uint8(0); l < 32; l++ {
 		seen[c.renI.RetireTag(l).Reg] = true
 	}

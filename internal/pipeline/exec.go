@@ -14,6 +14,8 @@ import (
 // to functional-unit availability, executes them functionally, and schedules
 // their writeback events. Entries blocked by a busy FU or by memory
 // disambiguation stay on the list and are retried next cycle.
+//
+//repro:hotpath
 func (c *Core) issue() {
 	issued := 0
 	rl := c.readyList
@@ -57,6 +59,7 @@ func (c *Core) issue() {
 	c.readyList = rl[:w]
 }
 
+//repro:hotpath
 func (c *Core) freeFUSlot(fu isa.FU) int {
 	for s, busyUntil := range c.fuBusy[fu] {
 		if busyUntil <= c.cycle {
@@ -70,6 +73,8 @@ func (c *Core) freeFUSlot(fu isa.FU) int {
 // loads it performs disambiguation, forwarding, and the cache access;
 // ok=false means the load cannot issue yet (an older store address is
 // unknown).
+//
+//repro:hotpath
 func (c *Core) execute(ent *iqEntry) (int, bool) {
 	e := &c.rob[ent.robIdx]
 	v0, v1 := ent.src[0].val, ent.src[1].val
@@ -141,6 +146,7 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 	}
 }
 
+//repro:hotpath
 func branchOutcome(in isa.Inst, pc, v0, v1 uint64) (bool, uint64) {
 	d := in.Op.Describe()
 	switch {
@@ -161,6 +167,8 @@ func branchOutcome(in isa.Inst, pc, v0, v1 uint64) (bool, uint64) {
 // older store address is known. With it (Alpha-21264-style), the load may
 // issue past unresolved stores unless its PC's store-wait bit is set; a
 // later ordering violation replays the load from commit.
+//
+//repro:hotpath
 func (c *Core) loadAccess(ent *iqEntry, addr uint64) (lat int, val uint64, exc excCode, ok bool) {
 	if addr%8 != 0 {
 		return 2, 0, excMisalign, true
@@ -193,6 +201,7 @@ func (c *Core) loadAccess(ent *iqEntry, addr uint64) (lat int, val uint64, exc e
 	return 1 + int(memLat), c.mem.Read64(addr), excNone, true
 }
 
+//repro:hotpath
 func (c *Core) memWaitIdx(pc uint64) int {
 	return int((pc >> 2) % uint64(len(c.memWait)))
 }
@@ -201,6 +210,8 @@ func (c *Core) memWaitIdx(pc uint64) int {
 // load that already executed against the same address read stale data. The
 // oldest such load is marked for replay at commit and its store-wait bit is
 // set so future instances issue conservatively.
+//
+//repro:hotpath
 func (c *Core) checkOrderViolation(storeSeq, addr uint64) {
 	for j := 0; j < c.lqCnt; j++ {
 		l := c.lqAt(j)
@@ -219,6 +230,7 @@ func (c *Core) checkOrderViolation(storeSeq, addr uint64) {
 	}
 }
 
+//repro:hotpath
 func (c *Core) pageAbsent(addr uint64) bool {
 	if !c.cfg.DemandPaging {
 		return false
@@ -228,6 +240,8 @@ func (c *Core) pageAbsent(addr uint64) bool {
 
 // processEvents handles this cycle's writebacks: register-file writes,
 // wakeup broadcasts into the IQ, completion marking, and branch resolution.
+//
+//repro:hotpath
 func (c *Core) processEvents() {
 	b := &c.evRing[c.cycle&uint64(len(c.evRing)-1)]
 	evs := *b
@@ -241,6 +255,7 @@ func (c *Core) processEvents() {
 		}
 		if e.hasDest {
 			if traceReg >= 0 && int(e.dest.Tag.Reg) == traceReg {
+				//repro:allow hotpath traceReg debug path, off by default
 				fmt.Printf("[%d] writeback seq=%d %v -> P%d.%d class=%v\n", c.cycle, e.seq, e.inst, e.dest.Tag.Reg, e.dest.Tag.Ver, e.destClass)
 			}
 			c.rf(e.destClass).Write(e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal)
@@ -269,6 +284,8 @@ func (c *Core) processEvents() {
 // notifications and value-read notes fire in the same order the old full-IQ
 // scan produced. Stale waiters — entry issued, squashed, or slot reused —
 // are detected by the generation check and skipped.
+//
+//repro:hotpath
 func (c *Core) broadcast(class isa.RegClass, tag rename.Tag, val uint64) {
 	lst := &c.waiters[classIdx(class)][tagIdx(tag)]
 	ws := *lst
@@ -299,6 +316,8 @@ func (c *Core) broadcast(class isa.RegClass, tag rename.Tag, val uint64) {
 }
 
 // resolveBranch trains the predictor and squashes on a misprediction.
+//
+//repro:hotpath
 func (c *Core) resolveBranch(robIdx int) {
 	e := &c.rob[robIdx]
 	c.bp.Resolve(e.pc, e.inst, e.pred, e.actualTaken, e.actualTarget)
@@ -316,6 +335,7 @@ func (c *Core) resolveBranch(robIdx int) {
 	}
 	c.stats.Mispredicts++
 	if traceReg >= 0 {
+		//repro:allow hotpath traceReg debug path, off by default
 		fmt.Printf("[%d] squash after seq=%d pc=%#x\n", c.cycle, e.seq, e.pc)
 	}
 	c.squashAfter(robIdx, actualNext)
@@ -324,6 +344,8 @@ func (c *Core) resolveBranch(robIdx int) {
 // squashAfter removes every instruction younger than the ROB entry at
 // branchIdx, restores the renaming checkpoints (issuing shadow-cell recover
 // commands), repairs the branch predictor, and redirects fetch.
+//
+//repro:hotpath
 func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 	e := &c.rob[branchIdx]
 	bseq := e.seq

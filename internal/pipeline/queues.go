@@ -24,6 +24,8 @@ type iqWaiter struct {
 }
 
 // classIdx maps a register class to the 0/1 index used by per-class arrays.
+//
+//repro:hotpath
 func classIdx(class isa.RegClass) int {
 	if class == isa.FPReg {
 		return 1
@@ -32,6 +34,8 @@ func classIdx(class isa.RegClass) int {
 }
 
 // tagIdx flattens a wakeup tag into the waiter-table index for its class.
+//
+//repro:hotpath
 func tagIdx(tag rename.Tag) int {
 	return int(tag.Reg)*(regfile.MaxShadow+1) + int(tag.Ver)
 }
@@ -41,6 +45,8 @@ func tagIdx(tag rename.Tag) int {
 // allocIQ takes a free pool slot; the caller must have checked capacity
 // (iqCount < cfg.IQSize). The slot's generation is bumped so waiter refs
 // registered against a previous occupant can never wake the new one.
+//
+//repro:hotpath
 func (c *Core) allocIQ() int32 {
 	n := len(c.iqFree) - 1
 	idx := c.iqFree[n]
@@ -56,6 +62,8 @@ func (c *Core) allocIQ() int32 {
 
 // freeIQ returns a pool slot. Waiter or ready-list references to it become
 // stale and are filtered by their holders (gen/active checks).
+//
+//repro:hotpath
 func (c *Core) freeIQ(idx int32) {
 	c.iqPool[idx].active = false
 	c.iqFree = append(c.iqFree, idx)
@@ -76,6 +84,8 @@ func (c *Core) resetIQ() {
 // pushReady inserts a pool entry into the ready list, keeping it sorted by
 // sequence number so issue always considers ready instructions oldest first
 // (the same selection order as a full IQ scan).
+//
+//repro:hotpath
 func (c *Core) pushReady(idx int32) {
 	rl := append(c.readyList, idx)
 	seq := c.iqPool[idx].seq
@@ -90,6 +100,8 @@ func (c *Core) pushReady(idx int32) {
 
 // addWaiter subscribes src slot si of pool entry slot to its operand's
 // wakeup tag.
+//
+//repro:hotpath
 func (c *Core) addWaiter(slot int32, si int, s *iqSrc) {
 	ti := tagIdx(s.tag)
 	ci := classIdx(s.class)
@@ -99,6 +111,8 @@ func (c *Core) addWaiter(slot int32, si int, s *iqSrc) {
 
 // registerSrc finalizes one dispatched source slot: capture the value if it
 // has been produced, otherwise subscribe to its producer's wakeup.
+//
+//repro:hotpath
 func (c *Core) registerSrc(slot int32, si int, micro bool) {
 	ent := &c.iqPool[slot]
 	s := &ent.src[si]
@@ -115,6 +129,8 @@ func (c *Core) registerSrc(slot int32, si int, micro bool) {
 
 // finishDispatch marks a fully-registered entry ready if no source is
 // outstanding.
+//
+//repro:hotpath
 func (c *Core) finishDispatch(slot int32) {
 	if c.iqPool[slot].pending == 0 {
 		c.pushReady(slot)
@@ -133,6 +149,8 @@ func (c *Core) initEvents(size int) {
 // schedule files ev for the given future cycle. The ring is indexed by
 // cycle & (len-1); the invariant that every pending event is less than one
 // ring length ahead of the current cycle keeps buckets single-cycle.
+//
+//repro:hotpath
 func (c *Core) schedule(cycle uint64, ev wbEvent) {
 	for cycle-c.cycle >= uint64(len(c.evRing)) {
 		c.growEvents()
@@ -176,6 +194,7 @@ func (c *Core) clearEvents() {
 // q = q[1:], which discards capacity and reallocates on every refill. Each is
 // now a fixed-capacity ring addressed by (head, count).
 
+//repro:hotpath
 func (c *Core) fetchQAt(i int) *fetchRec {
 	j := c.fqHead + i
 	if j >= len(c.fetchQ) {
@@ -184,11 +203,13 @@ func (c *Core) fetchQAt(i int) *fetchRec {
 	return &c.fetchQ[j]
 }
 
+//repro:hotpath
 func (c *Core) fetchQPush(rec fetchRec) {
 	*c.fetchQAt(c.fqCount) = rec
 	c.fqCount++
 }
 
+//repro:hotpath
 func (c *Core) fetchQPop() {
 	c.fqHead++
 	if c.fqHead == len(c.fetchQ) {
@@ -197,6 +218,7 @@ func (c *Core) fetchQPop() {
 	c.fqCount--
 }
 
+//repro:hotpath
 func (c *Core) lqAt(i int) *lqEntry {
 	j := c.lqHead + i
 	if j >= len(c.lq) {
@@ -205,11 +227,13 @@ func (c *Core) lqAt(i int) *lqEntry {
 	return &c.lq[j]
 }
 
+//repro:hotpath
 func (c *Core) lqPush(e lqEntry) {
 	*c.lqAt(c.lqCnt) = e
 	c.lqCnt++
 }
 
+//repro:hotpath
 func (c *Core) lqPopFront() {
 	c.lqHead++
 	if c.lqHead == len(c.lq) {
@@ -218,6 +242,7 @@ func (c *Core) lqPopFront() {
 	c.lqCnt--
 }
 
+//repro:hotpath
 func (c *Core) sqAt(i int) *sqEntry {
 	j := c.sqHead + i
 	if j >= len(c.sq) {
@@ -226,11 +251,13 @@ func (c *Core) sqAt(i int) *sqEntry {
 	return &c.sq[j]
 }
 
+//repro:hotpath
 func (c *Core) sqPush(e sqEntry) {
 	*c.sqAt(c.sqCnt) = e
 	c.sqCnt++
 }
 
+//repro:hotpath
 func (c *Core) sqPopFront() {
 	c.sqHead++
 	if c.sqHead == len(c.sq) {

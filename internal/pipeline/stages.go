@@ -6,12 +6,15 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/regfile"
 	"repro/internal/rename"
 )
 
 // fetch follows the predicted path through real program memory, so
 // wrong-path instructions enter the pipeline and consume rename/issue/
 // register resources exactly as they would in hardware.
+//
+//repro:hotpath
 func (c *Core) fetch() {
 	if c.cycle < c.fetchResumeAt || c.fetchHalted {
 		return
@@ -59,6 +62,8 @@ func (c *Core) fetch() {
 // srcOperands extracts the register source operands of an instruction as IQ
 // source slots (slot 0 = Rs1, slot 1 = Rs2), skipping absent operands and
 // the integer zero register.
+//
+//repro:hotpath
 func srcOperands(in isa.Inst) [2]iqSrc {
 	var s [2]iqSrc
 	d := in.Op.Describe()
@@ -74,6 +79,8 @@ func srcOperands(in isa.Inst) [2]iqSrc {
 // renameDispatch renames and dispatches up to RenameWidth instructions from
 // the fetch queue into the ROB, IQ and LSQ. A blocking condition stalls the
 // whole stage for the cycle (in-order front end).
+//
+//repro:hotpath
 func (c *Core) renameDispatch() {
 	for slot := 0; slot < c.cfg.RenameWidth && c.fqCount > 0; slot++ {
 		rec := *c.fetchQAt(0)
@@ -212,7 +219,8 @@ func (c *Core) renameDispatch() {
 		if c.o != nil {
 			c.obsRenamed(rec, e.seq, destRes, destClass)
 		}
-		if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == uint16(traceReg) {
+		if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == rename.PhysReg(traceReg) {
+			//repro:allow hotpath traceReg debug path, off by default
 			fmt.Printf("[%d] seq=%d pc=%#x %v -> dest %+v\n", c.cycle, e.seq, rec.pc, rec.inst, destRes)
 		}
 		if destClass != isa.NoReg {
@@ -262,6 +270,7 @@ func (c *Core) renameDispatch() {
 			}
 		}
 		if traceSeqLo < traceSeqHi && e.seq >= traceSeqLo && e.seq < traceSeqHi {
+			//repro:allow hotpath trace-window debug path, off by default
 			fmt.Printf("[cyc %d] seq=%d %v srcs=[%v,%v] dest=%v\n",
 				c.cycle, e.seq, rec.inst, ent.src[0], ent.src[1], destRes)
 		}
@@ -277,6 +286,8 @@ func (c *Core) renameDispatch() {
 }
 
 // findStolenSrc returns the first source whose mapping was stolen.
+//
+//repro:hotpath
 func (c *Core) findStolenSrc(in isa.Inst) (uint8, isa.RegClass, bool) {
 	d := in.Op.Describe()
 	if d.Src1Class != isa.NoReg && !(d.Src1Class == isa.IntReg && in.Rs1 == isa.ZeroReg) {
@@ -295,6 +306,8 @@ func (c *Core) findStolenSrc(in isa.Inst) (uint8, isa.RegClass, bool) {
 // sameClassSrcLogs returns the deduplicated source logical registers of the
 // destination's class (the reuse candidates). The result aliases the core's
 // scratch buffer and is only valid until the next call.
+//
+//repro:hotpath
 func (c *Core) sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
 	d := in.Op.Describe()
 	out := c.srcLogBuf[:0]
@@ -311,6 +324,8 @@ func (c *Core) sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
 
 // obsRenamed emits the fetch and rename lifecycle events for an instruction
 // that just passed the rename stage. Callers must have checked c.o != nil.
+//
+//repro:obsemit
 func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destClass isa.RegClass) {
 	c.o.Inst(obs.InstEvent{Cycle: rec.fetched, Seq: seq, PC: rec.pc, Stage: obs.StageFetch, Inst: rec.inst})
 	kind := obs.RenameNone
@@ -331,6 +346,8 @@ func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destC
 }
 
 // dispatchMicro injects a repair move micro-op (§IV-D1) into ROB and IQ.
+//
+//repro:hotpath
 func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 	e := c.newROBEntry(fetchRec{pc: pc, inst: isa.Inst{Op: isa.NOP}})
 	e.micro = true
@@ -372,6 +389,8 @@ func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 
 // captureIfReady implements dispatch-time data capture: if the operand's
 // value has been produced, read it from the register file now.
+//
+//repro:hotpath
 func (c *Core) captureIfReady(s *iqSrc, micro bool) {
 	rf := c.rf(s.class)
 	if !rf.Produced(s.tag.Reg, s.tag.Ver) {
@@ -393,7 +412,9 @@ func (c *Core) captureIfReady(s *iqSrc, micro bool) {
 }
 
 // noteValueRead timestamps a register read for the lifetime-gap study.
-func (c *Core) noteValueRead(class isa.RegClass, reg uint16) {
+//
+//repro:hotpath
+func (c *Core) noteValueRead(class isa.RegClass, reg regfile.PhysReg) {
 	if c.lastRead[0] == nil {
 		return
 	}
@@ -405,6 +426,8 @@ func (c *Core) noteValueRead(class isa.RegClass, reg uint16) {
 }
 
 // newROBEntry appends an entry at the ROB tail and returns it.
+//
+//repro:hotpath
 func (c *Core) newROBEntry(rec fetchRec) *robEntry {
 	idx := c.robTailIdx()
 	c.robCount++
@@ -421,8 +444,11 @@ func (c *Core) newROBEntry(rec fetchRec) *robEntry {
 }
 
 // lastROBIdx returns the index of the most recently appended ROB entry.
+//
+//repro:hotpath
 func (c *Core) lastROBIdx() int { return c.robIdxAt(c.robCount - 1) }
 
+//repro:hotpath
 func (c *Core) countNoRegStall(class isa.RegClass) {
 	if class == isa.FPReg {
 		c.stats.StallNoRegFP++

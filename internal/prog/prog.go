@@ -1,6 +1,8 @@
 // Package prog represents a loaded program: an instruction image, an initial
 // data image, an entry point, and a symbol table. It is the interface between
 // the assembler, the functional emulator, and the timing simulator.
+//
+//repro:deterministic
 package prog
 
 import (
@@ -44,12 +46,19 @@ func New(insts []isa.Inst, data map[uint64]byte, symbols map[string]uint64) (*Pr
 			return nil, fmt.Errorf("prog: instruction %d: %w", i, err)
 		}
 	}
+	// Validate in ascending address order so the error (and therefore the
+	// caller-visible behavior) does not depend on map iteration order.
+	addrs := make([]uint64, 0, len(data))
+	for a := range data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	d := make(map[uint64]byte, len(data))
-	for a, b := range data {
+	for _, a := range addrs {
 		if a >= TextBase && a < TextBase+uint64(len(insts)*isa.InstBytes) {
 			return nil, fmt.Errorf("prog: data byte at %#x overlaps text", a)
 		}
-		d[a] = b
+		d[a] = data[a]
 	}
 	s := make(map[string]uint64, len(symbols))
 	for k, v := range symbols {
@@ -104,11 +113,17 @@ func (p *Program) Symbols() []string {
 	return names
 }
 
-// InitialData invokes fn for every initialized data byte. Iteration order is
-// unspecified.
+// InitialData invokes fn for every initialized data byte in ascending
+// address order, so consumers (memory boot, checkpoint digests) observe a
+// deterministic sequence.
 func (p *Program) InitialData(fn func(addr uint64, b byte)) {
-	for a, b := range p.data {
-		fn(a, b)
+	addrs := make([]uint64, 0, len(p.data))
+	for a := range p.data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(a, p.data[a])
 	}
 }
 

@@ -8,6 +8,8 @@
 //
 // The simulator keeps actual 64-bit values in the file so that the pipeline
 // can be validated end-to-end against the architectural emulator.
+//
+//repro:deterministic
 package regfile
 
 import "fmt"
@@ -16,6 +18,16 @@ import "fmt"
 // version counter distinguishes up to four versions (§IV-A), i.e. the main
 // cell plus three shadows.
 const MaxShadow = 3
+
+// PhysReg names one physical register by index. A bare PhysReg is ambiguous
+// under the reuse scheme — the same register can hold several live versions —
+// so APIs that cross package boundaries must carry the version with it
+// (rename.Tag), a rule the tagpair lint analyzer enforces.
+type PhysReg uint16
+
+// Ver is a register version: 0 for the main cell, 1..MaxShadow for values
+// whose predecessors were checkpointed into shadow cells.
+type Ver uint8
 
 // BankSizes gives the number of registers in each bank, indexed by the
 // bank's shadow-cell count (0..3).
@@ -34,9 +46,9 @@ func Uniform(n, k int) BankSizes {
 // File is one physical register file (the simulated core has two: integer
 // and floating point, per Table I).
 type File struct {
-	shadows []uint8 // shadow-cell count per register (bank membership)
+	shadows []Ver // shadow-cell count per register (bank membership)
 	main    []uint64
-	mainVer []uint8
+	mainVer []Ver
 	written []bool // any version written since allocation (scoreboard)
 	shadow  [][MaxShadow]uint64
 
@@ -62,15 +74,15 @@ func New(banks BankSizes) *File {
 		panic("regfile: empty register file")
 	}
 	f := &File{
-		shadows: make([]uint8, 0, n),
+		shadows: make([]Ver, 0, n),
 		main:    make([]uint64, n),
-		mainVer: make([]uint8, n),
+		mainVer: make([]Ver, n),
 		written: make([]bool, n),
 		shadow:  make([][MaxShadow]uint64, n),
 	}
 	for k := 0; k <= MaxShadow; k++ {
 		for i := 0; i < banks[k]; i++ {
-			f.shadows = append(f.shadows, uint8(k))
+			f.shadows = append(f.shadows, Ver(k))
 		}
 	}
 	return f
@@ -80,21 +92,29 @@ func New(banks BankSizes) *File {
 func (f *File) Size() int { return len(f.main) }
 
 // ShadowCells returns how many shadow cells register p has.
-func (f *File) ShadowCells(p uint16) uint8 { return f.shadows[p] }
+//
+//repro:hotpath
+func (f *File) ShadowCells(p PhysReg) Ver { return f.shadows[p] }
 
 // MainVer returns the version currently held by p's main cell.
-func (f *File) MainVer(p uint16) uint8 { return f.mainVer[p] }
+//
+//repro:hotpath
+func (f *File) MainVer(p PhysReg) Ver { return f.mainVer[p] }
 
 // ResetOnAlloc prepares p for a fresh allocation: the main cell will next be
 // written as version 0 and the scoreboard shows no value produced yet.
-func (f *File) ResetOnAlloc(p uint16) {
+//
+//repro:hotpath
+func (f *File) ResetOnAlloc(p PhysReg) {
 	f.mainVer[p] = 0
 	f.written[p] = false
 }
 
 // Produced reports whether version ver of register p has been written since
 // p's allocation — the issue queue's readiness scoreboard.
-func (f *File) Produced(p uint16, ver uint8) bool {
+//
+//repro:hotpath
+func (f *File) Produced(p PhysReg, ver Ver) bool {
 	return f.written[p] && f.mainVer[p] >= ver
 }
 
@@ -104,7 +124,9 @@ func (f *File) Produced(p uint16, ver uint8) bool {
 // adds no latency. Versioned writes arrive in order by construction (each
 // version's producer consumes the previous version), so skipping a version
 // indicates a renaming bug and panics.
-func (f *File) Write(p uint16, ver uint8, val uint64) {
+//
+//repro:hotpath
+func (f *File) Write(p PhysReg, ver Ver, val uint64) {
 	cur := f.mainVer[p]
 	f.written[p] = true
 	f.Writes++
@@ -128,7 +150,9 @@ func (f *File) Write(p uint16, ver uint8, val uint64) {
 
 // Read returns version ver of register p. Reading an old version comes from
 // a shadow cell and is counted (only repair micro-ops should do it).
-func (f *File) Read(p uint16, ver uint8) uint64 {
+//
+//repro:hotpath
+func (f *File) Read(p PhysReg, ver Ver) uint64 {
 	f.Reads++
 	cur := f.mainVer[p]
 	switch {
@@ -145,7 +169,9 @@ func (f *File) Read(p uint16, ver uint8) uint64 {
 // Rollback issues a recover command restoring p's main cell to version ver
 // if it currently holds a younger one. It reports whether a recovery was
 // performed (each recovery costs pipeline cycles; the caller accounts them).
-func (f *File) Rollback(p uint16, ver uint8) bool {
+//
+//repro:hotpath
+func (f *File) Rollback(p PhysReg, ver Ver) bool {
 	if f.mainVer[p] <= ver {
 		return false
 	}
@@ -156,4 +182,6 @@ func (f *File) Rollback(p uint16, ver uint8) bool {
 }
 
 // Peek returns the main-cell value regardless of version (for debug dumps).
-func (f *File) Peek(p uint16) uint64 { return f.main[p] }
+//
+//repro:hotpath
+func (f *File) Peek(p PhysReg) uint64 { return f.main[p] }

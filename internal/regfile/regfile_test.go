@@ -7,9 +7,9 @@ func TestBankLayout(t *testing.T) {
 	if f.Size() != 10 {
 		t.Fatalf("size = %d, want 10", f.Size())
 	}
-	want := []uint8{0, 0, 0, 0, 1, 1, 1, 2, 2, 3}
+	want := []Ver{0, 0, 0, 0, 1, 1, 1, 2, 2, 3}
 	for p, w := range want {
-		if got := f.ShadowCells(uint16(p)); got != w {
+		if got := f.ShadowCells(PhysReg(p)); got != w {
 			t.Errorf("reg %d shadow cells = %d, want %d", p, got, w)
 		}
 	}
@@ -28,7 +28,7 @@ func TestVersionedWriteAndShadowPush(t *testing.T) {
 		t.Errorf("main = %d, want 400", got)
 	}
 	// Old versions live in shadows.
-	for ver, want := range map[uint8]uint64{0: 100, 1: 200, 2: 300} {
+	for ver, want := range map[Ver]uint64{0: 100, 1: 200, 2: 300} {
 		if got := f.Read(0, ver); got != want {
 			t.Errorf("shadow version %d = %d, want %d", ver, got, want)
 		}

@@ -46,27 +46,33 @@ func NewBaseline(numLog int, rf *regfile.File) *BaselineRenamer {
 		rf:         rf,
 	}
 	for l := 0; l < numLog; l++ {
-		t := Tag{Reg: uint16(l)}
+		t := Tag{Reg: PhysReg(l)}
 		b.mapTable[l] = t
 		b.retireMap[l] = t
 		b.retireRefs[l] = 1
-		rf.Write(uint16(l), 0, 0) // architectural zero
+		rf.Write(PhysReg(l), 0, 0) // architectural zero
 	}
 	for p := numLog; p < rf.Size(); p++ {
-		b.freeList.push(uint16(p))
+		b.freeList.push(PhysReg(p))
 	}
 	return b
 }
 
 // PeekSrc implements Renamer.
+//
+//repro:hotpath
 func (b *BaselineRenamer) PeekSrc(log uint8) SrcInfo {
 	return SrcInfo{Tag: b.mapTable[log]}
 }
 
 // MarkSrcRead implements Renamer (the baseline has no Read bits).
+//
+//repro:hotpath
 func (b *BaselineRenamer) MarkSrcRead(log uint8) Tag { return b.mapTable[log] }
 
 // RenameDest implements Renamer: always allocate.
+//
+//repro:hotpath
 func (b *BaselineRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (DestResult, bool) {
 	p, ok := b.freeList.pop()
 	if !ok {
@@ -86,6 +92,8 @@ func (b *BaselineRenamer) RepairSteal(log uint8) (Repair, bool) {
 
 // Commit implements Renamer: retire the mapping and release the previous
 // physical register of the redefined logical register.
+//
+//repro:hotpath
 func (b *BaselineRenamer) Commit(r DestResult) {
 	b.retireRefs[r.Tag.Reg]++
 	old := b.retireMap[r.Log]
@@ -133,13 +141,15 @@ func (b *BaselineRenamer) RestoreArch() int {
 	b.freeList.reset()
 	for p := 0; p < b.rf.Size(); p++ {
 		if b.retireRefs[p] == 0 {
-			b.freeList.push(uint16(p))
+			b.freeList.push(PhysReg(p))
 		}
 	}
 	return 0
 }
 
 // FreeRegs implements Renamer.
+//
+//repro:hotpath
 func (b *BaselineRenamer) FreeRegs() int { return b.freeList.len() }
 
 // Stats implements Renamer.
@@ -147,4 +157,6 @@ func (b *BaselineRenamer) Stats() *Stats { return &b.stats }
 
 // RetireTag exposes the architectural mapping of a logical register (used by
 // the pipeline's oracle checks).
+//
+//repro:hotpath
 func (b *BaselineRenamer) RetireTag(log uint8) Tag { return b.retireMap[log] }

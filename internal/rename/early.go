@@ -61,7 +61,7 @@ type EarlyRenamer struct {
 	// pending and the armed set are kept exact by explicit squash
 	// notifications instead (a snapshot would resurrect counts consumed
 	// by surviving instructions during the wrong-path window).
-	ctr      []uint8  // current version
+	ctr      []Ver    // current version
 	pending  []int32  // renamed-but-unconsumed source slots
 	unmapped []bool   // current version's logical register was redefined
 	unmapSeq []uint64 // sequence number of the redefining instruction
@@ -84,7 +84,7 @@ type EarlyRenamer struct {
 	// lifetime's (possibly uncommitted) producer; a squash that rolls an
 	// allocation back leaves the flag conservatively false, which only
 	// delays a release to the commit fallback.
-	committedVer []uint8
+	committedVer []Ver
 	committedSet []bool
 
 	// inRing marks registers currently sitting in a free list. It guards
@@ -114,13 +114,13 @@ type EarlyRenamer struct {
 var TraceEarlyReg = -1
 
 type armedRelease struct {
-	reg     uint16
+	reg     PhysReg
 	unmapOp uint64
 }
 
 type earlyCkpt struct {
 	mapTable  []Tag
-	ctr       []uint8
+	ctr       []Ver
 	unmapped  []bool
 	unmapSeq  []uint64
 	freeMarks [regfile.MaxShadow + 1]uint64
@@ -144,14 +144,14 @@ func NewEarly(numLog int, rf *regfile.File) *EarlyRenamer {
 		retireMap:    make([]Tag, numLog),
 		retireRefs:   make([]uint8, rf.Size()),
 		rf:           rf,
-		ctr:          make([]uint8, rf.Size()),
+		ctr:          make([]Ver, rf.Size()),
 		pending:      make([]int32, rf.Size()),
 		unmapped:     make([]bool, rf.Size()),
 		unmapSeq:     make([]uint64, rf.Size()),
 		armed:        make([]bool, rf.Size()),
 		suppress:     make([]uint8, rf.Size()),
 		inRing:       make([]bool, rf.Size()),
-		committedVer: make([]uint8, rf.Size()),
+		committedVer: make([]Ver, rf.Size()),
 		committedSet: make([]bool, rf.Size()),
 		archLive:     make([]bool, rf.Size()),
 	}
@@ -159,29 +159,35 @@ func NewEarly(numLog int, rf *regfile.File) *EarlyRenamer {
 		e.freeLists[k] = newFreeRing(rf.Size())
 	}
 	for l := 0; l < numLog; l++ {
-		t := Tag{Reg: uint16(l)}
+		t := Tag{Reg: PhysReg(l)}
 		e.mapTable[l] = t
 		e.retireMap[l] = t
 		e.retireRefs[l] = 1
 		e.committedSet[l] = true
-		rf.Write(uint16(l), 0, 0)
+		rf.Write(PhysReg(l), 0, 0)
 	}
 	for p := numLog; p < rf.Size(); p++ {
-		e.freeLists[rf.ShadowCells(uint16(p))].push(uint16(p))
+		e.freeLists[rf.ShadowCells(PhysReg(p))].push(PhysReg(p))
 		e.inRing[p] = true
 	}
 	return e
 }
 
 // PeekSrc implements Renamer.
+//
+//repro:hotpath
 func (e *EarlyRenamer) PeekSrc(log uint8) SrcInfo { return SrcInfo{Tag: e.mapTable[log]} }
 
 // MarkSrcRead implements Renamer; consumption is tracked per issue-queue
 // slot through the ActivityTracker interface instead.
+//
+//repro:hotpath
 func (e *EarlyRenamer) MarkSrcRead(log uint8) Tag { return e.mapTable[log] }
 
 // RenameDest implements Renamer: allocate and unmap the previous mapping,
 // possibly arming an early release of its register.
+//
+//repro:hotpath
 func (e *EarlyRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (DestResult, bool) {
 	p, ver, ok := e.alloc()
 	if !ok {
@@ -201,7 +207,9 @@ func (e *EarlyRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 // referenced (early-released, redefiner not yet committed) keeps its live
 // value: the new version's write pushes it into a shadow cell for precise-
 // exception recovery. Architecturally dead registers start a fresh lifetime.
-func (e *EarlyRenamer) alloc() (uint16, uint8, bool) {
+//
+//repro:hotpath
+func (e *EarlyRenamer) alloc() (PhysReg, Ver, bool) {
 	best := -1
 	for k := range e.freeLists {
 		if e.freeLists[k].len() > 0 && (best < 0 || e.freeLists[k].len() > e.freeLists[best].len()) {
@@ -213,6 +221,7 @@ func (e *EarlyRenamer) alloc() (uint16, uint8, bool) {
 	}
 	p, _ := e.freeLists[best].pop()
 	if int(p) == TraceEarlyReg {
+		//repro:allow hotpath TraceEarlyReg debug path, off by default
 		fmt.Fprintf(os.Stderr, "[early] alloc P%d ctr=%d refs=%d curSeq=%d\n", p, e.ctr[p], e.retireRefs[p], e.curSeq)
 	}
 	e.inRing[p] = false
@@ -231,7 +240,9 @@ func (e *EarlyRenamer) alloc() (uint16, uint8, bool) {
 
 // tryArm arms an early release when conditions (a)-(c)+(e) hold; the
 // release itself fires when the redefiner passes the speculation boundary.
-func (e *EarlyRenamer) tryArm(p uint16) {
+//
+//repro:hotpath
+func (e *EarlyRenamer) tryArm(p PhysReg) {
 	if !e.unmapped[p] || e.pending[p] != 0 || e.armed[p] || e.inRing[p] {
 		return
 	}
@@ -249,12 +260,18 @@ func (e *EarlyRenamer) tryArm(p uint16) {
 }
 
 // NoteRenamed implements ActivityTracker.
+//
+//repro:hotpath
 func (e *EarlyRenamer) NoteRenamed(seq uint64) { e.curSeq = seq }
 
 // NoteSrcSlot implements ActivityTracker.
+//
+//repro:hotpath
 func (e *EarlyRenamer) NoteSrcSlot(tag Tag) { e.pending[tag.Reg]++ }
 
 // NoteSrcConsumed implements ActivityTracker.
+//
+//repro:hotpath
 func (e *EarlyRenamer) NoteSrcConsumed(tag Tag) {
 	if e.pending[tag.Reg] > 0 {
 		e.pending[tag.Reg]--
@@ -263,12 +280,16 @@ func (e *EarlyRenamer) NoteSrcConsumed(tag Tag) {
 }
 
 // NoteWriteback implements ActivityTracker.
+//
+//repro:hotpath
 func (e *EarlyRenamer) NoteWriteback(tag Tag) { e.tryArm(tag.Reg) }
 
 // NoteSpecBoundary implements ActivityTracker: armed releases whose
 // redefiner is older than the boundary fire now. Their free-list pushes are
 // non-speculative — a branch squash can no longer revoke them — which is
 // what keeps the checkpointable free-ring invariants intact.
+//
+//repro:hotpath
 func (e *EarlyRenamer) NoteSpecBoundary(boundary uint64) {
 	kept := e.armedList[:0]
 	for _, a := range e.armedList {
@@ -292,6 +313,7 @@ func (e *EarlyRenamer) NoteSpecBoundary(boundary uint64) {
 			continue
 		}
 		if int(a.reg) == TraceEarlyReg {
+			//repro:allow hotpath TraceEarlyReg debug path, off by default
 			fmt.Fprintf(os.Stderr, "[early] release P%d unmapOp=%d boundary=%d ctr=%d\n", a.reg, a.unmapOp, boundary, e.ctr[a.reg])
 		}
 		e.freeLists[e.rf.ShadowCells(a.reg)].push(a.reg)
@@ -324,6 +346,8 @@ func (e *EarlyRenamer) RepairSteal(log uint8) (Repair, bool) {
 
 // Commit implements Renamer: retire the mapping; the displaced register is
 // pushed to its free list unless an early release already covered it.
+//
+//repro:hotpath
 func (e *EarlyRenamer) Commit(r DestResult) {
 	e.committedVer[r.Tag.Reg] = r.Tag.Ver
 	e.committedSet[r.Tag.Reg] = true
@@ -334,6 +358,7 @@ func (e *EarlyRenamer) Commit(r DestResult) {
 	e.retireRefs[old.Reg]--
 	if e.retireRefs[old.Reg] == 0 {
 		if int(old.Reg) == TraceEarlyReg {
+			//repro:allow hotpath TraceEarlyReg debug path, off by default
 			fmt.Fprintf(os.Stderr, "[early] commit-displace P%d.%d suppress=%d ctr=%d\n", old.Reg, old.Ver, e.suppress[old.Reg], e.ctr[old.Reg])
 		}
 		if e.suppress[old.Reg] > 0 {
@@ -359,7 +384,7 @@ func (e *EarlyRenamer) Checkpoint() Checkpoint {
 	} else {
 		c = &earlyCkpt{
 			mapTable: append([]Tag(nil), e.mapTable...),
-			ctr:      append([]uint8(nil), e.ctr...),
+			ctr:      append([]Ver(nil), e.ctr...),
 			unmapped: append([]bool(nil), e.unmapped...),
 			unmapSeq: append([]uint64(nil), e.unmapSeq...),
 		}
@@ -389,7 +414,7 @@ func (e *EarlyRenamer) Restore(c Checkpoint) int {
 	recoveries := 0
 	for p := range e.ctr {
 		e.ctr[p] = ck.ctr[p]
-		if e.rf.Rollback(uint16(p), ck.ctr[p]) {
+		if e.rf.Rollback(PhysReg(p), ck.ctr[p]) {
 			recoveries++
 		}
 	}
@@ -443,7 +468,7 @@ func (e *EarlyRenamer) RestoreArch() int {
 	for p := 0; p < e.rf.Size(); p++ {
 		e.inRing[p] = false
 		if !live[p] && e.retireRefs[p] == 0 {
-			e.freeLists[e.rf.ShadowCells(uint16(p))].push(uint16(p))
+			e.freeLists[e.rf.ShadowCells(PhysReg(p))].push(PhysReg(p))
 			e.inRing[p] = true
 		}
 	}
@@ -460,6 +485,8 @@ func (e *EarlyRenamer) FreeRegs() int {
 }
 
 // RetireTag implements Renamer.
+//
+//repro:hotpath
 func (e *EarlyRenamer) RetireTag(log uint8) Tag { return e.retireMap[log] }
 
 // Stats implements Renamer.

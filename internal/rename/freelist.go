@@ -15,17 +15,19 @@ package rename
 // in-flight allocations is always strictly less than capacity while any
 // architectural register is live.
 type freeRing struct {
-	buf        []uint16
+	buf        []PhysReg
 	head, tail uint64 // absolute counters; free slots are [head, tail)
 }
 
 func newFreeRing(capacity int) *freeRing {
-	return &freeRing{buf: make([]uint16, capacity)}
+	return &freeRing{buf: make([]PhysReg, capacity)}
 }
 
+//repro:hotpath
 func (f *freeRing) len() int { return int(f.tail - f.head) }
 
-func (f *freeRing) push(p uint16) {
+//repro:hotpath
+func (f *freeRing) push(p PhysReg) {
 	if f.len() == len(f.buf) {
 		panic("rename: free list overflow (double free?)")
 	}
@@ -33,7 +35,8 @@ func (f *freeRing) push(p uint16) {
 	f.tail++
 }
 
-func (f *freeRing) pop() (uint16, bool) {
+//repro:hotpath
+func (f *freeRing) pop() (PhysReg, bool) {
 	if f.head == f.tail {
 		return 0, false
 	}
@@ -43,10 +46,14 @@ func (f *freeRing) pop() (uint16, bool) {
 }
 
 // mark returns the checkpoint cookie (the head counter).
+//
+//repro:hotpath
 func (f *freeRing) mark() uint64 { return f.head }
 
 // rewind restores the head to a cookie from mark, returning wrong-path
 // allocations to the free pool.
+//
+//repro:hotpath
 func (f *freeRing) rewind(mark uint64) {
 	if mark > f.head {
 		panic("rename: free list rewind into the future")

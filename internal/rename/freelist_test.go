@@ -23,7 +23,7 @@ func TestFreeRingBasic(t *testing.T) {
 
 func TestFreeRingRewindRestoresWrongPathAllocs(t *testing.T) {
 	f := newFreeRing(8)
-	for i := uint16(0); i < 6; i++ {
+	for i := PhysReg(0); i < 6; i++ {
 		f.push(i)
 	}
 	mark := f.mark()
@@ -76,17 +76,17 @@ func TestFreeRingConservation(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		const n = 16
 		ring := newFreeRing(n)
-		free := map[uint16]bool{}
-		for i := uint16(0); i < n; i++ {
+		free := map[PhysReg]bool{}
+		for i := PhysReg(0); i < n; i++ {
 			ring.push(i)
 			free[i] = true
 		}
 		type ckpt struct {
 			mark  uint64
-			taken []uint16 // allocations after this checkpoint
+			taken []PhysReg // allocations after this checkpoint
 		}
 		var cks []ckpt
-		var released []uint16 // registers "live" that may later be released
+		var released []PhysReg // registers "live" that may later be released
 		for step := 0; step < 300; step++ {
 			switch r.Intn(4) {
 			case 0: // alloc
@@ -105,7 +105,7 @@ func TestFreeRingConservation(t *testing.T) {
 				// commit (in-order commit frees a branch's checkpoint
 				// before anything younger retires), so only registers
 				// absent from every taken-list are eligible.
-				eligible := func(p uint16) bool {
+				eligible := func(p PhysReg) bool {
 					for _, c := range cks {
 						for _, q := range c.taken {
 							if q == p {

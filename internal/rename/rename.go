@@ -13,17 +13,29 @@
 //
 // One Renamer instance manages one register class (integer or floating
 // point); the simulated core has two of each (Table I's decoupled files).
+//
+//repro:deterministic
 package rename
 
 import "repro/internal/regfile"
 
+// PhysReg and Ver are the physical-register index and version-counter types,
+// re-exported so renaming code reads naturally; the defined types live in
+// regfile (the layer that owns the versioned cells).
+type (
+	PhysReg = regfile.PhysReg
+	Ver     = regfile.Ver
+)
+
 // Tag names one value: a physical register plus its version. The baseline
 // scheme always uses version 0; the reuse scheme appends the PRT's 2-bit
 // counter so the issue queue can tell versions of a shared register apart
-// (§IV-A).
+// (§IV-A). The pair must travel together across package boundaries — a bare
+// PhysReg cannot distinguish the live versions of a shared register — which
+// is exactly what the tagpair lint analyzer enforces.
 type Tag struct {
-	Reg uint16
-	Ver uint8
+	Reg PhysReg
+	Ver Ver
 }
 
 // SrcInfo describes a source operand's current mapping.

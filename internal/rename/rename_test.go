@@ -374,7 +374,7 @@ func TestFreeListConservation(t *testing.T) {
 	}
 	// Now everything is committed: live registers are exactly those in the
 	// retire map (8 logical, some possibly shared).
-	seen := map[uint16]bool{}
+	seen := map[PhysReg]bool{}
 	for l := uint8(0); l < 8; l++ {
 		seen[ren.RetireTag(l).Reg] = true
 	}

@@ -57,9 +57,9 @@ type ReuseRenamer struct {
 	retireRefs []uint8
 	prt        []prtEntry
 	// Checkpointed PRT state, struct-of-arrays (indexed by physical reg).
-	ctr     []uint8 // current (newest) version
+	ctr     []Ver // current (newest) version
 	readBit []bool
-	maxVer  []uint8 // highest version reached this allocation lifetime
+	maxVer  []Ver // highest version reached this allocation lifetime
 
 	freeLists [regfile.MaxShadow + 1]*freeRing
 	rf        *regfile.File
@@ -69,7 +69,7 @@ type ReuseRenamer struct {
 
 	// RestoreArch scratch (exception/interrupt recovery).
 	archLive []bool
-	archVer  []uint8
+	archVer  []Ver
 }
 
 type mapEntry struct {
@@ -79,9 +79,9 @@ type mapEntry struct {
 
 type reuseCkpt struct {
 	mapTable  []mapEntry
-	ctr       []uint8
+	ctr       []Ver
 	readBit   []bool
-	maxVer    []uint8
+	maxVer    []Ver
 	freeMarks [regfile.MaxShadow + 1]uint64
 }
 
@@ -103,13 +103,13 @@ func NewReuse(cfg ReuseConfig, numLog int, rf *regfile.File, pred *TypePredictor
 		retireMap:  make([]Tag, numLog),
 		retireRefs: make([]uint8, rf.Size()),
 		prt:        make([]prtEntry, rf.Size()),
-		ctr:        make([]uint8, rf.Size()),
+		ctr:        make([]Ver, rf.Size()),
 		readBit:    make([]bool, rf.Size()),
-		maxVer:     make([]uint8, rf.Size()),
+		maxVer:     make([]Ver, rf.Size()),
 		rf:         rf,
 		pred:       pred,
 		archLive:   make([]bool, rf.Size()),
-		archVer:    make([]uint8, rf.Size()),
+		archVer:    make([]Ver, rf.Size()),
 	}
 	for i := range r.prt {
 		r.prt[i].predIdx = -1
@@ -120,21 +120,23 @@ func NewReuse(cfg ReuseConfig, numLog int, rf *regfile.File, pred *TypePredictor
 	// Architectural state starts in the lowest-numbered registers (the
 	// 0-shadow bank first, by construction of regfile.New).
 	for l := 0; l < numLog; l++ {
-		t := Tag{Reg: uint16(l)}
+		t := Tag{Reg: PhysReg(l)}
 		r.mapTable[l] = mapEntry{tag: t}
 		r.retireMap[l] = t
 		r.retireRefs[l] = 1
 		r.readBit[l] = true // committed state: be conservative
-		rf.Write(uint16(l), 0, 0)
+		rf.Write(PhysReg(l), 0, 0)
 	}
 	for p := numLog; p < rf.Size(); p++ {
-		k := rf.ShadowCells(uint16(p))
-		r.freeLists[k].push(uint16(p))
+		k := rf.ShadowCells(PhysReg(p))
+		r.freeLists[k].push(PhysReg(p))
 	}
 	return r
 }
 
 // PeekSrc implements Renamer.
+//
+//repro:hotpath
 func (r *ReuseRenamer) PeekSrc(log uint8) SrcInfo {
 	e := r.mapTable[log]
 	if e.stolen {
@@ -145,6 +147,8 @@ func (r *ReuseRenamer) PeekSrc(log uint8) SrcInfo {
 
 // MarkSrcRead implements Renamer: set the Read bit; a second consumer of a
 // predicted-single-use register resets the predictor entry (§IV-D).
+//
+//repro:hotpath
 func (r *ReuseRenamer) MarkSrcRead(log uint8) Tag {
 	e := r.mapTable[log]
 	if e.stolen {
@@ -163,6 +167,8 @@ func (r *ReuseRenamer) MarkSrcRead(log uint8) Tag {
 // RenameDest implements Renamer. srcLogs must be deduplicated same-class,
 // non-stolen source logical registers. On success the sources' Read bits are
 // set; a reused destination clears the bit again and bumps the counter.
+//
+//repro:hotpath
 func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (DestResult, bool) {
 	// Decide reuse using pre-read state. blocked remembers the most
 	// specific obstacle seen across the candidates, purely for
@@ -192,7 +198,7 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 			blocked = maxReason(blocked, ReasonNotPredicted)
 			continue
 		}
-		if r.ctr[p] >= r.cfg.MaxVersions {
+		if r.ctr[p] >= Ver(r.cfg.MaxVersions) {
 			r.stats.BlockedSat++
 			blocked = maxReason(blocked, ReasonCtrSaturated)
 			continue
@@ -269,6 +275,7 @@ func (r *ReuseRenamer) RenameDest(pc uint64, destLog uint8, srcLogs []uint8) (De
 	return DestResult{Log: destLog, Tag: Tag{Reg: p}, Allocated: true, Reason: blocked}, true
 }
 
+//repro:hotpath
 func maxReason(a, b Reason) Reason {
 	if b > a {
 		return b
@@ -278,7 +285,9 @@ func maxReason(a, b Reason) Reason {
 
 // alloc takes a register from the bank closest to the predicted shadow-cell
 // count (§IV-D: "a register with the closest number of shadow cells").
-func (r *ReuseRenamer) alloc(want uint8) (uint16, int, bool) {
+//
+//repro:hotpath
+func (r *ReuseRenamer) alloc(want uint8) (PhysReg, int, bool) {
 	order := allocOrder[want]
 	for _, k := range order {
 		if p, ok := r.freeLists[k].pop(); ok {
@@ -327,6 +336,8 @@ func (r *ReuseRenamer) RepairSteal(log uint8) (Repair, bool) {
 }
 
 // Commit implements Renamer.
+//
+//repro:hotpath
 func (r *ReuseRenamer) Commit(res DestResult) {
 	r.retireRefs[res.Tag.Reg]++
 	old := r.retireMap[res.Log]
@@ -339,15 +350,17 @@ func (r *ReuseRenamer) Commit(res DestResult) {
 
 // release returns p to its bank's free list and gives the type predictor
 // its end-of-lifetime feedback (§IV-D).
-func (r *ReuseRenamer) release(p uint16) {
+//
+//repro:hotpath
+func (r *ReuseRenamer) release(p PhysReg) {
 	pe := &r.prt[p]
 	maxVer := r.maxVer[p]
 	shadows := r.rf.ShadowCells(p)
 	if pe.predIdx >= 0 {
 		// Update the entry toward the actual number of reuses (§IV-D).
-		if maxVer < pe.predWant {
+		if maxVer < Ver(pe.predWant) {
 			r.pred.Decrement(int(pe.predIdx))
-		} else if maxVer > pe.predWant {
+		} else if maxVer > Ver(pe.predWant) {
 			r.pred.Increment(int(pe.predIdx))
 		}
 		switch {
@@ -373,9 +386,9 @@ func (r *ReuseRenamer) Checkpoint() Checkpoint {
 	} else {
 		c = &reuseCkpt{
 			mapTable: append([]mapEntry(nil), r.mapTable...),
-			ctr:      make([]uint8, len(r.prt)),
+			ctr:      make([]Ver, len(r.prt)),
 			readBit:  make([]bool, len(r.prt)),
-			maxVer:   make([]uint8, len(r.prt)),
+			maxVer:   make([]Ver, len(r.prt)),
 		}
 	}
 	copy(c.ctr, r.ctr)
@@ -404,7 +417,7 @@ func (r *ReuseRenamer) Restore(c Checkpoint) int {
 	copy(r.maxVer, ck.maxVer)
 	recoveries := 0
 	for i := range r.prt {
-		if r.rf.Rollback(uint16(i), ck.ctr[i]) {
+		if r.rf.Rollback(PhysReg(i), ck.ctr[i]) {
 			recoveries++
 		}
 	}
@@ -447,7 +460,7 @@ func (r *ReuseRenamer) RestoreArch() int {
 		}
 		r.ctr[p] = archVer[p]
 		r.readBit[p] = true // conservative: block reuse of pre-exception values
-		if r.rf.Rollback(uint16(p), archVer[p]) {
+		if r.rf.Rollback(PhysReg(p), archVer[p]) {
 			recoveries++
 		}
 	}
@@ -456,8 +469,8 @@ func (r *ReuseRenamer) RestoreArch() int {
 	}
 	for p := 0; p < len(r.prt); p++ {
 		if !live[p] && r.retireRefs[p] == 0 {
-			k := r.rf.ShadowCells(uint16(p))
-			r.freeLists[k].push(uint16(p))
+			k := r.rf.ShadowCells(PhysReg(p))
+			r.freeLists[k].push(PhysReg(p))
 		}
 	}
 	return recoveries
@@ -473,6 +486,8 @@ func (r *ReuseRenamer) FreeRegs() int {
 }
 
 // RetireTag implements Renamer.
+//
+//repro:hotpath
 func (r *ReuseRenamer) RetireTag(log uint8) Tag { return r.retireMap[log] }
 
 // Stats implements Renamer.
@@ -481,17 +496,20 @@ func (r *ReuseRenamer) Stats() *Stats { return &r.stats }
 // LiveVersionCount reports, for Figure 9's occupancy analysis, how many
 // non-free physical registers currently sit at version ≥ k (i.e. are using
 // at least k shadow cells).
-func (r *ReuseRenamer) LiveVersionCount(k uint8) int {
+//
+//repro:hotpath
+func (r *ReuseRenamer) LiveVersionCount(k Ver) int {
 	n := 0
 	for p := range r.prt {
-		if r.ctr[p] >= k && r.maxVer[p] > 0 && !r.isFree(uint16(p)) {
+		if r.ctr[p] >= k && r.maxVer[p] > 0 && !r.isFree(PhysReg(p)) {
 			n++
 		}
 	}
 	return n
 }
 
-func (r *ReuseRenamer) isFree(p uint16) bool {
+//repro:hotpath
+func (r *ReuseRenamer) isFree(p PhysReg) bool {
 	fl := r.freeLists[r.rf.ShadowCells(p)]
 	for i := fl.head; i < fl.tail; i++ {
 		if fl.buf[i%uint64(len(fl.buf))] == p {

@@ -1,6 +1,8 @@
 // Package stats provides small result-presentation helpers shared by the
 // command-line tools: aligned text tables, CSV rendering, and numeric
 // aggregation utilities.
+//
+//repro:deterministic
 package stats
 
 import (

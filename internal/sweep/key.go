@@ -24,10 +24,14 @@ const SchemaVersion = 2
 // is stable across processes, Go versions, and struct-tag refactors; any
 // new Job field must be appended here, which changes the keys of jobs that
 // set it — exactly the invalidation we want.
+//
+//repro:deterministic
 func (j Job) Key() string { return keyAt(j, SchemaVersion) }
 
 // keyAt derives the key under an explicit schema version (split out so
 // tests can prove a version bump invalidates every key).
+//
+//repro:deterministic
 func keyAt(j Job, version int) string {
 	s := fmt.Sprintf(
 		"regreuse-sweep-job|v%d|workload=%s|scheme=%s|scale=%d|size=%d|reuse_depth=%d|spec_reuse=%t|max_insts=%d|ff=%d|warm=%d|sample=%s",

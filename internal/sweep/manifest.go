@@ -19,6 +19,8 @@ type manifestEntry struct {
 // loadManifest reads a manifest tolerantly: a truncated or corrupt line
 // (the tail of a killed run) ends the scan, and everything before it
 // counts. A missing file is an empty manifest.
+//
+//repro:deterministic
 func loadManifest(path string) map[string]manifestEntry {
 	f, err := os.Open(path)
 	if err != nil {
@@ -53,6 +55,7 @@ func openManifest(path string) (*manifest, error) {
 	return &manifest{f: f}, nil
 }
 
+//repro:deterministic
 func (m *manifest) append(e manifestEntry) error {
 	data, err := json.Marshal(e)
 	if err != nil {

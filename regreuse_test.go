@@ -109,6 +109,9 @@ func TestAnalyzeWorkload(t *testing.T) {
 }
 
 func TestMotivationAndAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping all-workload motivation sweep")
+	}
 	rows, err := Motivation(1)
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +131,9 @@ func TestMotivationAndAggregation(t *testing.T) {
 }
 
 func TestSpeedupSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping speedup sweep")
+	}
 	pts, err := SpeedupSweep(SweepOptions{
 		Sizes:     []int{56, 96},
 		Scale:     1,
@@ -173,6 +179,9 @@ func TestEqualAreaTableAndAreaTable(t *testing.T) {
 }
 
 func TestPredictorBreakdownSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping all-workload predictor sweep")
+	}
 	rows, err := PredictorBreakdown(1)
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +195,9 @@ func TestPredictorBreakdownSmall(t *testing.T) {
 }
 
 func TestOccupancyStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping occupancy study sweep")
+	}
 	curves, err := OccupancyStudy(1, SPECfp, 0)
 	if err != nil {
 		t.Fatal(err)
