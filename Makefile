@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet lint race smoke ci ckpt-tests bench bench-baseline
+.PHONY: test vet lint race smoke benchsmoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -107,11 +107,21 @@ smoke:
 	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_ckjson /tmp/regreuse_smoke_sweepd.log
 	@echo smoke OK
 
-ci: test vet lint race ckpt-tests smoke
+# benchsmoke is the CI throughput gate: one cold run of the throughput
+# benchmarks, failed by benchjson unless the detailed core clears the floor.
+# The floor is half the current baseline (BENCH_core.json records ~4.9
+# Minst/s raw detailed), so it only trips on large regressions, not noise.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFastForward|BenchmarkSampledThroughput' -benchtime 1x . | \
+		$(GO) run ./cmd/benchjson -floor 2.4 > /dev/null
+
+ci: test vet lint race ckpt-tests smoke benchsmoke
 
 # bench runs every benchmark once with allocation counts — the quick
-# regression sweep — and emits BENCH_core.json (per-benchmark ns/op,
-# allocs/op, and custom metrics, plus the fast-forward speedup ratio).
+# regression sweep — and regenerates BENCH_core.json (per-benchmark ns/op,
+# allocs/op, and custom metrics, plus the detailed/sampled/fast-forward
+# headline rates). The artifact is committed: it is the recorded baseline
+# that README's throughput table cites and benchsmoke's floor derives from.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . | \
 		$(GO) run ./cmd/benchjson -echo -o BENCH_core.json

@@ -342,3 +342,32 @@ func BenchmarkExtMemSpeculation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSampledThroughput measures the production detailed-core rate:
+// interval sampling (ckpt.SampleN) over the reference-scale workload, with
+// detail intervals fanned across GOMAXPROCS workers. The reported Minst/s is
+// the effective rate — total program instructions over wall-clock time —
+// which is how many instructions per second the detailed core characterizes
+// when driven the way the sweeps drive it (statistics with stderr on ~5%
+// detailed coverage, checksum still validated end to end). Compare with
+// BenchmarkSimulatorThroughput for the raw full-fidelity rate; benchjson
+// records the ratio as sampled_speedup in BENCH_core.json.
+func BenchmarkSampledThroughput(b *testing.B) {
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunWorkload("dgemm", 4, Config{
+			Scheme:        Reuse,
+			Sample:        "2000:5000:100000",
+			SampleWorkers: -1, // GOMAXPROCS
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sampled == nil || !res.ChecksumOK {
+			b.Fatal("sampled run did not produce a checked estimate")
+		}
+		insts += res.Sampled.TotalInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

@@ -7,6 +7,10 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -echo -o BENCH_core.json
+//
+// With -floor N the exit status is nonzero unless the detailed-core
+// throughput benchmark reached N Minst/s — the `make benchsmoke` CI gate
+// against large simulator slowdowns.
 package main
 
 import (
@@ -30,12 +34,23 @@ type benchRecord struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// artifact is the emitted document. FFSpeedup is present when both the
-// fast-forward and detailed-throughput benchmarks ran.
+// artifact is the emitted document. The derived headline fields are present
+// when the benchmarks they are computed from ran:
+//
+//   - DetailedRate: the raw full-fidelity detailed-core rate (Minst/s).
+//   - SampledRate: the effective detailed-core rate in sampled mode —
+//     whole-program instructions per wall second when the sweeps drive the
+//     core through ckpt.SampleN (statistical IPC/reuse estimates, end-to-end
+//     checksum), the production way to characterize a workload.
+//   - SampledSpeedup: SampledRate / DetailedRate.
+//   - FFSpeedup: functional fast-forward rate over DetailedRate.
 type artifact struct {
-	SchemaVersion int           `json:"schema_version"`
-	Benchmarks    []benchRecord `json:"benchmarks"`
-	FFSpeedup     *float64      `json:"ff_speedup,omitempty"`
+	SchemaVersion  int           `json:"schema_version"`
+	Benchmarks     []benchRecord `json:"benchmarks"`
+	DetailedRate   *float64      `json:"detailed_minst_per_s,omitempty"`
+	SampledRate    *float64      `json:"sampled_minst_per_s,omitempty"`
+	SampledSpeedup *float64      `json:"sampled_speedup,omitempty"`
+	FFSpeedup      *float64      `json:"ff_speedup,omitempty"`
 }
 
 const schemaVersion = 1
@@ -44,12 +59,14 @@ const schemaVersion = 1
 const (
 	ffBench       = "BenchmarkFastForward"
 	detailedBench = "BenchmarkSimulatorThroughput/reuse"
+	sampledBench  = "BenchmarkSampledThroughput"
 	rateUnit      = "Minst/s"
 )
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	echo := flag.Bool("echo", false, "copy the input through to stdout while parsing")
+	floor := flag.Float64("floor", 0, "fail unless the detailed-core benchmark reaches this many Minst/s")
 	flag.Parse()
 
 	doc := artifact{SchemaVersion: schemaVersion}
@@ -71,9 +88,30 @@ func main() {
 
 	ff, haveFF := rateOf(doc.Benchmarks, ffBench)
 	det, haveDet := rateOf(doc.Benchmarks, detailedBench)
+	sam, haveSam := rateOf(doc.Benchmarks, sampledBench)
+	if haveDet {
+		doc.DetailedRate = &det
+	}
+	if haveSam {
+		doc.SampledRate = &sam
+	}
 	if haveFF && haveDet && det > 0 {
 		ratio := ff / det
 		doc.FFSpeedup = &ratio
+	}
+	if haveSam && haveDet && det > 0 {
+		ratio := sam / det
+		doc.SampledSpeedup = &ratio
+	}
+	if *floor > 0 {
+		if !haveDet {
+			fmt.Fprintf(os.Stderr, "benchjson: -floor %v set but %s did not run\n", *floor, detailedBench)
+			os.Exit(1)
+		}
+		if det < *floor {
+			fmt.Fprintf(os.Stderr, "benchjson: detailed core at %.3f Minst/s, below floor %.3f\n", det, *floor)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(doc, "", "\t")

@@ -19,8 +19,10 @@
 // Valid -figure names: fig1/fig2/fig3 (motivation analyses), fig9 (occupancy
 // study), fig10/fig11 (register-file size sweep), fig12 (predictor
 // breakdown), ff (functional fast-forward over every workload — profiles the
-// emulator's StepN batch interpreter in isolation). The sweep result is
-// reduced to one summary line so dead-code elimination cannot skip the work.
+// emulator's StepN batch interpreter in isolation), decode (micro-op table
+// lowering plus a short table-consuming detailed run per workload). The sweep
+// result is reduced to one summary line so dead-code elimination cannot skip
+// the work.
 package main
 
 import (
@@ -31,7 +33,10 @@ import (
 	"runtime/pprof"
 
 	regreuse "repro"
+	"repro/internal/asm"
+	"repro/internal/prog"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -39,7 +44,7 @@ func main() {
 		fig        = flag.Int("fig", 0, "figure to print: 1, 2, 3 (0 = all)")
 		scale      = flag.Int("scale", 4, "workload scale (1 = small, 4 = reference)")
 		detail     = flag.Bool("detail", false, "per-workload rows instead of suite averages")
-		figure     = flag.String("figure", "", "named figure sweep to run under profiling (fig1..fig3, fig9, fig10, fig11, fig12, ff)")
+		figure     = flag.String("figure", "", "named figure sweep to run under profiling (fig1..fig3, fig9, fig10, fig11, fig12, ff, decode)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the -figure sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the -figure sweep to this file")
 	)
@@ -156,8 +161,42 @@ func profileFigure(name string, scale int, cpuFile, memFile string) error {
 			insts += n
 		}
 		summary = fmt.Sprintf("%d instructions fast-forwarded", insts)
+	case "decode":
+		// Profile the pre-decode path in isolation: lower every workload's
+		// instruction stream into its micro-op table many times (prog.New
+		// includes validation + buildUOps), then run a short detailed
+		// simulation per workload so the profile also shows the table's
+		// consumers (fetch/rename reading the pre-decoded columns).
+		const relowers = 500
+		var rows, insts uint64
+		for _, wn := range regreuse.Workloads() {
+			w, ok := workloads.ByName(wn, scale)
+			if !ok {
+				return fmt.Errorf("unknown workload %q", wn)
+			}
+			p, err := asm.Assemble(w.Source)
+			if err != nil {
+				return err
+			}
+			raw := p.Insts()
+			for i := 0; i < relowers; i++ {
+				q, err := prog.New(raw, nil, nil)
+				if err != nil {
+					return err
+				}
+				rows += uint64(len(q.UOps().Inst))
+			}
+			res, err := regreuse.RunWorkload(wn, scale, regreuse.Config{
+				Scheme: regreuse.Reuse, MaxInsts: 200_000,
+			})
+			if err != nil {
+				return err
+			}
+			insts += res.Insts
+		}
+		summary = fmt.Sprintf("%d micro-ops lowered, %d instructions simulated", rows, insts)
 	default:
-		return fmt.Errorf("unknown figure %q (want fig1..fig3, fig9, fig10, fig11, fig12 or ff)", name)
+		return fmt.Errorf("unknown figure %q (want fig1..fig3, fig9, fig10, fig11, fig12, ff or decode)", name)
 	}
 	fmt.Printf("%s: %s\n", name, summary)
 

@@ -69,6 +69,7 @@ func main() {
 		ff       = flag.Uint64("ff", 0, "fast-forward N instructions functionally before detailed simulation (0 = off)")
 		warmup   = flag.Uint64("warmup", 0, "replay the last N fast-forwarded instructions into caches/bpred at boot")
 		sample   = flag.String("sample", "", "interval-sampling plan warmup:detail:interval (mutually exclusive with -ff)")
+		sampleW  = flag.Int("sample-workers", 1, "goroutines for sampled detail intervals (<0 = GOMAXPROCS); results are identical for every value")
 		ckptDir  = flag.String("ckpt-dir", "", "cache fast-forward checkpoints in this directory")
 	)
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 		FastForward:    *ff,
 		Warmup:         *warmup,
 		Sample:         *sample,
+		SampleWorkers:  *sampleW,
 		CkptDir:        *ckptDir,
 	}
 	sch, serr := regreuse.ParseScheme(*scheme)

@@ -266,3 +266,52 @@ func TestSampleFunctional(t *testing.T) {
 		t.Fatalf("checksum %#x, want %#x", final.X[workloads.CheckReg], w.Want)
 	}
 }
+
+// TestSampleNDeterminism runs the same sampled program with 1, 2, 3 and 8
+// workers. The runner reports interval-dependent statistics (so any merge
+// reordering would change the estimate) and the resulting Estimates must be
+// bit-identical: interval results are folded in interval-index order no
+// matter which worker finishes first.
+func TestSampleNDeterminism(t *testing.T) {
+	p := assemble(t, "dgemm", 1)
+	plan := Plan{Warmup: 200, Detail: 500, Interval: 4000}
+
+	sampleWith := func(workers int) *Estimate {
+		run := func(bs *BootState, warmup, detail uint64) (IntervalStats, error) {
+			s := emu.NewFromSnapshot(p, bs.Boot)
+			if _, err := s.StepN(warmup); err != nil {
+				return IntervalStats{}, err
+			}
+			n, err := s.StepN(detail)
+			if err != nil {
+				return IntervalStats{}, err
+			}
+			// Cycles depend on the interval's position, so IPC differs
+			// per interval and the mean/stderr are order-sensitive
+			// unless merging is index-ordered.
+			return IntervalStats{
+				Cycles:    n + bs.Boot.InstCount%977,
+				Insts:     n,
+				ReuseHits: bs.Boot.InstCount % 131,
+			}, nil
+		}
+		est, final, err := SampleN(p, plan, 0, workers, run)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if final == nil || !final.Halted {
+			t.Fatalf("workers=%d: walker did not finish", workers)
+		}
+		return est
+	}
+
+	want := sampleWith(1)
+	if want.Samples < 4 {
+		t.Fatalf("want several intervals, got %d", want.Samples)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		if got := sampleWith(workers); *got != *want {
+			t.Errorf("workers=%d: estimate %+v != serial %+v", workers, got, want)
+		}
+	}
+}

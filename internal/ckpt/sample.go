@@ -1,12 +1,15 @@
 package ckpt
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/emu"
+	"repro/internal/par"
 	"repro/internal/prog"
 )
 
@@ -116,17 +119,76 @@ func (e *Estimate) CoverageRatio() float64 {
 // functionally (StepN again) so the walker stays the single source of
 // architectural truth.
 func Sample(p *prog.Program, plan Plan, maxInsts uint64, run RunDetail) (*Estimate, *emu.Snapshot, error) {
+	return SampleN(p, plan, maxInsts, 1, run)
+}
+
+// intervalJob is one detailed interval captured by the functional walker and
+// waiting for simulation: the boot state plus its clamped warmup/detail
+// instruction budgets.
+type intervalJob struct {
+	bs     *BootState
+	warm   uint64
+	detail uint64
+}
+
+// SampleN is Sample with the detailed intervals fanned out across up to
+// `workers` goroutines (<= 0 selects GOMAXPROCS; 1 runs them inline, which is
+// exactly the serial Sample). The functional walker is inherently serial — it
+// is the single source of architectural truth — so parallelism comes from
+// two-phase batching: the walker captures a batch of interval BootStates
+// (each owning an independent memory snapshot), the batch is fanned out via
+// par.ForEachCtx, and the results are merged in interval-index order. Because
+// the per-interval statistics are accumulated in that fixed order no matter
+// which worker finishes first, the estimate is bit-identical for every worker
+// count (asserted by TestSampleNDeterminism).
+//
+// Batches hold at most 2*workers intervals so at most that many memory
+// snapshots are alive at once; run must be safe for concurrent calls when
+// workers > 1 (each call gets its own BootState).
+func SampleN(p *prog.Program, plan Plan, maxInsts uint64, workers int, run RunDetail) (*Estimate, *emu.Snapshot, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if maxInsts == 0 {
 		maxInsts = math.MaxUint64
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	skip := plan.Interval - 2*plan.Warmup - plan.Detail
 
 	s := emu.New(p)
 	est := &Estimate{Plan: plan}
 	var ipcs, reuses []float64
+
+	batch := make([]intervalJob, 0, 2*workers)
+	// flush simulates every captured interval (concurrently when workers > 1)
+	// and folds the results into the estimate in interval-index order. Errors
+	// are reported for the earliest failing interval, matching what a serial
+	// run would have surfaced first.
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		stats := make([]IntervalStats, len(batch))
+		errs := make([]error, len(batch))
+		_ = par.ForEachCtx(context.Background(), len(batch), workers, func(i int) error {
+			stats[i], errs[i] = run(batch[i].bs, batch[i].warm, batch[i].detail)
+			return errs[i]
+		})
+		for i := range batch {
+			if errs[i] != nil {
+				return fmt.Errorf("ckpt: detail interval at inst %d: %w", batch[i].bs.Boot.InstCount, errs[i])
+			}
+			if st := stats[i]; st.Cycles > 0 && st.Insts > 0 {
+				ipcs = append(ipcs, float64(st.Insts)/float64(st.Cycles))
+				reuses = append(reuses, float64(st.ReuseHits)/float64(st.Insts))
+				est.DetailInsts += st.Insts
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
 
 	for !s.Halted() && s.InstCount() < maxInsts {
 		if _, err := s.StepN(minU64(skip, maxInsts-s.InstCount())); err != nil {
@@ -161,14 +223,11 @@ func Sample(p *prog.Program, plan Plan, maxInsts uint64, run RunDetail) (*Estima
 			}
 			break
 		}
-		stats, err := run(bs, warm, detail)
-		if err != nil {
-			return nil, nil, fmt.Errorf("ckpt: detail interval at inst %d: %w", s.InstCount(), err)
-		}
-		if stats.Cycles > 0 && stats.Insts > 0 {
-			ipcs = append(ipcs, float64(stats.Insts)/float64(stats.Cycles))
-			reuses = append(reuses, float64(stats.ReuseHits)/float64(stats.Insts))
-			est.DetailInsts += stats.Insts
+		batch = append(batch, intervalJob{bs: bs, warm: warm, detail: detail})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
 		}
 
 		// Advance the functional walker through the detailed region
@@ -176,6 +235,9 @@ func Sample(p *prog.Program, plan Plan, maxInsts uint64, run RunDetail) (*Estima
 		if _, err := s.StepN(warm + detail); err != nil {
 			return nil, nil, fmt.Errorf("ckpt: sample advance: %w", err)
 		}
+	}
+	if err := flush(); err != nil {
+		return nil, nil, err
 	}
 
 	est.Samples = len(ipcs)

@@ -10,8 +10,10 @@ import (
 
 // StepN executes up to n instructions as fast as possible: no commit records
 // are produced, the PC and instruction count live in registers for the whole
-// batch, instructions come straight off the pre-decoded text image, and
-// memory goes through the single-page word fast paths. It is the
+// batch, instructions come straight off the micro-op table's pre-decoded
+// instruction column (the same table the detailed pipeline reads its decoded
+// operand metadata from, so the two paths cannot disagree on what a pc
+// holds), and memory goes through the single-page word fast paths. It is the
 // fast-forward engine behind internal/ckpt — architecturally it is
 // bit-identical to n calls of Step.
 //
@@ -26,7 +28,7 @@ func (s *State) StepN(n uint64) (uint64, error) {
 		}
 		return 0, s.crash("step after halt")
 	}
-	insts := s.prog.Insts()
+	insts := s.prog.UOps().Inst
 	mem := s.Mem
 	pc := s.PC
 	var executed uint64

@@ -65,3 +65,58 @@ func (c *Core) Unmarked(name string) {
 }
 
 func take(s Sink) { _ = s }
+
+// The specialized-cycle-loop shape of internal/pipeline: step dispatches on
+// the scheme once, and each specialized loop is itself a hot path. The
+// analyzer must follow the directive into every specialized variant — a
+// violation inside one switch arm's loop is still a hot-path violation.
+
+// scheme mimics pipeline.Scheme.
+type scheme int
+
+// renamer mimics a concrete renamer with scratch the core owns.
+type renamer struct{ free []int }
+
+// SpecializedCore mimics a core with per-scheme specialized loops.
+type SpecializedCore struct {
+	scheme scheme
+	ren    renamer
+	ring   []int
+	o      obs.Observer
+}
+
+// Step dispatches to the scheme's specialized loop; the switch itself is
+// allocation-free and clean.
+//
+//repro:hotpath
+func (c *SpecializedCore) Step() {
+	switch c.scheme {
+	case 0:
+		c.stepA()
+	default:
+		c.stepB()
+	}
+}
+
+// stepA is a clean specialized loop: receiver-owned appends, ring writes in
+// place, guarded observer emission. No findings.
+//
+//repro:hotpath
+func (c *SpecializedCore) stepA() {
+	c.ring = append(c.ring, 1)
+	c.ren.free = append(c.ren.free, 2)
+	if c.o != nil {
+		c.o.Core(obs.CoreEvent{Kind: obs.CoreFlush})
+	}
+}
+
+// stepB is a specialized loop with seeded violations.
+//
+//repro:hotpath
+func (c *SpecializedCore) stepB() {
+	probe := func() int { // want `function literal in hot path`
+		return len(c.ring)
+	}
+	_ = probe
+	_ = fmt.Sprintf("loop=%d", c.scheme) // want `fmt.Sprintf allocates in hot path`
+}

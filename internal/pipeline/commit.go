@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/regfile"
+	"repro/internal/rename"
 )
 
 // commit retires up to CommitWidth completed instructions from the ROB head,
@@ -55,7 +56,7 @@ func (c *Core) commit() {
 					}
 				}
 			}
-			c.ren(e.destClass).Commit(e.dest)
+			c.commitDest(e.destClass, e.dest)
 		}
 		if c.oracle != nil && !e.micro {
 			if err := c.checkOracle(e); err != nil {
@@ -82,13 +83,13 @@ func (c *Core) commit() {
 			}
 			c.o.Inst(obs.InstEvent{
 				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Stage: obs.StageCommit,
-				Inst: e.inst, Kind: kind, Reason: e.dest.Reason, Dest: e.dest.Tag,
+				Inst: c.instAt(e.idx), Kind: kind, Reason: e.dest.Reason, Dest: e.dest.Tag,
 				Micro: e.micro, Branch: e.isBranch, Taken: e.actualTaken,
 			})
 		}
 		if c.cfg.CommitHook != nil {
 			ev := CommitEvent{
-				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Inst: e.inst.String(),
+				Cycle: c.cycle, Seq: e.seq, PC: e.pc, Inst: c.instAt(e.idx).String(),
 				Micro: e.micro, Reused: e.dest.Reused,
 				IsBranch: e.isBranch, Taken: e.actualTaken,
 			}
@@ -113,6 +114,23 @@ func (c *Core) commit() {
 			c.halted = true
 			return
 		}
+	}
+}
+
+// commitDest retires a destination rename through the concrete renamer for
+// the running scheme, so the per-commit call is direct rather than an
+// interface dispatch. The scheme switch resolves the same way every call
+// within a run — a predicted branch, not a dynamic method lookup.
+//
+//repro:hotpath
+func (c *Core) commitDest(class isa.RegClass, d rename.DestResult) {
+	switch c.cfg.Scheme {
+	case Reuse:
+		c.reuse(class).Commit(d)
+	case EarlyRelease:
+		c.early(class).Commit(d)
+	default:
+		c.base(class).Commit(d)
 	}
 }
 
@@ -186,7 +204,7 @@ func (c *Core) flushAll(resumePC uint64, handlerCycles uint64) {
 		if c.o != nil {
 			c.o.Inst(obs.InstEvent{
 				Cycle: c.cycle, Seq: e.seq, PC: e.pc,
-				Stage: obs.StageSquash, Inst: e.inst, Micro: e.micro,
+				Stage: obs.StageSquash, Inst: c.instAt(e.idx), Micro: e.micro,
 			})
 		}
 	}
@@ -249,7 +267,7 @@ func (c *Core) checkOracle(e *robEntry) error {
 		}
 		if e.resultVal != want {
 			return fmt.Errorf("pipeline: oracle divergence at seq %d pc=%#x (%v): dest P%d.%d=%#x, oracle=%#x",
-				e.seq, e.pc, e.inst, e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal, want)
+				e.seq, e.pc, c.instAt(e.idx), e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal, want)
 		}
 	}
 	if e.isStore {

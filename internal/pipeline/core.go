@@ -26,22 +26,28 @@ const (
 	excReplay
 )
 
-// fetchRec is one instruction in the fetch queue.
+// fetchRec is one instruction in the fetch queue. It carries the micro-op
+// table index instead of the instruction itself: every stage downstream
+// reads the pre-decoded columns (or, on observer/debug paths, reconstructs
+// the isa.Inst) through idx, so nothing re-decodes per cycle. pred is only
+// written — and only valid — when branch is set.
 type fetchRec struct {
 	pc      uint64
-	inst    isa.Inst
+	fetched uint64 // cycle the instruction entered the fetch queue
+	idx     int32  // micro-op table index
 	branch  bool
 	pred    bpred.Prediction
-	fetched uint64 // cycle the instruction entered the fetch queue
 }
 
-// robEntry is one reorder-buffer slot.
+// robEntry is one reorder-buffer slot. idx indexes the micro-op table
+// (-1 for injected repair micro-ops, which have no static instruction).
+// pred is only valid when isBranch is set.
 type robEntry struct {
 	active bool
 	seq    uint64
 	pc     uint64
 	nextPC uint64
-	inst   isa.Inst
+	idx    int32
 
 	micro       bool // injected repair move micro-op (§IV-D1)
 	microFrom   rename.Tag
@@ -81,7 +87,7 @@ type iqEntry struct {
 	robIdx int
 	seq    uint64
 	pc     uint64
-	inst   isa.Inst
+	idx    int32 // micro-op table index (-1 for repair micro-ops)
 	fu     isa.FU
 	lat    int
 	unpipe bool
@@ -129,14 +135,21 @@ type wbEvent struct {
 type Core struct {
 	cfg  Config
 	prog *prog.Program
-	mem  *emu.Memory // committed memory state
+	uops *prog.UOpTable // pre-decoded micro-op table (prog.UOps())
+	mem  *emu.Memory    // committed memory state
 	hier *memsys.Hierarchy
 	bp   *bpred.Predictor
 
-	rfInt, rfFP    *regfile.File
+	rfInt, rfFP *regfile.File
+	// renI/renF hold the renamers behind the scheme-agnostic interface for
+	// the cold paths (flush, squash, checkpoints, stats). The per-scheme
+	// specialized dispatch loops use the concrete typed fields below so
+	// their per-instruction rename calls are direct and inlinable.
 	renI, renF     rename.Renamer
-	reuseI, reuseF *rename.ReuseRenamer   // non-nil for Scheme == Reuse
-	trackI, trackF rename.ActivityTracker // non-nil for Scheme == EarlyRelease
+	baseI, baseF   *rename.BaselineRenamer // non-nil for Scheme == Baseline
+	reuseI, reuseF *rename.ReuseRenamer    // non-nil for Scheme == Reuse
+	earlyI, earlyF *rename.EarlyRenamer    // non-nil for Scheme == EarlyRelease
+	trackI, trackF rename.ActivityTracker  // non-nil for Scheme == EarlyRelease
 	typePred       *rename.TypePredictor
 
 	rob      []robEntry
@@ -167,8 +180,6 @@ type Core struct {
 	// Writeback calendar ring (indexed by cycle & (len-1)).
 	evRing    [][]wbEvent
 	evPending int
-
-	srcLogBuf [2]uint8 // scratch for sameClassSrcLogs
 
 	fuBusy [isa.NumFUs][]uint64 // per-slot busy-until cycle
 
@@ -209,6 +220,7 @@ func New(cfg Config, p *prog.Program) *Core {
 	c := &Core{
 		cfg:  cfg,
 		prog: p,
+		uops: p.UOps(),
 		mem:  emu.NewMemory(),
 		hier: memsys.New(cfg.Mem),
 		bp:   bpred.New(cfg.Bpred),
@@ -237,18 +249,19 @@ func New(cfg Config, p *prog.Program) *Core {
 	c.rfFP = regfile.New(cfg.FPRegs)
 	switch cfg.Scheme {
 	case Baseline:
-		c.renI = rename.NewBaseline(isa.NumIntRegs, c.rfInt)
-		c.renF = rename.NewBaseline(isa.NumFPRegs, c.rfFP)
+		c.baseI = rename.NewBaseline(isa.NumIntRegs, c.rfInt)
+		c.baseF = rename.NewBaseline(isa.NumFPRegs, c.rfFP)
+		c.renI, c.renF = c.baseI, c.baseF
 	case Reuse:
 		c.typePred = rename.NewTypePredictor(cfg.PredictorSize)
 		c.reuseI = rename.NewReuse(cfg.ReuseCfg, isa.NumIntRegs, c.rfInt, c.typePred)
 		c.reuseF = rename.NewReuse(cfg.ReuseCfg, isa.NumFPRegs, c.rfFP, c.typePred)
 		c.renI, c.renF = c.reuseI, c.reuseF
 	case EarlyRelease:
-		ei := rename.NewEarly(isa.NumIntRegs, c.rfInt)
-		ef := rename.NewEarly(isa.NumFPRegs, c.rfFP)
-		c.renI, c.renF = ei, ef
-		c.trackI, c.trackF = ei, ef
+		c.earlyI = rename.NewEarly(isa.NumIntRegs, c.rfInt)
+		c.earlyF = rename.NewEarly(isa.NumFPRegs, c.rfFP)
+		c.renI, c.renF = c.earlyI, c.earlyF
+		c.trackI, c.trackF = c.earlyI, c.earlyF
 	}
 	// Architectural register state: stack pointer, zero elsewhere (matches
 	// emu.New). The renamers initialized logical l -> physical l.
@@ -306,6 +319,44 @@ func (c *Core) tracker(class isa.RegClass) rename.ActivityTracker {
 		return c.trackF
 	}
 	return c.trackI
+}
+
+// base/reuse/early return the concrete renamer for a class. The specialized
+// dispatch loops call through these so every per-instruction rename operation
+// is a direct (devirtualized) call on the concrete type.
+//
+//repro:hotpath
+func (c *Core) base(class isa.RegClass) *rename.BaselineRenamer {
+	if class == isa.FPReg {
+		return c.baseF
+	}
+	return c.baseI
+}
+
+//repro:hotpath
+func (c *Core) reuse(class isa.RegClass) *rename.ReuseRenamer {
+	if class == isa.FPReg {
+		return c.reuseF
+	}
+	return c.reuseI
+}
+
+//repro:hotpath
+func (c *Core) early(class isa.RegClass) *rename.EarlyRenamer {
+	if class == isa.FPReg {
+		return c.earlyF
+	}
+	return c.earlyI
+}
+
+// instAt reconstructs the isa.Inst for a micro-op table index; repair
+// micro-ops (idx < 0) render as NOP. Only observer, trace, and error paths
+// need the instruction itself — the hot loops read the pre-decoded columns.
+func (c *Core) instAt(idx int32) isa.Inst {
+	if idx < 0 {
+		return isa.Inst{Op: isa.NOP}
+	}
+	return c.uops.Inst[idx]
 }
 
 func (c *Core) rf(class isa.RegClass) *regfile.File {
@@ -378,35 +429,114 @@ func (c *Core) StepN(n int) {
 	}
 }
 
-// step advances one cycle. Stage order within a cycle: writeback events
-// (wakeup/broadcast), commit, issue, rename/dispatch, fetch — so values
-// produced at cycle T can feed instructions issuing at T (back-to-back
-// dependent execution), and younger stages see the machine state left by
-// older ones.
+// step advances one cycle by dispatching to the scheme-specialized loop.
+// Stage order within a cycle: writeback events (wakeup/broadcast), commit,
+// issue, rename/dispatch, fetch — so values produced at cycle T can feed
+// instructions issuing at T (back-to-back dependent execution), and younger
+// stages see the machine state left by older ones.
+//
+// Each scheme gets its own loop body so the per-instruction rename calls
+// inside are monomorphic: the specialized renameDispatch variants call the
+// concrete renamer types directly instead of going through the Renamer
+// interface, and scheme-conditional stages (occupancy sampling, speculation-
+// boundary tracking) exist only in the loops that need them.
 //
 //repro:hotpath
 func (c *Core) step() {
+	switch c.cfg.Scheme {
+	case Reuse:
+		c.stepReuse()
+	case EarlyRelease:
+		c.stepEarly()
+	default:
+		c.stepBaseline()
+	}
+}
+
+// LoopName reports which specialized step loop this core runs; tests use it
+// to pin each scheme to its monomorphic loop.
+func (c *Core) LoopName() string {
+	switch c.cfg.Scheme {
+	case Reuse:
+		return "stepReuse"
+	case EarlyRelease:
+		return "stepEarly"
+	default:
+		return "stepBaseline"
+	}
+}
+
+// stepBaseline is the specialized cycle loop for the conventional scheme.
+//
+//repro:hotpath
+func (c *Core) stepBaseline() {
 	c.processEvents()
 	if c.halted {
-		c.endCycle()
-		c.cycle++
+		c.stepTail()
 		return
 	}
 	c.commit()
 	if c.halted {
-		c.endCycle()
-		c.cycle++
+		c.stepTail()
 		return
 	}
-	if c.trackI != nil {
-		c.advanceSpecBoundary()
+	c.issue()
+	c.renameDispatchBaseline()
+	c.fetch()
+	c.stepTail()
+}
+
+// stepReuse is the specialized cycle loop for the paper's register-sharing
+// scheme: stolen-source repair in dispatch plus Figure 9 occupancy sampling.
+//
+//repro:hotpath
+func (c *Core) stepReuse() {
+	c.processEvents()
+	if c.halted {
+		c.stepTail()
+		return
+	}
+	c.commit()
+	if c.halted {
+		c.stepTail()
+		return
 	}
 	c.issue()
-	c.renameDispatch()
+	c.renameDispatchReuse()
 	c.fetch()
-	if ival := c.cfg.OccupancySampleInterval; ival > 0 && c.cfg.Scheme == Reuse && c.cycle%ival == 0 {
+	if ival := c.cfg.OccupancySampleInterval; ival > 0 && c.cycle%ival == 0 {
 		c.sampleOccupancy()
 	}
+	c.stepTail()
+}
+
+// stepEarly is the specialized cycle loop for the early-release comparator:
+// the speculation boundary advances before issue so trackers see resolved
+// branches, and dispatch notes pending source slots.
+//
+//repro:hotpath
+func (c *Core) stepEarly() {
+	c.processEvents()
+	if c.halted {
+		c.stepTail()
+		return
+	}
+	c.commit()
+	if c.halted {
+		c.stepTail()
+		return
+	}
+	c.advanceSpecBoundary()
+	c.issue()
+	c.renameDispatchEarly()
+	c.fetch()
+	c.stepTail()
+}
+
+// stepTail finishes a cycle: store-wait decay, observer tick, clock advance.
+//
+//repro:hotpath
+func (c *Core) stepTail() {
 	if c.memWait != nil && c.memWaitClear > 0 && c.cycle >= c.memWaitClear {
 		for i := range c.memWait {
 			c.memWait[i] = false
@@ -475,7 +605,7 @@ func (c *Core) DebugDump() string {
 		c.cycle, c.stats.Committed, c.robCount, c.iqCount, c.lqCnt, c.sqCnt, c.fqCount, c.fetchPC, c.fetchResumeAt, c.fetchHalted)
 	for i := 0; i < c.robCount && i < 6; i++ {
 		e := &c.rob[c.robIdxAt(i)]
-		s += fmt.Sprintf("  rob[%d] seq=%d pc=%#x %v completed=%v exc=%d micro=%v\n", i, e.seq, e.pc, e.inst, e.completed, e.exc, e.micro)
+		s += fmt.Sprintf("  rob[%d] seq=%d pc=%#x %v completed=%v exc=%d micro=%v\n", i, e.seq, e.pc, c.instAt(e.idx), e.completed, e.exc, e.micro)
 	}
 	var slots []int32
 	for i := range c.iqPool {
@@ -489,7 +619,7 @@ func (c *Core) DebugDump() string {
 			break
 		}
 		ent := &c.iqPool[idx]
-		s += fmt.Sprintf("  iq[%d] seq=%d pc=%#x %v srcs=[%v %v] fu=%v ready=%v\n", i, ent.seq, ent.pc, ent.inst,
+		s += fmt.Sprintf("  iq[%d] seq=%d pc=%#x %v srcs=[%v %v] fu=%v ready=%v\n", i, ent.seq, ent.pc, c.instAt(ent.idx),
 			ent.src[0], ent.src[1], ent.fu, ent.pending == 0)
 	}
 	s += fmt.Sprintf("  freeInt=%d freeFP=%d\n", c.renI.FreeRegs(), c.renF.FreeRegs())

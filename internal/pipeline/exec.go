@@ -6,6 +6,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/prog"
 	"repro/internal/rename"
 )
 
@@ -50,7 +51,7 @@ func (c *Core) issue() {
 		if c.o != nil {
 			c.o.Inst(obs.InstEvent{
 				Cycle: c.cycle, Seq: ent.seq, PC: ent.pc,
-				Stage: obs.StageIssue, Inst: ent.inst, Micro: ent.micro,
+				Stage: obs.StageIssue, Inst: c.instAt(ent.idx), Micro: ent.micro,
 			})
 		}
 		c.freeIQ(idx)
@@ -79,13 +80,17 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 	e := &c.rob[ent.robIdx]
 	v0, v1 := ent.src[0].val, ent.src[1].val
 
-	switch {
-	case ent.micro:
+	if ent.micro {
 		e.resultVal = v0
 		return ent.lat, true
+	}
+	// Non-micro entries index the micro-op table; the raw instruction is one
+	// load here, everything structural was pre-decoded.
+	in := c.uops.Inst[ent.idx]
 
+	switch {
 	case ent.isLoad:
-		addr := v0 + uint64(ent.inst.Imm)
+		addr := v0 + uint64(in.Imm)
 		lat, val, exc, ok := c.loadAccess(ent, addr)
 		if !ok {
 			return 0, false
@@ -104,7 +109,7 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 		return lat, true
 
 	case ent.isStore:
-		addr := v0 + uint64(ent.inst.Imm)
+		addr := v0 + uint64(in.Imm)
 		e.effAddr = addr
 		e.resultVal = v1 // store data
 		if addr%8 != 0 {
@@ -129,33 +134,32 @@ func (c *Core) execute(ent *iqEntry) (int, bool) {
 		return ent.lat, true
 
 	case ent.isBranch:
-		taken, target := branchOutcome(ent.inst, ent.pc, v0, v1)
+		taken, target := branchOutcome(in, c.uops.Flags[ent.idx], ent.pc, v0, v1)
 		e.actualTaken = taken
 		e.actualTarget = target
 		if taken {
 			e.nextPC = target
 		}
-		if ent.inst.Op == isa.BL {
+		if in.Op == isa.BL {
 			e.resultVal = ent.pc + isa.InstBytes
 		}
 		return ent.lat, true
 
 	default:
-		e.resultVal = emu.ExecOps(ent.inst, v0, v1, ent.pc)
+		e.resultVal = emu.ExecOps(in, v0, v1, ent.pc)
 		return ent.lat, true
 	}
 }
 
 //repro:hotpath
-func branchOutcome(in isa.Inst, pc, v0, v1 uint64) (bool, uint64) {
-	d := in.Op.Describe()
+func branchOutcome(in isa.Inst, flags prog.UOpFlags, pc, v0, v1 uint64) (bool, uint64) {
 	switch {
-	case d.Cond:
+	case flags&prog.UFCond != 0:
 		if emu.CondTaken(in.Op, v0, v1) {
 			return true, uint64(in.Imm)
 		}
 		return false, pc + isa.InstBytes
-	case d.Indirect:
+	case flags&prog.UFIndirect != 0:
 		return true, v0
 	default: // B, BL
 		return true, uint64(in.Imm)
@@ -256,7 +260,7 @@ func (c *Core) processEvents() {
 		if e.hasDest {
 			if traceReg >= 0 && int(e.dest.Tag.Reg) == traceReg {
 				//repro:allow hotpath traceReg debug path, off by default
-				fmt.Printf("[%d] writeback seq=%d %v -> P%d.%d class=%v\n", c.cycle, e.seq, e.inst, e.dest.Tag.Reg, e.dest.Tag.Ver, e.destClass)
+				fmt.Printf("[%d] writeback seq=%d %v -> P%d.%d class=%v\n", c.cycle, e.seq, c.instAt(e.idx), e.dest.Tag.Reg, e.dest.Tag.Ver, e.destClass)
 			}
 			c.rf(e.destClass).Write(e.dest.Tag.Reg, e.dest.Tag.Ver, e.resultVal)
 			c.broadcast(e.destClass, e.dest.Tag, e.resultVal)
@@ -268,7 +272,7 @@ func (c *Core) processEvents() {
 		if c.o != nil {
 			c.o.Inst(obs.InstEvent{
 				Cycle: c.cycle, Seq: e.seq, PC: e.pc,
-				Stage: obs.StageWriteback, Inst: e.inst, Micro: e.micro,
+				Stage: obs.StageWriteback, Inst: c.instAt(e.idx), Micro: e.micro,
 			})
 		}
 		if e.isBranch {
@@ -320,7 +324,7 @@ func (c *Core) broadcast(class isa.RegClass, tag rename.Tag, val uint64) {
 //repro:hotpath
 func (c *Core) resolveBranch(robIdx int) {
 	e := &c.rob[robIdx]
-	c.bp.Resolve(e.pc, e.inst, e.pred, e.actualTaken, e.actualTarget)
+	c.bp.Resolve(e.pc, c.uops.Inst[e.idx], e.pred, e.actualTaken, e.actualTarget)
 
 	predictedNext := e.pc + isa.InstBytes
 	if e.pred.Taken && e.pred.Target != 0 {
@@ -371,7 +375,7 @@ func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 		if c.o != nil {
 			c.o.Inst(obs.InstEvent{
 				Cycle: c.cycle, Seq: dead.seq, PC: dead.pc,
-				Stage: obs.StageSquash, Inst: dead.inst, Micro: dead.micro,
+				Stage: obs.StageSquash, Inst: c.instAt(dead.idx), Micro: dead.micro,
 			})
 		}
 	}
@@ -442,9 +446,9 @@ func (c *Core) squashAfter(branchIdx int, resumePC uint64) {
 	}
 
 	// Branch predictor state.
-	d := e.inst.Op.Describe()
-	c.bp.Restore(e.pred.Snapshot, d.Cond, e.actualTaken)
-	if d.Link {
+	flags := c.uops.Flags[e.idx]
+	c.bp.Restore(e.pred.Snapshot, flags&prog.UFCond != 0, e.actualTaken)
+	if flags&prog.UFLink != 0 {
 		// The surviving call's RAS push must be replayed.
 		c.bp.PushCallRestore(e.pc + isa.InstBytes)
 	}

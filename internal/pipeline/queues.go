@@ -44,7 +44,10 @@ func tagIdx(tag rename.Tag) int {
 
 // allocIQ takes a free pool slot; the caller must have checked capacity
 // (iqCount < cfg.IQSize). The slot's generation is bumped so waiter refs
-// registered against a previous occupant can never wake the new one.
+// registered against a previous occupant can never wake the new one. The
+// payload fields are NOT cleared here: both dispatch sites (dispatchFill and
+// dispatchMicro) assign every one of them, so zeroing the whole entry first
+// would only duplicate those stores in the hottest loop of the simulator.
 //
 //repro:hotpath
 func (c *Core) allocIQ() int32 {
@@ -53,10 +56,9 @@ func (c *Core) allocIQ() int32 {
 	c.iqFree = c.iqFree[:n]
 	c.iqCount++
 	e := &c.iqPool[idx]
-	gen := e.gen + 1
-	*e = iqEntry{}
-	e.gen = gen
+	e.gen++
 	e.active = true
+	e.pending = 0
 	return idx
 }
 
@@ -201,12 +203,6 @@ func (c *Core) fetchQAt(i int) *fetchRec {
 		j -= len(c.fetchQ)
 	}
 	return &c.fetchQ[j]
-}
-
-//repro:hotpath
-func (c *Core) fetchQPush(rec fetchRec) {
-	*c.fetchQAt(c.fqCount) = rec
-	c.fqCount++
 }
 
 //repro:hotpath

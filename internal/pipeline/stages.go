@@ -6,19 +6,24 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/prog"
 	"repro/internal/regfile"
 	"repro/internal/rename"
 )
 
 // fetch follows the predicted path through real program memory, so
 // wrong-path instructions enter the pipeline and consume rename/issue/
-// register resources exactly as they would in hardware.
+// register resources exactly as they would in hardware. Decode happened at
+// program load: fetch resolves the PC to a micro-op table index once and
+// writes it — not the instruction — into the fetch queue, filling the ring
+// slot in place so no fetchRec is ever copied.
 //
 //repro:hotpath
 func (c *Core) fetch() {
 	if c.cycle < c.fetchResumeAt || c.fetchHalted {
 		return
 	}
+	u := c.uops
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.fqCount >= c.cfg.FetchQSize {
 			return
@@ -34,56 +39,51 @@ func (c *Core) fetch() {
 				return
 			}
 		}
-		inst, ok := c.prog.Fetch(c.fetchPC)
-		if !ok {
+		idx := prog.PCIndex(c.fetchPC)
+		if idx >= uint64(len(u.Inst)) || c.fetchPC&(isa.InstBytes-1) != 0 {
 			// Wrong path ran off the text section; wait for the squash.
 			c.fetchHalted = true
 			return
 		}
-		rec := fetchRec{pc: c.fetchPC, inst: inst, fetched: c.cycle}
+		flags := u.Flags[idx]
+		rec := c.fetchQAt(c.fqCount)
+		rec.pc = c.fetchPC
+		rec.fetched = c.cycle
+		rec.idx = int32(idx)
+		rec.branch = false
 		next := c.fetchPC + isa.InstBytes
-		if inst.Op.Describe().Branch {
+		if flags&prog.UFBranch != 0 {
 			rec.branch = true
-			rec.pred = c.bp.Predict(c.fetchPC, inst)
+			rec.pred = c.bp.Predict(c.fetchPC, u.Inst[idx])
 			if rec.pred.Taken && rec.pred.Target != 0 {
 				next = rec.pred.Target
 			}
 		}
-		c.fetchQPush(rec)
+		c.fqCount++
 		c.stats.FetchedInsts++
 		c.fetchPC = next
-		if inst.Op == isa.HALT {
+		if u.Inst[idx].Op == isa.HALT {
 			c.fetchHalted = true
 			return
 		}
 	}
 }
 
-// srcOperands extracts the register source operands of an instruction as IQ
-// source slots (slot 0 = Rs1, slot 1 = Rs2), skipping absent operands and
-// the integer zero register.
-//
-//repro:hotpath
-func srcOperands(in isa.Inst) [2]iqSrc {
-	var s [2]iqSrc
-	d := in.Op.Describe()
-	if d.Src1Class != isa.NoReg && !(d.Src1Class == isa.IntReg && in.Rs1 == isa.ZeroReg) {
-		s[0] = iqSrc{used: true, class: d.Src1Class}
-	}
-	if d.Src2Class != isa.NoReg && !(d.Src2Class == isa.IntReg && in.Rs2 == isa.ZeroReg) {
-		s[1] = iqSrc{used: true, class: d.Src2Class}
-	}
-	return s
-}
+// The renameDispatch variants below rename and dispatch up to RenameWidth
+// instructions from the fetch queue into the ROB, IQ and LSQ. A blocking
+// condition stalls the whole stage for the cycle (in-order front end). There
+// is one variant per scheme so the per-instruction rename calls are direct
+// calls on the concrete renamer type; the scheme-independent back half
+// (ROB/IQ/LSQ fill) is shared in dispatchFill.
 
-// renameDispatch renames and dispatches up to RenameWidth instructions from
-// the fetch queue into the ROB, IQ and LSQ. A blocking condition stalls the
-// whole stage for the cycle (in-order front end).
+// renameDispatchBaseline is the specialized dispatch loop for the
+// conventional merged-register-file scheme.
 //
 //repro:hotpath
-func (c *Core) renameDispatch() {
+func (c *Core) renameDispatchBaseline() {
+	u := c.uops
 	for slot := 0; slot < c.cfg.RenameWidth && c.fqCount > 0; slot++ {
-		rec := *c.fetchQAt(0)
+		rec := c.fetchQAt(0)
 		if c.robCount == len(c.rob) {
 			c.stats.StallROB++
 			if c.o != nil {
@@ -91,114 +91,46 @@ func (c *Core) renameDispatch() {
 			}
 			return
 		}
-		d := rec.inst.Op.Describe()
+		idx := rec.idx
+		flags := u.Flags[idx]
 
-		// NOP and HALT occupy a ROB slot and complete immediately.
-		if rec.inst.Op == isa.NOP || rec.inst.Op == isa.HALT {
-			e := c.newROBEntry(rec)
-			e.completed = true
-			e.halt = rec.inst.Op == isa.HALT
-			if c.o != nil {
-				c.obsRenamed(rec, e.seq, rename.DestResult{}, isa.NoReg)
-			}
-			c.fetchQPop()
+		if flags&prog.UFNopOrHalt != 0 {
+			c.dispatchNopHalt(rec)
 			continue
 		}
-
-		// Stolen source mappings must be repaired by a move micro-op
-		// before the instruction can read them (§IV-D1).
-		if c.cfg.Scheme == Reuse {
-			if stolenLog, stolenClass, found := c.findStolenSrc(rec.inst); found {
-				if c.iqCount >= c.cfg.IQSize {
-					c.stats.StallIQ++
-					if c.o != nil {
-						c.obsCore(obs.CoreStallIQ, 0, 0)
-					}
-					return
-				}
-				rep, ok := c.ren(stolenClass).RepairSteal(stolenLog)
-				if !ok {
-					c.countNoRegStall(stolenClass)
-					return
-				}
-				c.dispatchMicro(rec.pc, stolenClass, rep)
-				continue // retry the same instruction in the next slot
-			}
-		}
-
-		// Structural checks before any renaming side effects.
-		if c.iqCount >= c.cfg.IQSize {
-			c.stats.StallIQ++
-			if c.o != nil {
-				c.obsCore(obs.CoreStallIQ, 0, 0)
-			}
-			return
-		}
-		if d.Load && c.lqCnt >= c.cfg.LQSize {
-			c.stats.StallLSQ++
-			if c.o != nil {
-				c.obsCore(obs.CoreStallLSQ, 0, 0)
-			}
-			return
-		}
-		if d.Store && c.sqCnt >= c.cfg.SQSize {
-			c.stats.StallLSQ++
-			if c.o != nil {
-				c.obsCore(obs.CoreStallLSQ, 0, 0)
-			}
+		if c.dispatchStructStall(flags) {
 			return
 		}
 
 		// Collect source tags (peek: no side effects yet).
-		srcs := srcOperands(rec.inst)
-		regs := [2]uint8{rec.inst.Rs1, rec.inst.Rs2}
-		for i := range srcs {
-			if srcs[i].used {
-				srcs[i].tag = c.ren(srcs[i].class).PeekSrc(regs[i]).Tag
-			}
+		in := u.Inst[idx]
+		var srcs [2]iqSrc
+		if flags&prog.UFSrc1Used != 0 {
+			cl := u.Src1Class[idx]
+			srcs[0] = iqSrc{used: true, class: cl, tag: c.base(cl).PeekSrc(in.Rs1).Tag}
 		}
-		// Early-release tracking: register the pending source slots before
-		// the destination rename can unmap one of them (a redefining
-		// consumer must not release its own source prematurely).
-		if c.trackI != nil {
-			c.trackI.NoteRenamed(c.seqNext)
-			c.trackF.NoteRenamed(c.seqNext)
-			for i := range srcs {
-				if srcs[i].used {
-					c.tracker(srcs[i].class).NoteSrcSlot(srcs[i].tag)
-				}
-			}
+		if flags&prog.UFSrc2Used != 0 {
+			cl := u.Src2Class[idx]
+			srcs[1] = iqSrc{used: true, class: cl, tag: c.base(cl).PeekSrc(in.Rs2).Tag}
 		}
 
-		// Rename the destination (reuse decision + allocation).
-		destClass, destLog := rec.inst.DestReg()
+		destClass := u.DestClass[idx]
 		var destRes rename.DestResult
 		if destClass != isa.NoReg {
-			srcLogs := c.sameClassSrcLogs(rec.inst, destClass)
-			res, ok := c.ren(destClass).RenameDest(rec.pc, destLog, srcLogs)
+			res, ok := c.base(destClass).RenameDest(rec.pc, u.DestLog[idx], u.Cand[idx][:u.NCand[idx]])
 			if !ok {
-				if c.trackI != nil {
-					// Abandon the noted slots; the retry re-notes them.
-					for i := range srcs {
-						if srcs[i].used {
-							c.tracker(srcs[i].class).NoteSrcConsumed(srcs[i].tag)
-						}
-					}
-				}
 				c.countNoRegStall(destClass)
 				return
 			}
 			destRes = res
-			// Mark reads of sources in the other class.
+			regs := [2]uint8{in.Rs1, in.Rs2}
 			for i := range srcs {
 				if srcs[i].used && srcs[i].class != destClass {
-					c.ren(srcs[i].class).MarkSrcRead(regs[i])
+					c.base(srcs[i].class).MarkSrcRead(regs[i])
 				}
 			}
 		} else {
-			// No destination: mark all source reads, deduplicated per
-			// class+reg (there are at most two sources, so comparing against
-			// the first marked one suffices).
+			regs := [2]uint8{in.Rs1, in.Rs2}
 			var first [2]uint8
 			haveFirst := false
 			for i := range srcs {
@@ -211,123 +143,352 @@ func (c *Core) renameDispatch() {
 				}
 				first = key
 				haveFirst = true
-				c.ren(srcs[i].class).MarkSrcRead(regs[i])
+				c.base(srcs[i].class).MarkSrcRead(regs[i])
 			}
 		}
 
-		e := c.newROBEntry(rec)
-		if c.o != nil {
-			c.obsRenamed(rec, e.seq, destRes, destClass)
-		}
-		if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == rename.PhysReg(traceReg) {
-			//repro:allow hotpath traceReg debug path, off by default
-			fmt.Printf("[%d] seq=%d pc=%#x %v -> dest %+v\n", c.cycle, e.seq, rec.pc, rec.inst, destRes)
-		}
-		if destClass != isa.NoReg {
-			e.hasDest = true
-			e.destClass = destClass
-			e.dest = destRes
-		}
-		e.isLoad = d.Load
-		e.isStore = d.Store
-		if rec.branch {
-			e.isBranch = true
-			e.pred = rec.pred
-			// Checkpoint *after* renaming the branch itself: the branch
-			// survives its own misprediction.
-			e.ckptI = c.renI.Checkpoint()
-			e.ckptF = c.renF.Checkpoint()
-			c.stats.Branches++
-			if c.o != nil {
-				c.obsCore(obs.CoreCheckpointCreate, e.seq, 0)
-			}
-		}
-
-		// Build the IQ entry in its pool slot with captured-ready operands;
-		// not-ready sources subscribe to their producer's wakeup list.
-		iqSlot := c.allocIQ()
-		ent := &c.iqPool[iqSlot]
-		ent.robIdx = c.lastROBIdx()
-		ent.seq = e.seq
-		ent.pc = rec.pc
-		ent.inst = rec.inst
-		ent.fu = d.Unit
-		ent.lat = d.Latency
-		ent.unpipe = isUnpipelined(rec.inst.Op)
-		ent.hasDest = e.hasDest
-		ent.destClass = destClass
-		ent.isLoad = d.Load
-		ent.isStore = d.Store
-		ent.isBranch = rec.branch
-		ent.src = srcs
-		if e.hasDest {
-			ent.destTag = destRes.Tag
-		}
-		for i := range ent.src {
-			c.registerSrc(iqSlot, i, false)
-			if c.cfg.DebugInvariants && ent.src[i].used && !ent.src[i].ready {
-				c.assertInFlightProducer(ent.src[i], rec, e.seq)
-			}
-		}
-		if traceSeqLo < traceSeqHi && e.seq >= traceSeqLo && e.seq < traceSeqHi {
-			//repro:allow hotpath trace-window debug path, off by default
-			fmt.Printf("[cyc %d] seq=%d %v srcs=[%v,%v] dest=%v\n",
-				c.cycle, e.seq, rec.inst, ent.src[0], ent.src[1], destRes)
-		}
-		c.finishDispatch(iqSlot)
-		if d.Load {
-			c.lqPush(lqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
-		}
-		if d.Store {
-			c.sqPush(sqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
-		}
+		c.dispatchFill(rec, srcs, destClass, destRes, flags)
 		c.fetchQPop()
 	}
 }
 
-// findStolenSrc returns the first source whose mapping was stolen.
+// renameDispatchReuse is the specialized dispatch loop for the paper's
+// register-sharing scheme, including §IV-D1 stolen-source repair micro-ops.
 //
 //repro:hotpath
-func (c *Core) findStolenSrc(in isa.Inst) (uint8, isa.RegClass, bool) {
-	d := in.Op.Describe()
-	if d.Src1Class != isa.NoReg && !(d.Src1Class == isa.IntReg && in.Rs1 == isa.ZeroReg) {
-		if c.ren(d.Src1Class).PeekSrc(in.Rs1).Stolen {
-			return in.Rs1, d.Src1Class, true
+func (c *Core) renameDispatchReuse() {
+	u := c.uops
+	for slot := 0; slot < c.cfg.RenameWidth && c.fqCount > 0; slot++ {
+		rec := c.fetchQAt(0)
+		if c.robCount == len(c.rob) {
+			c.stats.StallROB++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallROB, 0, 0)
+			}
+			return
+		}
+		idx := rec.idx
+		flags := u.Flags[idx]
+
+		if flags&prog.UFNopOrHalt != 0 {
+			c.dispatchNopHalt(rec)
+			continue
+		}
+
+		// Stolen source mappings must be repaired by a move micro-op
+		// before the instruction can read them (§IV-D1).
+		in := u.Inst[idx]
+		if stolenLog, stolenClass, found := c.findStolenSrc(idx, in); found {
+			if c.iqCount >= c.cfg.IQSize {
+				c.stats.StallIQ++
+				if c.o != nil {
+					c.obsCore(obs.CoreStallIQ, 0, 0)
+				}
+				return
+			}
+			rep, ok := c.reuse(stolenClass).RepairSteal(stolenLog)
+			if !ok {
+				c.countNoRegStall(stolenClass)
+				return
+			}
+			c.dispatchMicro(rec.pc, stolenClass, rep)
+			continue // retry the same instruction in the next slot
+		}
+
+		if c.dispatchStructStall(flags) {
+			return
+		}
+
+		// Collect source tags (peek: no side effects yet).
+		var srcs [2]iqSrc
+		if flags&prog.UFSrc1Used != 0 {
+			cl := u.Src1Class[idx]
+			srcs[0] = iqSrc{used: true, class: cl, tag: c.reuse(cl).PeekSrc(in.Rs1).Tag}
+		}
+		if flags&prog.UFSrc2Used != 0 {
+			cl := u.Src2Class[idx]
+			srcs[1] = iqSrc{used: true, class: cl, tag: c.reuse(cl).PeekSrc(in.Rs2).Tag}
+		}
+
+		// Rename the destination (reuse decision + allocation).
+		destClass := u.DestClass[idx]
+		var destRes rename.DestResult
+		if destClass != isa.NoReg {
+			res, ok := c.reuse(destClass).RenameDest(rec.pc, u.DestLog[idx], u.Cand[idx][:u.NCand[idx]])
+			if !ok {
+				c.countNoRegStall(destClass)
+				return
+			}
+			destRes = res
+			regs := [2]uint8{in.Rs1, in.Rs2}
+			for i := range srcs {
+				if srcs[i].used && srcs[i].class != destClass {
+					c.reuse(srcs[i].class).MarkSrcRead(regs[i])
+				}
+			}
+		} else {
+			regs := [2]uint8{in.Rs1, in.Rs2}
+			var first [2]uint8
+			haveFirst := false
+			for i := range srcs {
+				if !srcs[i].used {
+					continue
+				}
+				key := [2]uint8{uint8(srcs[i].class), regs[i]}
+				if haveFirst && key == first {
+					continue
+				}
+				first = key
+				haveFirst = true
+				c.reuse(srcs[i].class).MarkSrcRead(regs[i])
+			}
+		}
+
+		c.dispatchFill(rec, srcs, destClass, destRes, flags)
+		c.fetchQPop()
+	}
+}
+
+// renameDispatchEarly is the specialized dispatch loop for the early-release
+// comparator: pending source slots are noted with the activity trackers
+// before the destination rename so a redefining consumer cannot release its
+// own source prematurely.
+//
+//repro:hotpath
+func (c *Core) renameDispatchEarly() {
+	u := c.uops
+	for slot := 0; slot < c.cfg.RenameWidth && c.fqCount > 0; slot++ {
+		rec := c.fetchQAt(0)
+		if c.robCount == len(c.rob) {
+			c.stats.StallROB++
+			if c.o != nil {
+				c.obsCore(obs.CoreStallROB, 0, 0)
+			}
+			return
+		}
+		idx := rec.idx
+		flags := u.Flags[idx]
+
+		if flags&prog.UFNopOrHalt != 0 {
+			c.dispatchNopHalt(rec)
+			continue
+		}
+		if c.dispatchStructStall(flags) {
+			return
+		}
+
+		// Collect source tags (peek: no side effects yet).
+		in := u.Inst[idx]
+		var srcs [2]iqSrc
+		if flags&prog.UFSrc1Used != 0 {
+			cl := u.Src1Class[idx]
+			srcs[0] = iqSrc{used: true, class: cl, tag: c.early(cl).PeekSrc(in.Rs1).Tag}
+		}
+		if flags&prog.UFSrc2Used != 0 {
+			cl := u.Src2Class[idx]
+			srcs[1] = iqSrc{used: true, class: cl, tag: c.early(cl).PeekSrc(in.Rs2).Tag}
+		}
+		// Register the pending source slots before the destination rename
+		// can unmap one of them.
+		c.earlyI.NoteRenamed(c.seqNext)
+		c.earlyF.NoteRenamed(c.seqNext)
+		for i := range srcs {
+			if srcs[i].used {
+				c.early(srcs[i].class).NoteSrcSlot(srcs[i].tag)
+			}
+		}
+
+		destClass := u.DestClass[idx]
+		var destRes rename.DestResult
+		if destClass != isa.NoReg {
+			res, ok := c.early(destClass).RenameDest(rec.pc, u.DestLog[idx], u.Cand[idx][:u.NCand[idx]])
+			if !ok {
+				// Abandon the noted slots; the retry re-notes them.
+				for i := range srcs {
+					if srcs[i].used {
+						c.early(srcs[i].class).NoteSrcConsumed(srcs[i].tag)
+					}
+				}
+				c.countNoRegStall(destClass)
+				return
+			}
+			destRes = res
+			regs := [2]uint8{in.Rs1, in.Rs2}
+			for i := range srcs {
+				if srcs[i].used && srcs[i].class != destClass {
+					c.early(srcs[i].class).MarkSrcRead(regs[i])
+				}
+			}
+		} else {
+			regs := [2]uint8{in.Rs1, in.Rs2}
+			var first [2]uint8
+			haveFirst := false
+			for i := range srcs {
+				if !srcs[i].used {
+					continue
+				}
+				key := [2]uint8{uint8(srcs[i].class), regs[i]}
+				if haveFirst && key == first {
+					continue
+				}
+				first = key
+				haveFirst = true
+				c.early(srcs[i].class).MarkSrcRead(regs[i])
+			}
+		}
+
+		c.dispatchFill(rec, srcs, destClass, destRes, flags)
+		c.fetchQPop()
+	}
+}
+
+// dispatchNopHalt retires a NOP or HALT into the ROB: it occupies a slot and
+// completes immediately, bypassing rename and the issue queue.
+//
+//repro:hotpath
+func (c *Core) dispatchNopHalt(rec *fetchRec) {
+	e := c.newROBEntry(rec.pc, rec.idx)
+	e.completed = true
+	e.halt = c.uops.Inst[rec.idx].Op == isa.HALT
+	if c.o != nil {
+		c.obsRenamed(rec, e.seq, rename.DestResult{}, isa.NoReg)
+	}
+	c.fetchQPop()
+}
+
+// dispatchStructStall checks the issue-queue and load/store-queue capacity
+// for the instruction described by flags, counting the stall when a
+// structure is full. It must run before any renaming side effects.
+//
+//repro:hotpath
+func (c *Core) dispatchStructStall(flags prog.UOpFlags) bool {
+	if c.iqCount >= c.cfg.IQSize {
+		c.stats.StallIQ++
+		if c.o != nil {
+			c.obsCore(obs.CoreStallIQ, 0, 0)
+		}
+		return true
+	}
+	if flags&prog.UFLoad != 0 && c.lqCnt >= c.cfg.LQSize {
+		c.stats.StallLSQ++
+		if c.o != nil {
+			c.obsCore(obs.CoreStallLSQ, 0, 0)
+		}
+		return true
+	}
+	if flags&prog.UFStore != 0 && c.sqCnt >= c.cfg.SQSize {
+		c.stats.StallLSQ++
+		if c.o != nil {
+			c.obsCore(obs.CoreStallLSQ, 0, 0)
+		}
+		return true
+	}
+	return false
+}
+
+// dispatchFill is the scheme-independent back half of dispatch: it fills the
+// ROB entry, builds the IQ entry in its pool slot with captured-ready
+// operands (not-ready sources subscribe to their producer's wakeup list),
+// and appends to the load/store queues. The caller pops the fetch queue.
+//
+//repro:hotpath
+func (c *Core) dispatchFill(rec *fetchRec, srcs [2]iqSrc, destClass isa.RegClass, destRes rename.DestResult, flags prog.UOpFlags) {
+	u := c.uops
+	idx := rec.idx
+	e := c.newROBEntry(rec.pc, idx)
+	if c.o != nil {
+		c.obsRenamed(rec, e.seq, destRes, destClass)
+	}
+	if traceReg >= 0 && destClass != isa.NoReg && destRes.Tag.Reg == rename.PhysReg(traceReg) {
+		//repro:allow hotpath traceReg debug path, off by default
+		fmt.Printf("[%d] seq=%d pc=%#x %v -> dest %+v\n", c.cycle, e.seq, rec.pc, u.Inst[idx], destRes)
+	}
+	if destClass != isa.NoReg {
+		e.hasDest = true
+		e.destClass = destClass
+		e.dest = destRes
+	}
+	isLoad := flags&prog.UFLoad != 0
+	isStore := flags&prog.UFStore != 0
+	e.isLoad = isLoad
+	e.isStore = isStore
+	if rec.branch {
+		e.isBranch = true
+		e.pred = rec.pred
+		// Checkpoint *after* renaming the branch itself: the branch
+		// survives its own misprediction.
+		e.ckptI = c.renI.Checkpoint()
+		e.ckptF = c.renF.Checkpoint()
+		c.stats.Branches++
+		if c.o != nil {
+			c.obsCore(obs.CoreCheckpointCreate, e.seq, 0)
 		}
 	}
-	if d.Src2Class != isa.NoReg && !(d.Src2Class == isa.IntReg && in.Rs2 == isa.ZeroReg) {
-		if c.ren(d.Src2Class).PeekSrc(in.Rs2).Stolen {
-			return in.Rs2, d.Src2Class, true
+
+	iqSlot := c.allocIQ()
+	ent := &c.iqPool[iqSlot]
+	ent.robIdx = c.lastROBIdx()
+	ent.seq = e.seq
+	ent.pc = rec.pc
+	ent.idx = idx
+	ent.fu = u.FU[idx]
+	ent.lat = int(u.Lat[idx])
+	ent.unpipe = flags&prog.UFUnpipelined != 0
+	ent.micro = false
+	ent.microShadow = false
+	ent.hasDest = e.hasDest
+	ent.destClass = destClass
+	ent.destTag = destRes.Tag
+	ent.isLoad = isLoad
+	ent.isStore = isStore
+	ent.isBranch = rec.branch
+	ent.src = srcs
+	for i := range ent.src {
+		c.registerSrc(iqSlot, i, false)
+		if c.cfg.DebugInvariants && ent.src[i].used && !ent.src[i].ready {
+			c.assertInFlightProducer(ent.src[i], rec.pc, idx, e.seq)
+		}
+	}
+	if traceSeqLo < traceSeqHi && e.seq >= traceSeqLo && e.seq < traceSeqHi {
+		//repro:allow hotpath trace-window debug path, off by default
+		fmt.Printf("[cyc %d] seq=%d %v srcs=[%v,%v] dest=%v\n",
+			c.cycle, e.seq, u.Inst[idx], ent.src[0], ent.src[1], destRes)
+	}
+	c.finishDispatch(iqSlot)
+	if isLoad {
+		c.lqPush(lqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+	}
+	if isStore {
+		c.sqPush(sqEntry{seq: e.seq, robIdx: c.lastROBIdx()})
+	}
+}
+
+// findStolenSrc returns the first source whose mapping was stolen (reuse
+// scheme only).
+//
+//repro:hotpath
+func (c *Core) findStolenSrc(idx int32, in isa.Inst) (uint8, isa.RegClass, bool) {
+	u := c.uops
+	if cl := u.Src1Class[idx]; cl != isa.NoReg {
+		if c.reuse(cl).PeekSrc(in.Rs1).Stolen {
+			return in.Rs1, cl, true
+		}
+	}
+	if cl := u.Src2Class[idx]; cl != isa.NoReg {
+		if c.reuse(cl).PeekSrc(in.Rs2).Stolen {
+			return in.Rs2, cl, true
 		}
 	}
 	return 0, isa.NoReg, false
-}
-
-// sameClassSrcLogs returns the deduplicated source logical registers of the
-// destination's class (the reuse candidates). The result aliases the core's
-// scratch buffer and is only valid until the next call.
-//
-//repro:hotpath
-func (c *Core) sameClassSrcLogs(in isa.Inst, destClass isa.RegClass) []uint8 {
-	d := in.Op.Describe()
-	out := c.srcLogBuf[:0]
-	if d.Src1Class == destClass && !(destClass == isa.IntReg && in.Rs1 == isa.ZeroReg) {
-		out = append(out, in.Rs1)
-	}
-	if d.Src2Class == destClass && !(destClass == isa.IntReg && in.Rs2 == isa.ZeroReg) {
-		if len(out) == 0 || out[0] != in.Rs2 {
-			out = append(out, in.Rs2)
-		}
-	}
-	return out
 }
 
 // obsRenamed emits the fetch and rename lifecycle events for an instruction
 // that just passed the rename stage. Callers must have checked c.o != nil.
 //
 //repro:obsemit
-func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destClass isa.RegClass) {
-	c.o.Inst(obs.InstEvent{Cycle: rec.fetched, Seq: seq, PC: rec.pc, Stage: obs.StageFetch, Inst: rec.inst})
+func (c *Core) obsRenamed(rec *fetchRec, seq uint64, res rename.DestResult, destClass isa.RegClass) {
+	in := c.instAt(rec.idx)
+	c.o.Inst(obs.InstEvent{Cycle: rec.fetched, Seq: seq, PC: rec.pc, Stage: obs.StageFetch, Inst: in})
 	kind := obs.RenameNone
 	if destClass != isa.NoReg {
 		switch {
@@ -341,7 +502,7 @@ func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destC
 	}
 	c.o.Inst(obs.InstEvent{
 		Cycle: c.cycle, Seq: seq, PC: rec.pc, Stage: obs.StageRename,
-		Inst: rec.inst, Kind: kind, Reason: res.Reason, Dest: res.Tag,
+		Inst: in, Kind: kind, Reason: res.Reason, Dest: res.Tag,
 	})
 }
 
@@ -349,7 +510,7 @@ func (c *Core) obsRenamed(rec fetchRec, seq uint64, res rename.DestResult, destC
 //
 //repro:hotpath
 func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
-	e := c.newROBEntry(fetchRec{pc: pc, inst: isa.Inst{Op: isa.NOP}})
+	e := c.newROBEntry(pc, -1)
 	e.micro = true
 	e.microFrom = rep.From
 	e.microShadow = rep.Checkpointed
@@ -368,21 +529,27 @@ func (c *Core) dispatchMicro(pc uint64, class isa.RegClass, rep rename.Repair) {
 	ent.robIdx = c.lastROBIdx()
 	ent.seq = e.seq
 	ent.pc = pc
+	ent.idx = -1
 	ent.fu = isa.FUIntALU
 	ent.lat = lat
+	ent.unpipe = false
 	ent.micro = true
 	ent.microShadow = rep.Checkpointed
 	ent.hasDest = true
 	ent.destClass = class
 	ent.destTag = rep.Dest.Tag
+	ent.isLoad = false
+	ent.isStore = false
+	ent.isBranch = false
 	ent.src[0] = iqSrc{used: true, class: class, tag: rep.From}
+	ent.src[1] = iqSrc{}
 	c.registerSrc(iqSlot, 0, true)
 	c.registerSrc(iqSlot, 1, true) // no second operand
 	c.finishDispatch(iqSlot)
 	if c.o != nil {
 		c.o.Inst(obs.InstEvent{
 			Cycle: c.cycle, Seq: e.seq, PC: pc, Stage: obs.StageRename,
-			Inst: e.inst, Kind: obs.RenameRepair, Dest: rep.Dest.Tag, Micro: true,
+			Inst: isa.Inst{Op: isa.NOP}, Kind: obs.RenameRepair, Dest: rep.Dest.Tag, Micro: true,
 		})
 	}
 }
@@ -425,20 +592,40 @@ func (c *Core) noteValueRead(class isa.RegClass, reg regfile.PhysReg) {
 	c.lastRead[idx][reg] = c.cycle
 }
 
-// newROBEntry appends an entry at the ROB tail and returns it.
+// newROBEntry appends an entry at the ROB tail and returns it. Fields are
+// reset individually rather than by struct assignment so the embedded branch
+// prediction record — by far the largest field, and only meaningful when
+// isBranch is set — is not cleared for the (majority) non-branch entries.
 //
 //repro:hotpath
-func (c *Core) newROBEntry(rec fetchRec) *robEntry {
-	idx := c.robTailIdx()
+func (c *Core) newROBEntry(pc uint64, idx int32) *robEntry {
+	i := c.robTailIdx()
 	c.robCount++
-	e := &c.rob[idx]
-	*e = robEntry{
-		active: true,
-		seq:    c.seqNext,
-		pc:     rec.pc,
-		nextPC: rec.pc + isa.InstBytes,
-		inst:   rec.inst,
-	}
+	e := &c.rob[i]
+	e.active = true
+	e.seq = c.seqNext
+	e.pc = pc
+	e.nextPC = pc + isa.InstBytes
+	e.idx = idx
+	e.micro = false
+	e.microFrom = rename.Tag{}
+	e.microShadow = false
+	e.hasDest = false
+	e.destClass = 0
+	e.dest = rename.DestResult{}
+	e.resultVal = 0
+	e.completed = false
+	e.exc = excNone
+	e.excAddr = 0
+	e.isLoad = false
+	e.isStore = false
+	e.effAddr = 0
+	e.isBranch = false
+	e.ckptI = nil
+	e.ckptF = nil
+	e.actualTaken = false
+	e.actualTarget = 0
+	e.halt = false
 	c.seqNext++
 	return e
 }
@@ -465,7 +652,7 @@ func (c *Core) countNoRegStall(class isa.RegClass) {
 
 // assertInFlightProducer panics if a not-ready source operand has no active
 // in-flight producer in the ROB — such an instruction would wait forever.
-func (c *Core) assertInFlightProducer(s iqSrc, rec fetchRec, seq uint64) {
+func (c *Core) assertInFlightProducer(s iqSrc, pc uint64, idx int32, seq uint64) {
 	for i := 0; i < c.robCount; i++ {
 		e := &c.rob[c.robIdxAt(i)]
 		if e.active && e.hasDest && !e.completed && e.destClass == s.class && e.dest.Tag == s.tag {
@@ -473,7 +660,7 @@ func (c *Core) assertInFlightProducer(s iqSrc, rec fetchRec, seq uint64) {
 		}
 	}
 	panic(fmt.Sprintf("pipeline: cycle %d seq %d pc=%#x %v waits on %v tag %+v with no in-flight producer",
-		c.cycle, seq, rec.pc, rec.inst, s.class, s.tag))
+		c.cycle, seq, pc, c.instAt(idx), s.class, s.tag))
 }
 
 // traceReg enables targeted debug tracing of one physical integer register
@@ -485,14 +672,6 @@ var traceSeqLo, traceSeqHi uint64
 
 // TraceSeqWindow enables rename tracing for seq in [lo, hi).
 func TraceSeqWindow(lo, hi uint64) { traceSeqLo, traceSeqHi = lo, hi }
-
-func isUnpipelined(op isa.Op) bool {
-	switch op {
-	case isa.SDIV, isa.UDIV, isa.REM, isa.FDIV, isa.FSQRT:
-		return true
-	}
-	return false
-}
 
 // TraceReg turns on debug tracing for one physical integer register.
 func TraceReg(p int) { traceReg = p }

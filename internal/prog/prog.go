@@ -29,6 +29,7 @@ const (
 // Program is an immutable loaded program.
 type Program struct {
 	insts   []isa.Inst
+	uops    *UOpTable
 	data    map[uint64]byte
 	symbols map[string]uint64
 	entry   uint64
@@ -64,7 +65,7 @@ func New(insts []isa.Inst, data map[uint64]byte, symbols map[string]uint64) (*Pr
 	for k, v := range symbols {
 		s[k] = v
 	}
-	return &Program{insts: insts, data: d, symbols: s, entry: TextBase}, nil
+	return &Program{insts: insts, uops: buildUOps(insts), data: d, symbols: s, entry: TextBase}, nil
 }
 
 // Entry returns the entry-point PC.

@@ -1,0 +1,183 @@
+package prog
+
+import "repro/internal/isa"
+
+// UOpFlags packs the per-instruction structural properties the pipeline's
+// fast path reads every cycle. They are lowered once from isa.Desc (plus the
+// XZR filtering rules of Inst.DestReg/SrcRegs) when the program is loaded,
+// so the hot loops test one bit instead of re-deriving the property from the
+// opcode table per fetched instruction.
+type UOpFlags uint16
+
+const (
+	// UFHasImm mirrors isa.Desc.HasImm.
+	UFHasImm UOpFlags = 1 << iota
+	// UFLoad / UFStore mark memory operations.
+	UFLoad
+	UFStore
+	// UFBranch / UFCond / UFIndirect / UFLink mirror the control-flow bits.
+	UFBranch
+	UFCond
+	UFIndirect
+	UFLink
+	// UFUnpipelined marks long-latency ops that occupy their functional
+	// unit for the whole execution (divides and square roots).
+	UFUnpipelined
+	// UFHasDest is set when the instruction writes an architectural
+	// register, after XZR filtering: an integer destination of x31 writes
+	// nothing, allocates nothing, and renames nothing.
+	UFHasDest
+	// UFSrc1Used / UFSrc2Used mark live register sources, after XZR
+	// filtering: reads of x31 carry no dependence.
+	UFSrc1Used
+	UFSrc2Used
+	// UFNopOrHalt marks NOP and HALT, which bypass rename entirely.
+	UFNopOrHalt
+)
+
+// UOpTable is the pre-decoded micro-op view of a program's text section: a
+// struct-of-arrays table with one entry per static instruction, indexed by
+// (pc - TextBase) / isa.InstBytes. Inst is the raw instruction stream (the
+// same backing store Insts() exposes); every other column is derived from it
+// exactly once, at load. The detailed pipeline reads the derived columns and
+// the batched functional interpreter reads Inst, so both paths decode from
+// the same table by construction.
+//
+// All slices are read-only to consumers.
+type UOpTable struct {
+	// Inst is the validated instruction stream in program order.
+	Inst []isa.Inst
+
+	// Flags holds the packed UOpFlags bits.
+	Flags []UOpFlags
+	// FU and Lat are the functional-unit class and execution latency.
+	FU  []isa.FU
+	Lat []uint8
+
+	// DestClass/DestLog give the renamed destination after XZR filtering
+	// (DestClass == isa.NoReg when the instruction writes nothing).
+	DestClass []isa.RegClass
+	DestLog   []uint8
+	// Src1Class/Src2Class give the source register classes after XZR
+	// filtering (isa.NoReg when the slot is absent or reads x31). The
+	// logical register numbers are Inst[i].Rs1 / Inst[i].Rs2.
+	Src1Class []isa.RegClass
+	Src2Class []isa.RegClass
+
+	// Cand[i][:NCand[i]] are the deduplicated source logical registers in
+	// the destination's class — the reuse-candidate list handed to
+	// RenameDest, precomputed so rename never rebuilds it per dispatch.
+	Cand  [][2]uint8
+	NCand []uint8
+}
+
+// buildUOps lowers the instruction stream into its micro-op table. insts has
+// been validated by New, so Describe cannot panic.
+func buildUOps(insts []isa.Inst) *UOpTable {
+	n := len(insts)
+	u := &UOpTable{
+		Inst:      insts,
+		Flags:     make([]UOpFlags, n),
+		FU:        make([]isa.FU, n),
+		Lat:       make([]uint8, n),
+		DestClass: make([]isa.RegClass, n),
+		DestLog:   make([]uint8, n),
+		Src1Class: make([]isa.RegClass, n),
+		Src2Class: make([]isa.RegClass, n),
+		Cand:      make([][2]uint8, n),
+		NCand:     make([]uint8, n),
+	}
+	for i, in := range insts {
+		d := in.Op.Describe()
+		var f UOpFlags
+		if d.HasImm {
+			f |= UFHasImm
+		}
+		if d.Load {
+			f |= UFLoad
+		}
+		if d.Store {
+			f |= UFStore
+		}
+		if d.Branch {
+			f |= UFBranch
+		}
+		if d.Cond {
+			f |= UFCond
+		}
+		if d.Indirect {
+			f |= UFIndirect
+		}
+		if d.Link {
+			f |= UFLink
+		}
+		if unpipelined(in.Op) {
+			f |= UFUnpipelined
+		}
+		if in.Op == isa.NOP || in.Op == isa.HALT {
+			f |= UFNopOrHalt
+		}
+
+		destClass, destLog := in.DestReg()
+		if destClass != isa.NoReg {
+			f |= UFHasDest
+		}
+		u.DestClass[i] = destClass
+		u.DestLog[i] = destLog
+
+		s1, s2 := d.Src1Class, d.Src2Class
+		if s1 == isa.IntReg && in.Rs1 == isa.ZeroReg {
+			s1 = isa.NoReg
+		}
+		if s2 == isa.IntReg && in.Rs2 == isa.ZeroReg {
+			s2 = isa.NoReg
+		}
+		if s1 != isa.NoReg {
+			f |= UFSrc1Used
+		}
+		if s2 != isa.NoReg {
+			f |= UFSrc2Used
+		}
+		u.Src1Class[i] = s1
+		u.Src2Class[i] = s2
+
+		if destClass != isa.NoReg {
+			nc := 0
+			if s1 == destClass {
+				u.Cand[i][nc] = in.Rs1
+				nc++
+			}
+			if s2 == destClass && (nc == 0 || u.Cand[i][0] != in.Rs2) {
+				u.Cand[i][nc] = in.Rs2
+				nc++
+			}
+			u.NCand[i] = uint8(nc)
+		}
+
+		u.Flags[i] = f
+		u.FU[i] = d.Unit
+		u.Lat[i] = uint8(d.Latency)
+	}
+	return u
+}
+
+// unpipelined reports whether op monopolizes its functional unit while
+// executing (the same set internal/pipeline charges as unpipelined).
+func unpipelined(op isa.Op) bool {
+	switch op {
+	case isa.SDIV, isa.UDIV, isa.REM, isa.FDIV, isa.FSQRT:
+		return true
+	}
+	return false
+}
+
+// UOps returns the pre-decoded micro-op table. It is built once at New and
+// shared by every consumer; callers must treat it as read-only.
+func (p *Program) UOps() *UOpTable { return p.uops }
+
+// PCIndex maps a text-section pc to its micro-op table index. The returned
+// index is only valid when InText(pc); out-of-range PCs wrap to huge indices
+// that a single bound check against the table length rejects.
+//
+//repro:hotpath
+func PCIndex(pc uint64) uint64 { return (pc - TextBase) / isa.InstBytes }

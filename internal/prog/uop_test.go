@@ -1,0 +1,115 @@
+package prog_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/workloads"
+)
+
+// TestUOpTableMatchesDescribe re-derives every micro-op table column from
+// the independent per-instruction path — prog.Fetch plus isa.Describe plus
+// the Inst.DestReg/SrcRegs XZR rules — for every workload, and requires the
+// pre-decoded table to match exactly. This is the equivalence proof for the
+// fast path: the pipeline reads only the table, so a lowering bug here would
+// silently change timing and rename behavior everywhere.
+func TestUOpTableMatchesDescribe(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, ok := workloads.ByName(name, 1)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		p, err := asm.Assemble(w.Source)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", name, err)
+		}
+		u := p.UOps()
+		if len(u.Inst) != p.NumInsts() {
+			t.Fatalf("%s: table has %d rows, program has %d insts", name, len(u.Inst), p.NumInsts())
+		}
+		for i := range u.Inst {
+			pc := prog.TextBase + uint64(i)*isa.InstBytes
+			if got := prog.PCIndex(pc); got != uint64(i) {
+				t.Fatalf("%s: PCIndex(%#x) = %d, want %d", name, pc, got, i)
+			}
+			in, ok := p.Fetch(pc)
+			if !ok {
+				t.Fatalf("%s: Fetch(%#x) failed", name, pc)
+			}
+			if u.Inst[i] != in {
+				t.Fatalf("%s@%#x: table inst %v, fetched %v", name, pc, u.Inst[i], in)
+			}
+
+			d := in.Op.Describe()
+			var want prog.UOpFlags
+			set := func(cond bool, f prog.UOpFlags) {
+				if cond {
+					want |= f
+				}
+			}
+			set(d.HasImm, prog.UFHasImm)
+			set(d.Load, prog.UFLoad)
+			set(d.Store, prog.UFStore)
+			set(d.Branch, prog.UFBranch)
+			set(d.Cond, prog.UFCond)
+			set(d.Indirect, prog.UFIndirect)
+			set(d.Link, prog.UFLink)
+			switch in.Op {
+			case isa.SDIV, isa.UDIV, isa.REM, isa.FDIV, isa.FSQRT:
+				want |= prog.UFUnpipelined
+			}
+			set(in.Op == isa.NOP || in.Op == isa.HALT, prog.UFNopOrHalt)
+
+			destClass, destLog := in.DestReg()
+			set(destClass != isa.NoReg, prog.UFHasDest)
+			if u.DestClass[i] != destClass || (destClass != isa.NoReg && u.DestLog[i] != destLog) {
+				t.Fatalf("%s@%#x: dest (%v, %d), want (%v, %d)",
+					name, pc, u.DestClass[i], u.DestLog[i], destClass, destLog)
+			}
+
+			s1, s2 := d.Src1Class, d.Src2Class
+			if s1 == isa.IntReg && in.Rs1 == isa.ZeroReg {
+				s1 = isa.NoReg
+			}
+			if s2 == isa.IntReg && in.Rs2 == isa.ZeroReg {
+				s2 = isa.NoReg
+			}
+			set(s1 != isa.NoReg, prog.UFSrc1Used)
+			set(s2 != isa.NoReg, prog.UFSrc2Used)
+			if u.Src1Class[i] != s1 || u.Src2Class[i] != s2 {
+				t.Fatalf("%s@%#x: src classes (%v, %v), want (%v, %v)",
+					name, pc, u.Src1Class[i], u.Src2Class[i], s1, s2)
+			}
+
+			if u.Flags[i] != want {
+				t.Fatalf("%s@%#x (%v): flags %#x, want %#x", name, pc, in, u.Flags[i], want)
+			}
+			if u.FU[i] != d.Unit || int(u.Lat[i]) != d.Latency {
+				t.Fatalf("%s@%#x: fu/lat (%v, %d), want (%v, %d)",
+					name, pc, u.FU[i], u.Lat[i], d.Unit, d.Latency)
+			}
+
+			// Reuse candidates: same-class sources, deduplicated, in
+			// (Rs1, Rs2) order.
+			var cand []uint8
+			if destClass != isa.NoReg {
+				if s1 == destClass {
+					cand = append(cand, in.Rs1)
+				}
+				if s2 == destClass && (len(cand) == 0 || cand[0] != in.Rs2) {
+					cand = append(cand, in.Rs2)
+				}
+			}
+			if int(u.NCand[i]) != len(cand) {
+				t.Fatalf("%s@%#x (%v): %d candidates, want %d", name, pc, in, u.NCand[i], len(cand))
+			}
+			for k, c := range cand {
+				if u.Cand[i][k] != c {
+					t.Fatalf("%s@%#x: cand[%d] = %d, want %d", name, pc, k, u.Cand[i][k], c)
+				}
+			}
+		}
+	}
+}

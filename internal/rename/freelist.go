@@ -16,11 +16,19 @@ package rename
 // architectural register is live.
 type freeRing struct {
 	buf        []PhysReg
+	mask       uint64 // len(buf)-1; buf is sized to a power of two
+	cap        int    // logical capacity (physical registers backing the ring)
 	head, tail uint64 // absolute counters; free slots are [head, tail)
 }
 
 func newFreeRing(capacity int) *freeRing {
-	return &freeRing{buf: make([]PhysReg, capacity)}
+	// Ring storage is rounded up to a power of two so the hot push/pop
+	// index is a mask instead of a runtime division.
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &freeRing{buf: make([]PhysReg, n), mask: uint64(n - 1), cap: capacity}
 }
 
 //repro:hotpath
@@ -28,10 +36,10 @@ func (f *freeRing) len() int { return int(f.tail - f.head) }
 
 //repro:hotpath
 func (f *freeRing) push(p PhysReg) {
-	if f.len() == len(f.buf) {
+	if f.len() == f.cap {
 		panic("rename: free list overflow (double free?)")
 	}
-	f.buf[f.tail%uint64(len(f.buf))] = p
+	f.buf[f.tail&f.mask] = p
 	f.tail++
 }
 
@@ -40,7 +48,7 @@ func (f *freeRing) pop() (PhysReg, bool) {
 	if f.head == f.tail {
 		return 0, false
 	}
-	p := f.buf[f.head%uint64(len(f.buf))]
+	p := f.buf[f.head&f.mask]
 	f.head++
 	return p, true
 }

@@ -170,7 +170,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 			return record(i, "cache", r, nil, 0, 0)
 		}
 		start := time.Now()
-		r, retried, jerr := executeWithRetry(ctx, jobs[i], timeout, opts.Retries, opts.Ckpt, opts.Metrics)
+		r, retried, jerr := executeWithRetry(ctx, jobs[i], timeout, opts.Retries, opts.Ckpt, opts.Metrics, spec.SampleWorkers)
 		elapsed := time.Since(start)
 		if jerr != nil {
 			return record(i, "failed", JobResult{}, jerr, elapsed, retried)
@@ -264,10 +264,10 @@ func prewarmCheckpoints(jobs []Job, resumed map[string]manifestEntry, opts Optio
 // executeWithRetry runs one job with panic recovery and a per-attempt
 // timeout, retrying up to `retries` extra times. It reports how many
 // retries were consumed.
-func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retries int, store *ckpt.Store, m *Metrics) (JobResult, int, error) {
+func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retries int, store *ckpt.Store, m *Metrics, sampleWorkers int) (JobResult, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		r, err := executeOnce(ctx, job, timeout, store, m)
+		r, err := executeOnce(ctx, job, timeout, store, m, sampleWorkers)
 		if err == nil {
 			return r, attempt, nil
 		}
@@ -282,7 +282,7 @@ func executeWithRetry(ctx context.Context, job Job, timeout time.Duration, retri
 // overlong simulation cannot take the scheduler down with it. On timeout the
 // simulation goroutine is abandoned (the simulator has no preemption
 // points); MaxCycles bounds how long it can linger.
-func executeOnce(ctx context.Context, job Job, timeout time.Duration, store *ckpt.Store, m *Metrics) (JobResult, error) {
+func executeOnce(ctx context.Context, job Job, timeout time.Duration, store *ckpt.Store, m *Metrics, sampleWorkers int) (JobResult, error) {
 	type outcome struct {
 		res JobResult
 		err error
@@ -294,7 +294,7 @@ func executeOnce(ctx context.Context, job Job, timeout time.Duration, store *ckp
 				ch <- outcome{err: fmt.Errorf("job panicked: %v", rec)}
 			}
 		}()
-		r, err := ExecuteWith(job, store, m)
+		r, err := ExecuteWithWorkers(job, store, m, sampleWorkers)
 		ch <- outcome{res: r, err: err}
 	}()
 	timer := time.NewTimer(timeout)

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/area"
 	"repro/internal/ckpt"
@@ -108,12 +109,21 @@ func Execute(j Job) (JobResult, error) { return ExecuteWith(j, nil, nil) }
 // may be nil: a nil store fast-forwards from reset each time (still
 // deterministic, just slower), a nil Metrics records nothing.
 func ExecuteWith(j Job, store *ckpt.Store, m *Metrics) (JobResult, error) {
+	return ExecuteWithWorkers(j, store, m, 1)
+}
+
+// ExecuteWithWorkers is ExecuteWith with the detailed intervals of a
+// sampling-mode job fanned across up to sampleWorkers goroutines
+// (ckpt.SampleN). The result is bit-identical for every worker count, which
+// is why the worker count is an execution option and never part of the
+// job's cache key. Non-sampled jobs ignore it.
+func ExecuteWithWorkers(j Job, store *ckpt.Store, m *Metrics, sampleWorkers int) (JobResult, error) {
 	w, ok := workloads.ByName(j.Workload, j.Scale)
 	if !ok {
 		return JobResult{}, fmt.Errorf("unknown workload %q", j.Workload)
 	}
 	if j.Sample != "" {
-		return executeSampled(j, w, m)
+		return executeSampled(j, w, m, sampleWorkers)
 	}
 
 	cfg, err := jobConfig(j)
@@ -200,12 +210,16 @@ func resultFrom(core *pipeline.Core) JobResult {
 // over the detail intervals; the estimates (with standard errors) ride in
 // res.Sampled; the checksum is validated on the functional final state, so
 // a sampled run still proves architectural correctness end to end.
-func executeSampled(j Job, w workloads.Workload, m *Metrics) (JobResult, error) {
+func executeSampled(j Job, w workloads.Workload, m *Metrics, workers int) (JobResult, error) {
 	plan, err := ckpt.ParsePlan(j.Sample)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("%s/%s: %w", j.Workload, j.Scheme, err)
 	}
+	if workers == 0 {
+		workers = 1
+	}
 	p := w.Program()
+	var accMu sync.Mutex
 	var acc JobResult
 	run := func(bs *ckpt.BootState, warmup, detail uint64) (ckpt.IntervalStats, error) {
 		cfg, err := jobConfig(j)
@@ -227,10 +241,14 @@ func executeSampled(j Job, w workloads.Workload, m *Metrics) (JobResult, error) 
 			return ckpt.IntervalStats{}, err
 		}
 		r := counterDelta(resultFrom(core), base)
+		// Counter sums are order-independent; the mutex alone keeps the
+		// aggregate deterministic under concurrent intervals.
+		accMu.Lock()
 		accumulate(&acc, &r)
+		accMu.Unlock()
 		return ckpt.IntervalStats{Cycles: r.Cycles, Insts: r.Insts, ReuseHits: r.Reuses}, nil
 	}
-	est, final, err := ckpt.Sample(p, plan, j.MaxInsts, run)
+	est, final, err := ckpt.SampleN(p, plan, j.MaxInsts, workers, run)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("%s/%s: %w", j.Workload, j.Scheme, err)
 	}

@@ -59,6 +59,12 @@ type Spec struct {
 	// with detailed intervals, reporting IPC/reuse-rate estimates with
 	// standard errors. Mutually exclusive with FastForward.
 	Sample string `json:"sample,omitempty"`
+	// SampleWorkers fans each sampled job's detailed intervals across up
+	// to N goroutines (0 or 1 = serial, <0 = GOMAXPROCS). It is an
+	// execution option, not part of the simulated configuration: results
+	// are bit-identical for every value, so it is deliberately NOT copied
+	// into Job and therefore never enters the cache key.
+	SampleWorkers int `json:"sample_workers,omitempty"`
 }
 
 // Job is one fully-specified simulation point. Its field values — and

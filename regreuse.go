@@ -23,6 +23,7 @@ package regreuse
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
@@ -111,6 +112,11 @@ type Config struct {
 	// FastForward. The checksum is still validated on the complete
 	// functional execution.
 	Sample string
+	// SampleWorkers fans the detailed intervals of a sampled run across
+	// up to N goroutines (0 or 1 = serial, <0 = GOMAXPROCS). The estimate
+	// is bit-identical for every worker count: interval results are merged
+	// in interval-index order regardless of completion order.
+	SampleWorkers int
 	// CkptDir, when non-empty, persists fast-forward checkpoints in a
 	// content-addressed on-disk store so repeated runs of the same
 	// workload skip the functional prefix entirely.
@@ -312,6 +318,7 @@ func runSampled(p *prog.Program, seed Result, want uint64, check bool, cfg Confi
 	if err != nil {
 		return Result{}, fmt.Errorf("regreuse: %w", err)
 	}
+	var aggMu sync.Mutex
 	var agg struct {
 		cycles, insts, micro uint64
 		allocs, reuses       uint64
@@ -339,6 +346,10 @@ func runSampled(p *prog.Program, seed Result, want uint64, check bool, cfg Confi
 			Insts:     st.Committed - base[1],
 			ReuseHits: ri.TotalReuses() + rf.TotalReuses() - base[4],
 		}
+		// Sums are order-independent, so a mutex (not interval-ordered
+		// merging) is enough to keep the aggregate deterministic when
+		// intervals run concurrently.
+		aggMu.Lock()
 		agg.cycles += is.Cycles
 		agg.insts += is.Insts
 		agg.micro += st.MicroOps - base[2]
@@ -347,9 +358,14 @@ func runSampled(p *prog.Program, seed Result, want uint64, check bool, cfg Confi
 		agg.stallNoReg += st.StallNoRegInt + st.StallNoRegFP - base[5]
 		agg.rob += st.StallROB - base[6]
 		agg.iq += st.StallIQ - base[7]
+		aggMu.Unlock()
 		return is, nil
 	}
-	est, final, err := ckpt.Sample(p, plan, cfg.MaxInsts, run)
+	workers := cfg.SampleWorkers
+	if workers == 0 {
+		workers = 1
+	}
+	est, final, err := ckpt.SampleN(p, plan, cfg.MaxInsts, workers, run)
 	if err != nil {
 		return Result{}, fmt.Errorf("regreuse: %w", err)
 	}

@@ -1,6 +1,7 @@
 package regreuse
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/asm"
@@ -278,5 +279,31 @@ func TestEarlyReleaseThroughFacade(t *testing.T) {
 	}
 	if res.Reuses != 0 {
 		t.Error("early-release scheme must not report register sharing")
+	}
+}
+
+// TestSampledWorkersDeterminism runs the same interval-sampled simulation
+// serially and with the detail intervals fanned across goroutines. The full
+// Result — headline counters, estimate, standard errors — must be
+// bit-identical: worker count is an execution option, not a configuration.
+func TestSampledWorkersDeterminism(t *testing.T) {
+	run := func(workers int) Result {
+		res, err := RunWorkload("dgemm", 1, Config{
+			Scheme: Reuse, Sample: "200:500:5000", SampleWorkers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Sampled == nil || res.Sampled.Samples == 0 {
+			t.Fatalf("workers=%d: no sampled estimate", workers)
+		}
+		return res
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: result diverged from serial run:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
 	}
 }
