@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet lint race smoke benchsmoke ci ckpt-tests bench bench-baseline
+.PHONY: test vet lint race smoke benchsmoke driftsmoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -39,8 +39,10 @@ ckpt-tests:
 # smoke exercises the command-line surfaces end-to-end over a tiny
 # workload: the pipeline view, the Chrome trace export and the JSON run
 # artifact (both schema-checked with ckjson), metrics CSV streaming, one
-# paper table, and the sweepd HTTP flow (submit, poll, results schema,
-# cache-hit re-run, checkpointed fast-forward sharing, interval sampling).
+# paper table, the sweepd HTTP flow (submit, poll, results schema,
+# cache-hit re-run, checkpointed fast-forward sharing, interval sampling),
+# and the driftd flow (CLI ingest + schema-checked drift report, then the
+# HTTP surface: POST /ingest, GET /report, GET /metrics).
 smoke:
 	$(GO) run ./cmd/renamelint -json ./... | \
 		$(GO) run ./cmd/ckjson 'schema_version=1' analyzers.0 analyzers.3 \
@@ -81,9 +83,9 @@ smoke:
 		curl -sf "$$base/sweeps/$$id2" | grep -q '"state": "done"' && break; sleep 0.1; \
 	done; \
 	curl -sf "$$base/metrics" | /tmp/regreuse_smoke_ckjson \
-		'counters.#sweep_jobs_executed.value=2' \
-		'counters.#sweep_jobs_cache_hits.value=2' \
-		'counters.#sweep_sweeps_completed.value=2'; \
+		'metrics.#sweep_jobs_executed.value=2' \
+		'metrics.#sweep_jobs_cache_hits.value=2' \
+		'metrics.#sweep_sweeps_completed.value=2'; \
 	ffspec='{"name":"smoke-ff","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"fast_forward":2000,"warmup":500}'; \
 	id3=$$(curl -sf -X POST "$$base/sweeps" -d "$$ffspec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
 	test -n "$$id3" || { echo "ff sweep submission failed"; exit 1; }; \
@@ -101,10 +103,36 @@ smoke:
 	curl -sf "$$base/sweeps/$$id4/results" | /tmp/regreuse_smoke_ckjson \
 		results.0.sampled.plan results.0.sampled.samples results.0.sampled.ipc_mean; \
 	curl -sf "$$base/metrics" | /tmp/regreuse_smoke_ckjson \
-		'counters.#sweep_ckpt_misses.value=1' \
-		'counters.#sweep_ckpt_hits.value=2' \
-		'counters.#sweep_jobs_sampled.value=1'; \
-	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_ckjson /tmp/regreuse_smoke_sweepd.log
+		'metrics.#sweep_ckpt_misses.value=1' \
+		'metrics.#sweep_ckpt_hits.value=2' \
+		'metrics.#sweep_jobs_sampled.value=1'; \
+	rm -rf /tmp/regreuse_smoke_sweeps /tmp/regreuse_smoke_sweepd /tmp/regreuse_smoke_sweepd.log
+	$(GO) build -o /tmp/regreuse_smoke_driftd ./cmd/driftd
+	@set -e; \
+	rm -rf /tmp/regreuse_smoke_drift; \
+	/tmp/regreuse_smoke_driftd ingest -dir /tmp/regreuse_smoke_drift > /dev/null; \
+	/tmp/regreuse_smoke_driftd report -dir /tmp/regreuse_smoke_drift | /tmp/regreuse_smoke_ckjson \
+		schema_version=1 verdict=pass commits=1 'findings.@len=0' \
+		'paper.#figure/fig10_speedup/specfp/64.in_band=true' \
+		'paper.#bench/BenchmarkTable2Area/overhead-milli-mm2.in_band=true' \
+		golden.classification=first; \
+	/tmp/regreuse_smoke_driftd serve -dir /tmp/regreuse_smoke_drift -addr 127.0.0.1:0 \
+		> /tmp/regreuse_smoke_driftd.log 2>&1 & \
+	dpid=$$!; trap 'kill $$dpid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' /tmp/regreuse_smoke_driftd.log && break; sleep 0.1; \
+	done; \
+	dbase=$$(sed -n 's/^driftd listening on //p' /tmp/regreuse_smoke_driftd.log); \
+	test -n "$$dbase" || { echo "driftd did not start"; cat /tmp/regreuse_smoke_driftd.log; exit 1; }; \
+	curl -sf -X POST "$$dbase/ingest" \
+		-d '{"commit":"smoke2","artifacts":[{"kind":"figure","name":"fig2_consumers","data":"suite,1\nspecfp,79.068\n"}]}' \
+		| /tmp/regreuse_smoke_ckjson commit=smoke2 ingested=1; \
+	curl -sf "$$dbase/report" | /tmp/regreuse_smoke_ckjson \
+		schema_version=1 commit=smoke2 commits=2 verdict=pass \
+		'paper.#figure/fig2_consumers/specfp/1.in_band=true'; \
+	curl -sf "$$dbase/metrics" | /tmp/regreuse_smoke_ckjson \
+		'metrics.#drift_ingests.value=1' 'metrics.#drift_reports.value=1'
+	rm -rf /tmp/regreuse_smoke_drift /tmp/regreuse_smoke_driftd /tmp/regreuse_smoke_driftd.log /tmp/regreuse_smoke_ckjson
 	@echo smoke OK
 
 # benchsmoke is the CI throughput gate: one cold run of the throughput
@@ -115,7 +143,25 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFastForward|BenchmarkSampledThroughput' -benchtime 1x . | \
 		$(GO) run ./cmd/benchjson -floor 2.4 > /dev/null
 
-ci: test vet lint race ckpt-tests smoke benchsmoke
+# driftsmoke is the regression-intelligence CI gate: ingest the committed
+# artifacts (BENCH_core.json, golden stats, figure CSVs) at HEAD into a
+# fresh store, then require the drift report to self-compare clean — every
+# paper band in band, no findings, verdict pass. `driftd report` exits
+# nonzero on a fail verdict, so drift fails the make.
+driftsmoke:
+	$(GO) build -o /tmp/regreuse_driftsmoke_driftd ./cmd/driftd
+	$(GO) build -o /tmp/regreuse_driftsmoke_ckjson ./cmd/ckjson
+	@set -e; \
+	rm -rf /tmp/regreuse_driftsmoke; \
+	/tmp/regreuse_driftsmoke_driftd ingest -dir /tmp/regreuse_driftsmoke; \
+	/tmp/regreuse_driftsmoke_driftd report -dir /tmp/regreuse_driftsmoke -format json \
+		| /tmp/regreuse_driftsmoke_ckjson schema_version=1 verdict=pass \
+			'findings.@len=0' 'paper.@len=18' golden.classification=first; \
+	/tmp/regreuse_driftsmoke_driftd report -dir /tmp/regreuse_driftsmoke -format text
+	rm -rf /tmp/regreuse_driftsmoke /tmp/regreuse_driftsmoke_driftd /tmp/regreuse_driftsmoke_ckjson
+	@echo driftsmoke OK
+
+ci: test vet lint race ckpt-tests smoke benchsmoke driftsmoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep — and regenerates BENCH_core.json (per-benchmark ns/op,

@@ -19,8 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // benchRecord is one parsed benchmark result line.
@@ -45,7 +48,14 @@ type benchRecord struct {
 //   - SampledSpeedup: SampledRate / DetailedRate.
 //   - FFSpeedup: functional fast-forward rate over DetailedRate.
 type artifact struct {
-	SchemaVersion  int           `json:"schema_version"`
+	SchemaVersion int `json:"schema_version"`
+	// Provenance stamp (schema v2): which commit and toolchain produced the
+	// artifact, and when. GitCommit is best-effort — absent outside a git
+	// checkout — so driftd's ingest can cross-check an artifact against the
+	// commit it is recorded under.
+	GitCommit      string        `json:"git_commit,omitempty"`
+	GoVersion      string        `json:"go_version,omitempty"`
+	GeneratedUTC   string        `json:"generated_utc,omitempty"`
 	Benchmarks     []benchRecord `json:"benchmarks"`
 	DetailedRate   *float64      `json:"detailed_minst_per_s,omitempty"`
 	SampledRate    *float64      `json:"sampled_minst_per_s,omitempty"`
@@ -53,7 +63,11 @@ type artifact struct {
 	FFSpeedup      *float64      `json:"ff_speedup,omitempty"`
 }
 
-const schemaVersion = 1
+// Schema history:
+//
+//	1: benchmarks + derived headline rates
+//	2: adds the git_commit/go_version/generated_utc provenance stamp
+const schemaVersion = 2
 
 // The benchmarks whose Minst/s ratio defines the fast-forward speedup.
 const (
@@ -69,7 +83,14 @@ func main() {
 	floor := flag.Float64("floor", 0, "fail unless the detailed-core benchmark reaches this many Minst/s")
 	flag.Parse()
 
-	doc := artifact{SchemaVersion: schemaVersion}
+	doc := artifact{
+		SchemaVersion: schemaVersion,
+		GoVersion:     runtime.Version(),
+		GeneratedUTC:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		doc.GitCommit = strings.TrimSpace(string(out))
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

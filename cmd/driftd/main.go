@@ -1,0 +1,321 @@
+// Command driftd is the regression-intelligence service over the repo's
+// per-commit artifacts (BENCH_core.json, testdata/golden_stats.json,
+// results/*.csv): it ingests them into a content-addressed append-only
+// history store, detects drift against the trajectory and the paper's
+// reported bands, names the first bad commit via cached bisect, and serves
+// the whole thing sweepd-style over HTTP.
+//
+//	driftd ingest -dir drift                    # record HEAD's artifacts
+//	driftd report -dir drift -format text       # drift verdict + evidence
+//	driftd bisect -dir drift -metric <m>        # first bad commit, cached
+//	driftd serve  -dir drift -addr :8081        # POST /ingest, GET /report
+//
+// `ingest` stamps the current git commit and its changed-file list
+// automatically when run inside a repository; `report` exits nonzero on a
+// fail verdict (the `make driftsmoke` CI gate). `bisect -run CMD` falls
+// back to executing CMD (e.g. `make bench`) in a scratch git worktree for
+// commits whose artifacts were never ingested; its output is ingested, so
+// every probe is cached for the next bisect.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/regress"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "bisect":
+		err = cmdBisect(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "driftd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "driftd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: driftd <command> [flags]
+
+commands:
+  ingest   record a commit's artifacts into the history store
+  report   run the drift detector over the trajectory
+  bisect   name the first bad commit for a drifted metric
+  serve    serve the store over HTTP (POST /ingest, GET /report|/history|/metrics)
+
+run "driftd <command> -h" for the command's flags.`)
+}
+
+// git runs a git command and returns its trimmed stdout.
+func git(args ...string) (string, error) {
+	out, err := exec.Command("git", args...).Output()
+	if err != nil {
+		return "", fmt.Errorf("git %s: %w", strings.Join(args, " "), err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("driftd ingest", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "drift", "history store directory")
+		commit  = fs.String("commit", "", "commit the artifacts belong to (default: git rev-parse HEAD)")
+		changed = fs.String("changed", "", "comma-separated changed-file list for the commit (default: git diff-tree)")
+		bench   = fs.String("bench", "BENCH_core.json", "bench artifact path (\"\" to skip)")
+		golden  = fs.String("golden", "testdata/golden_stats.json", "golden-stats artifact path (\"\" to skip)")
+		figures = fs.String("figures", "results", "figure CSV directory (\"\" to skip)")
+	)
+	fs.Parse(args)
+
+	if *commit == "" {
+		head, err := git("rev-parse", "HEAD")
+		if err != nil {
+			return fmt.Errorf("no -commit given and %v", err)
+		}
+		*commit = head
+	}
+	var changedFiles []string
+	if *changed != "" {
+		changedFiles = strings.Split(*changed, ",")
+	} else if out, err := git("diff-tree", "--no-commit-id", "--name-only", "-r", "--root", *commit); err == nil && out != "" {
+		changedFiles = strings.Split(out, "\n")
+	}
+
+	var arts []regress.Artifact
+	addFile := func(kind, name, path string) error {
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "driftd: skipping %s (%s): not found\n", kind, path)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		arts = append(arts, regress.Artifact{Kind: kind, Name: name, Data: data})
+		return nil
+	}
+	if *bench != "" {
+		if err := addFile(regress.KindBench, filepath.Base(*bench), *bench); err != nil {
+			return err
+		}
+	}
+	if *golden != "" {
+		if err := addFile(regress.KindGolden, filepath.Base(*golden), *golden); err != nil {
+			return err
+		}
+	}
+	if *figures != "" {
+		csvs, err := filepath.Glob(filepath.Join(*figures, "*.csv"))
+		if err != nil {
+			return err
+		}
+		sort.Strings(csvs)
+		for _, path := range csvs {
+			name := strings.TrimSuffix(filepath.Base(path), ".csv")
+			if err := addFile(regress.KindFigure, name, path); err != nil {
+				return err
+			}
+		}
+	}
+
+	store, err := regress.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	res, err := store.Ingest(*commit, changedFiles, arts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d artifact(s) at commit %s (%d new record(s))\n", len(arts), res.Commit, res.Ingested)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("driftd report", flag.ExitOnError)
+	var (
+		dir    = fs.String("dir", "drift", "history store directory")
+		format = fs.String("format", "json", "output format: json | text")
+		out    = fs.String("o", "", "write the report here instead of stdout")
+		failOn = fs.String("fail-on", "fail", "exit nonzero at this verdict or worse: fail | warn | never")
+	)
+	fs.Parse(args)
+
+	store, err := regress.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	rep, err := regress.Detect(store, store.History(), regress.Config{})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		if err := rep.Text(w); err != nil {
+			return err
+		}
+	case "json":
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+	gate := rep.Verdict == regress.VerdictFail
+	if *failOn == "warn" {
+		gate = gate || rep.Verdict == regress.VerdictWarn
+	} else if *failOn == "never" {
+		gate = false
+	}
+	if gate {
+		return fmt.Errorf("drift verdict %s", rep.Verdict)
+	}
+	return nil
+}
+
+func cmdBisect(args []string) error {
+	fs := flag.NewFlagSet("driftd bisect", flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", "drift", "history store directory")
+		metric    = fs.String("metric", "", "drifted metric to bisect (e.g. bench/BenchmarkSimulatorThroughput/reuse/Minst/s)")
+		good      = fs.String("good", "", "known-good commit (default: first in trajectory)")
+		bad       = fs.String("bad", "", "known-bad commit (default: head of trajectory)")
+		threshold = fs.Float64("threshold", 0.10, "relative regression threshold vs the good commit")
+		format    = fs.String("format", "text", "output format: json | text")
+		runCmd    = fs.String("run", "", "command regenerating BENCH_core.json for uncached probe commits (runs in a scratch git worktree)")
+	)
+	fs.Parse(args)
+
+	store, err := regress.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	var runner regress.Runner
+	if *runCmd != "" {
+		runner = worktreeRunner(*runCmd)
+	}
+	res, err := regress.Bisect(store, *metric, *good, *bad, *threshold, runner)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		data, err := marshal(res)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	case "text":
+		fmt.Printf("first bad commit: %s\n", res.FirstBad)
+		fmt.Printf("  metric %s: good %g (%s) -> bad %g (threshold %g)\n",
+			res.Metric, res.GoodValue, res.LastGood, res.BadValue, res.Threshold)
+		for _, p := range res.Probes {
+			state := "good"
+			if p.Bad {
+				state = "bad"
+			}
+			fmt.Printf("  probe %-6s #%d %s = %g (%s)\n", state, p.Index, p.Commit, p.Value, p.Source)
+		}
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+	return nil
+}
+
+// worktreeRunner builds a Runner that checks the probe commit out into a
+// scratch git worktree, runs cmd there, and returns the BENCH_core.json it
+// produced.
+func worktreeRunner(cmd string) regress.Runner {
+	return func(commit string) ([]byte, error) {
+		wt, err := os.MkdirTemp("", "driftd-bisect-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(wt)
+		if _, err := git("worktree", "add", "--detach", wt, commit); err != nil {
+			return nil, err
+		}
+		defer git("worktree", "remove", "--force", wt)
+		sh := exec.Command("sh", "-c", cmd)
+		sh.Dir = wt
+		sh.Stdout = os.Stderr
+		sh.Stderr = os.Stderr
+		if err := sh.Run(); err != nil {
+			return nil, fmt.Errorf("probe command %q at %s: %w", cmd, commit, err)
+		}
+		return os.ReadFile(filepath.Join(wt, "BENCH_core.json"))
+	}
+}
+
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("driftd serve", flag.ExitOnError)
+	var (
+		dir  = fs.String("dir", "drift", "history store directory")
+		addr = fs.String("addr", ":8081", "listen address (use 127.0.0.1:0 for a random port)")
+	)
+	fs.Parse(args)
+
+	srv, err := regress.NewServer(*dir, regress.Config{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripts starting driftd on a
+	// random port (make smoke) can discover it.
+	fmt.Printf("driftd listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sort"
 	"strings"
 )
 
@@ -88,8 +89,10 @@ func (h *Hist) Quantile(q float64) uint64 {
 	return h.Max
 }
 
-// Registry holds named counters and histograms in registration order, so
-// snapshot and CSV layouts are stable across runs.
+// Registry holds named counters and histograms. Internally they live in
+// registration order (the CSV streaming layout); every serialized view —
+// Metrics and the Snapshot built from it — is sorted by name, so the wire
+// layout is stable across runs and across registration-order refactors.
 type Registry struct {
 	counters []*Counter
 	hists    []*Hist
@@ -147,21 +150,49 @@ type Snapshot struct {
 	Histograms []HistSnap    `json:"histograms"`
 }
 
-// Snapshot copies the registry's current state.
-func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
-		Counters:   make([]CounterSnap, 0, len(r.counters)),
-		Histograms: make([]HistSnap, 0, len(r.hists)),
-	}
+// Metric is one registry entry in the flat, name-sorted serialization that
+// every /metrics surface shares (sweepd, driftd): counters carry their value
+// directly, histograms carry the sample count plus the full summary. The
+// Snapshot shape embedded in run artifacts is partitioned from this same
+// list, so there is exactly one serialization path out of a registry.
+type Metric struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`  // "counter" | "histogram"
+	Value uint64    `json:"value"` // counter value; histogram sample count
+	Hist  *HistSnap `json:"hist,omitempty"`
+}
+
+// Metrics returns the registry's current state as a stable, name-sorted
+// flat list.
+func (r *Registry) Metrics() []Metric {
+	ms := make([]Metric, 0, len(r.counters)+len(r.hists))
 	for _, c := range r.counters {
-		s.Counters = append(s.Counters, CounterSnap{Name: c.Name, Value: c.N})
+		ms = append(ms, Metric{Name: c.Name, Kind: "counter", Value: c.N})
 	}
 	for _, h := range r.hists {
-		s.Histograms = append(s.Histograms, HistSnap{
+		hs := HistSnap{
 			Name: h.Name, Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 			Max: h.Max, Buckets: append([]uint64(nil), h.Buckets[:]...),
-		})
+		}
+		ms = append(ms, Metric{Name: h.Name, Kind: "histogram", Value: h.Count, Hist: &hs})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}
+
+// Snapshot copies the registry's current state, partitioned into counters
+// and histograms (both name-sorted, via Metrics).
+func (r *Registry) Snapshot() Snapshot {
+	ms := r.Metrics()
+	s := Snapshot{Counters: []CounterSnap{}, Histograms: []HistSnap{}}
+	for _, m := range ms {
+		switch m.Kind {
+		case "counter":
+			s.Counters = append(s.Counters, CounterSnap{Name: m.Name, Value: m.Value})
+		case "histogram":
+			s.Histograms = append(s.Histograms, *m.Hist)
+		}
 	}
 	return s
 }

@@ -195,6 +195,41 @@ func TestRegistrySnapshotStable(t *testing.T) {
 	}
 }
 
+// TestRegistryMetricsSorted pins the flat list both sweepd's and driftd's
+// /metrics endpoints serialize: name-sorted, counters and histograms
+// interleaved, with histogram snapshots attached.
+func TestRegistryMetricsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_last").Add(7)
+	r.Hist("m_hist").Observe(3)
+	r.Hist("m_hist").Observe(9)
+	r.Counter("a_first").Inc()
+	ms := r.Metrics()
+	if len(ms) != 3 {
+		t.Fatalf("got %d metrics, want 3: %+v", len(ms), ms)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Name >= ms[i].Name {
+			t.Fatalf("metrics not name-sorted: %+v", ms)
+		}
+	}
+	byName := map[string]Metric{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if m := byName["z_last"]; m.Kind != "counter" || m.Value != 7 || m.Hist != nil {
+		t.Errorf("counter metric: %+v", m)
+	}
+	if m := byName["m_hist"]; m.Kind != "histogram" || m.Value != 2 || m.Hist == nil || m.Hist.Max != 9 {
+		t.Errorf("histogram metric: %+v", m)
+	}
+	// Snapshot is a partition of the same list.
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Histograms) != len(ms) {
+		t.Errorf("snapshot partition mismatch: %d+%d vs %d", len(s.Counters), len(s.Histograms), len(ms))
+	}
+}
+
 func TestMetricsCSV(t *testing.T) {
 	var buf bytes.Buffer
 	m := NewMetrics(10, &buf)

@@ -1,0 +1,234 @@
+package regress
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Artifact is one ingestable document: a kind, a short name (the file base
+// name, ".csv" stripped for figures), and the raw bytes.
+type Artifact struct {
+	Kind string
+	Name string
+	Data []byte
+}
+
+// Key is the artifact's identity within a commit: "<kind>/<name>".
+func (a Artifact) Key() string { return a.Kind + "/" + a.Name }
+
+// benchDoc is the subset of cmd/benchjson's artifact the detector consumes.
+// Schema v1 and v2 differ only in the metadata stamp (git_commit,
+// go_version, generated_utc), which the parser ignores, so both decode here.
+type benchDoc struct {
+	SchemaVersion int `json:"schema_version"`
+	Benchmarks    []struct {
+		Name    string             `json:"name"`
+		NsPerOp float64            `json:"ns_per_op"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+	Detailed       *float64 `json:"detailed_minst_per_s"`
+	Sampled        *float64 `json:"sampled_minst_per_s"`
+	SampledSpeedup *float64 `json:"sampled_speedup"`
+	FFSpeedup      *float64 `json:"ff_speedup"`
+}
+
+// maxBenchSchema is the newest cmd/benchjson schema_version this parser
+// understands.
+const maxBenchSchema = 2
+
+// ParseBench extracts samples from a BENCH_core.json document: one
+// bench/<name>/ns_per_op sample per benchmark, one bench/<name>/<unit>
+// sample per custom metric, and bench/headline/<field> samples for the
+// derived headline rates.
+//
+//repro:deterministic
+func ParseBench(data []byte) ([]Sample, error) {
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("bench artifact: %w", err)
+	}
+	if doc.SchemaVersion < 1 || doc.SchemaVersion > maxBenchSchema {
+		return nil, fmt.Errorf("bench artifact: unsupported schema_version %d", doc.SchemaVersion)
+	}
+	strip := gomaxprocsSuffix(doc)
+	var out []Sample
+	seen := map[string]bool{}
+	for _, b := range doc.Benchmarks {
+		name := strings.TrimSuffix(b.Name, strip)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, Sample{
+			Metric: "bench/" + name + "/ns_per_op",
+			Value:  b.NsPerOp,
+			Path:   "benchmarks.#" + b.Name + ".ns_per_op",
+		})
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			out = append(out, Sample{
+				Metric: "bench/" + name + "/" + u,
+				Value:  b.Metrics[u],
+				Path:   "benchmarks.#" + b.Name + ".metrics." + u,
+			})
+		}
+	}
+	for _, h := range []struct {
+		field string
+		v     *float64
+	}{
+		{"detailed_minst_per_s", doc.Detailed},
+		{"sampled_minst_per_s", doc.Sampled},
+		{"sampled_speedup", doc.SampledSpeedup},
+		{"ff_speedup", doc.FFSpeedup},
+	} {
+		if h.v != nil {
+			out = append(out, Sample{Metric: "bench/headline/" + h.field, Value: *h.v, Path: h.field})
+		}
+	}
+	return out, nil
+}
+
+// gomaxprocsSuffix returns the trailing "-<digits>" group shared by every
+// benchmark name in the artifact (the -GOMAXPROCS suffix `go test -bench`
+// appends), or "" when the names don't share one. Stripping only a shared
+// suffix keeps names like "depth-1" intact while making artifacts recorded
+// at different GOMAXPROCS comparable.
+func gomaxprocsSuffix(doc benchDoc) string {
+	suffix := ""
+	for i, b := range doc.Benchmarks {
+		dash := strings.LastIndex(b.Name, "-")
+		if dash < 0 || dash == len(b.Name)-1 {
+			return ""
+		}
+		tail := b.Name[dash:]
+		if _, err := strconv.Atoi(tail[1:]); err != nil {
+			return ""
+		}
+		if i == 0 {
+			suffix = tail
+		} else if tail != suffix {
+			return ""
+		}
+	}
+	return suffix
+}
+
+// figureKeyCols overrides how many leading columns form a figure CSV's row
+// key for files whose extra key columns are numeric (and so can't be
+// auto-detected). Everything else defaults to the leading run of non-numeric
+// cells.
+var figureKeyCols = map[string]int{
+	"fig11_ipc":   2, // suite,size
+	"table2_area": 2, // unit,configuration
+}
+
+// ParseFigure extracts samples from a results/<name>.csv figure artifact:
+// one figure/<name>/<rowkey>/<column> sample per numeric cell, with the row
+// key formed from the leading key columns (empty key cells are dropped).
+// Non-numeric data cells (e.g. table 3's hybrid configuration strings) are
+// skipped.
+//
+//repro:deterministic
+func ParseFigure(name string, data []byte) ([]Sample, error) {
+	rd := csv.NewReader(strings.NewReader(string(data)))
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("figure artifact %s: %w", name, err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("figure artifact %s: no data rows", name)
+	}
+	header := recs[0]
+	keyCols, fixed := figureKeyCols[name]
+	if !fixed {
+		keyCols = detectKeyCols(recs[1])
+	}
+	var out []Sample
+	for _, row := range recs[1:] {
+		if len(row) == 0 {
+			continue
+		}
+		kc := keyCols
+		if kc > len(row) {
+			kc = len(row)
+		}
+		var keyParts []string
+		for _, cell := range row[:kc] {
+			if cell != "" {
+				keyParts = append(keyParts, sanitizeMetricPart(cell))
+			}
+		}
+		key := strings.Join(keyParts, "/")
+		if key == "" {
+			continue
+		}
+		for i := kc; i < len(row); i++ {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				continue
+			}
+			col := fmt.Sprintf("col%d", i)
+			if i < len(header) {
+				col = sanitizeMetricPart(header[i])
+			}
+			out = append(out, Sample{
+				Metric: "figure/" + name + "/" + key + "/" + col,
+				Value:  v,
+				Path:   fmt.Sprintf("row=%s,col=%s", strings.Join(keyParts, ","), col),
+			})
+		}
+	}
+	return out, nil
+}
+
+// detectKeyCols counts the leading cells of a data row that don't parse as
+// numbers — the default row-key width.
+func detectKeyCols(row []string) int {
+	n := 0
+	for _, cell := range row {
+		if _, err := strconv.ParseFloat(cell, 64); err == nil {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// sanitizeMetricPart makes a CSV cell safe for metric names and for
+// cmd/ckjson report paths: dots become dashes (ckjson paths split on '.').
+func sanitizeMetricPart(s string) string {
+	return strings.ReplaceAll(strings.TrimSpace(s), ".", "-")
+}
+
+// ParseArtifact dispatches on kind. Golden artifacts carry no scalar
+// samples — they are tracked by fingerprint (their object digest).
+//
+//repro:deterministic
+func ParseArtifact(a Artifact) ([]Sample, error) {
+	switch a.Kind {
+	case KindBench:
+		return ParseBench(a.Data)
+	case KindGolden:
+		if !json.Valid(a.Data) {
+			return nil, fmt.Errorf("golden artifact %s: not valid JSON", a.Name)
+		}
+		return nil, nil
+	case KindFigure:
+		return ParseFigure(a.Name, a.Data)
+	default:
+		return nil, fmt.Errorf("unknown artifact kind %q", a.Kind)
+	}
+}

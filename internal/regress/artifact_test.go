@@ -1,0 +1,110 @@
+package regress
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleMap(t *testing.T, parse func() ([]Sample, error)) map[string]float64 {
+	t.Helper()
+	samples, err := parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, s := range samples {
+		out[s.Metric] = s.Value
+	}
+	return out
+}
+
+func TestParseBenchStripsSharedGomaxprocsSuffix(t *testing.T) {
+	data := []byte(`{
+		"schema_version": 2,
+		"benchmarks": [
+			{"name": "BenchmarkA-8", "ns_per_op": 10, "metrics": {"Minst/s": 5}},
+			{"name": "BenchmarkB/depth-1-8", "ns_per_op": 20, "metrics": {}}
+		]
+	}`)
+	got := sampleMap(t, func() ([]Sample, error) { return ParseBench(data) })
+	if _, ok := got["bench/BenchmarkA/Minst/s"]; !ok {
+		t.Fatalf("shared -8 suffix not stripped: %v", got)
+	}
+	if _, ok := got["bench/BenchmarkB/depth-1/ns_per_op"]; !ok {
+		t.Fatalf("subname 'depth-1' must survive suffix stripping: %v", got)
+	}
+}
+
+func TestParseBenchKeepsUnsharedNumericSuffix(t *testing.T) {
+	data := []byte(`{
+		"schema_version": 1,
+		"benchmarks": [
+			{"name": "BenchmarkA-8", "ns_per_op": 10},
+			{"name": "BenchmarkB-4", "ns_per_op": 20}
+		]
+	}`)
+	got := sampleMap(t, func() ([]Sample, error) { return ParseBench(data) })
+	if _, ok := got["bench/BenchmarkA-8/ns_per_op"]; !ok {
+		t.Fatalf("unshared suffixes must not be stripped: %v", got)
+	}
+}
+
+func TestParseBenchHeadlines(t *testing.T) {
+	got := sampleMap(t, func() ([]Sample, error) { return ParseBench(benchArtifact(5, 1e6)) })
+	if got["bench/headline/detailed_minst_per_s"] != 5 {
+		t.Fatalf("headline missing: %v", got)
+	}
+}
+
+func TestParseBenchRejectsUnknownSchema(t *testing.T) {
+	if _, err := ParseBench([]byte(`{"schema_version": 99}`)); err == nil {
+		t.Fatal("schema_version 99 should be rejected")
+	}
+	if _, err := ParseBench([]byte(`{"benchmarks": []}`)); err == nil {
+		t.Fatal("schema_version 0 should be rejected")
+	}
+}
+
+func TestParseFigureDefaultKeyDetection(t *testing.T) {
+	csv := "suite,total%,read%\nspecint,35.5,20.1\nspecfp,42.1,n/a\n"
+	got := sampleMap(t, func() ([]Sample, error) { return ParseFigure("fig1_singleuse", []byte(csv)) })
+	want := map[string]float64{
+		"figure/fig1_singleuse/specint/total%": 35.5,
+		"figure/fig1_singleuse/specint/read%":  20.1,
+		"figure/fig1_singleuse/specfp/total%":  42.1, // "n/a" cell skipped
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestParseFigureFixedKeyCols(t *testing.T) {
+	// fig11_ipc's second key column is numeric (window size) and would be
+	// misdetected as data without the override.
+	csv := "suite,size,ipc\nspecint,64,1.31\n"
+	got := sampleMap(t, func() ([]Sample, error) { return ParseFigure("fig11_ipc", []byte(csv)) })
+	if v, ok := got["figure/fig11_ipc/specint/64/ipc"]; !ok || v != 1.31 {
+		t.Fatalf("fixed key cols not applied: %v", got)
+	}
+}
+
+func TestParseFigureSanitizesDots(t *testing.T) {
+	csv := "bench,score\ngcc.2000,1.5\n"
+	got := sampleMap(t, func() ([]Sample, error) { return ParseFigure("f", []byte(csv)) })
+	if _, ok := got["figure/f/gcc-2000/score"]; !ok {
+		t.Fatalf("dots must become dashes for ckjson paths: %v", got)
+	}
+}
+
+func TestParseArtifactGolden(t *testing.T) {
+	samples, err := ParseArtifact(Artifact{Kind: KindGolden, Name: "g", Data: []byte(`{"a":1}`)})
+	if err != nil || len(samples) != 0 {
+		t.Fatalf("golden artifacts carry no samples: %v, %v", samples, err)
+	}
+	if _, err := ParseArtifact(Artifact{Kind: KindGolden, Name: "g", Data: []byte(`{broken`)}); err == nil {
+		t.Fatal("invalid golden JSON should error")
+	}
+	if _, err := ParseArtifact(Artifact{Kind: "mystery", Name: "x", Data: nil}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}

@@ -1,0 +1,170 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Runner produces a bench artifact for a commit the store has no cached
+// metric for — typically by checking the commit out in a scratch worktree
+// and running `make bench`. A nil Runner restricts Bisect to cached
+// artifacts (a missing probe is then an error naming the commit).
+type Runner func(commit string) ([]byte, error)
+
+// Probe is one commit evaluation during a bisect, in probe order.
+type Probe struct {
+	Commit string  `json:"commit"`
+	Index  int     `json:"index"`
+	Value  float64 `json:"value"`
+	Bad    bool    `json:"bad"`
+	Source string  `json:"source"` // "cache" | "run"
+}
+
+// BisectResult names the first bad commit for one drifted metric.
+type BisectResult struct {
+	SchemaVersion int           `json:"schema_version"`
+	Metric        string        `json:"name"`
+	Good          string        `json:"good"`
+	Bad           string        `json:"bad"`
+	FirstBad      string        `json:"first_bad"`
+	LastGood      string        `json:"last_good"`
+	GoodValue     float64       `json:"good_value"`
+	BadValue      float64       `json:"bad_value"`
+	Threshold     float64       `json:"threshold"`
+	Probes        []Probe       `json:"probes"`
+	Evidence      []EvidenceRef `json:"evidence"`
+}
+
+// Bisect binary-searches the trajectory between good and bad (commit hashes
+// as ingested; "" defaults to the first and head commits) for the first
+// commit where metric regressed by more than threshold (relative, default
+// 0.10) against the good endpoint. Probes replay cached artifacts; only a
+// cache miss invokes runner (whose artifact is ingested, so the probe is
+// cached for next time).
+func Bisect(store *Store, metric, good, bad string, threshold float64, runner Runner) (BisectResult, error) {
+	if metric == "" {
+		return BisectResult{}, fmt.Errorf("regress: bisect needs a metric")
+	}
+	if threshold == 0 {
+		threshold = 0.10
+	}
+	h := store.History()
+	if len(h.Commits) < 2 {
+		return BisectResult{}, fmt.Errorf("regress: bisect needs at least 2 commits in history, have %d", len(h.Commits))
+	}
+	g, b := 0, len(h.Commits)-1
+	if good != "" {
+		if g = h.IndexOf(good); g < 0 {
+			return BisectResult{}, fmt.Errorf("regress: good commit %q not in history", good)
+		}
+	}
+	if bad != "" {
+		if b = h.IndexOf(bad); b < 0 {
+			return BisectResult{}, fmt.Errorf("regress: bad commit %q not in history", bad)
+		}
+	}
+	if g >= b {
+		return BisectResult{}, fmt.Errorf("regress: good commit must precede bad commit in the trajectory")
+	}
+
+	res := BisectResult{
+		SchemaVersion: ReportSchemaVersion,
+		Metric:        metric,
+		Good:          h.Commits[g].Commit,
+		Bad:           h.Commits[b].Commit,
+		Threshold:     threshold,
+	}
+	probe := func(i int) (sampleRef, error) {
+		ref, src, err := metricAt(store, &h, i, metric, runner)
+		if err != nil {
+			return sampleRef{}, err
+		}
+		res.Probes = append(res.Probes, Probe{
+			Commit: h.Commits[i].Commit, Index: i, Value: round6(ref.Value), Source: src,
+		})
+		return ref, nil
+	}
+
+	goodRef, err := probe(g)
+	if err != nil {
+		return res, err
+	}
+	res.GoodValue = round6(goodRef.Value)
+	class := metricClass(metric)
+	isBad := func(v float64) bool {
+		switch class {
+		case classHigher:
+			return v < goodRef.Value*(1-threshold)
+		case classLower:
+			return v > goodRef.Value*(1+threshold)
+		default: // figure metrics: any departure beyond threshold is bad
+			return math.Abs(v-goodRef.Value) > threshold*math.Abs(goodRef.Value)
+		}
+	}
+	badRef, err := probe(b)
+	if err != nil {
+		return res, err
+	}
+	res.BadValue = round6(badRef.Value)
+	res.Probes[0].Bad = isBad(goodRef.Value)
+	res.Probes[1].Bad = isBad(badRef.Value)
+	if res.Probes[0].Bad {
+		return res, fmt.Errorf("regress: good commit %s already fails the predicate (%s = %g)",
+			res.Good, metric, goodRef.Value)
+	}
+	if !res.Probes[1].Bad {
+		return res, fmt.Errorf("regress: bad commit %s passes the predicate (%s = %g vs good %g, threshold %g) — nothing to bisect",
+			res.Bad, metric, badRef.Value, goodRef.Value, threshold)
+	}
+
+	firstBadRef := badRef
+	lastGoodRef := goodRef
+	for b-g > 1 {
+		m := (g + b) / 2
+		ref, err := probe(m)
+		if err != nil {
+			return res, err
+		}
+		bad := isBad(ref.Value)
+		res.Probes[len(res.Probes)-1].Bad = bad
+		if bad {
+			b, firstBadRef = m, ref
+		} else {
+			g, lastGoodRef = m, ref
+		}
+	}
+	res.FirstBad = h.Commits[b].Commit
+	res.LastGood = h.Commits[g].Commit
+	res.Evidence = []EvidenceRef{firstBadRef.evidence(), lastGoodRef.evidence()}
+	return res, nil
+}
+
+// metricAt resolves the metric's value at trajectory index i, preferring
+// cached artifacts and falling back to the runner (ingesting its output so
+// the probe is cached for future bisects).
+func metricAt(store *Store, h *History, i int, metric string, runner Runner) (sampleRef, string, error) {
+	c := h.Commits[i]
+	samples, _ := commitSamples(store, c)
+	if ref, ok := samples[metric]; ok {
+		return ref, "cache", nil
+	}
+	if runner == nil {
+		return sampleRef{}, "", fmt.Errorf("regress: no cached artifact carries %q at commit %s (and no runner configured)",
+			metric, c.Commit)
+	}
+	data, err := runner(c.Commit)
+	if err != nil {
+		return sampleRef{}, "", fmt.Errorf("regress: runner failed at commit %s: %w", c.Commit, err)
+	}
+	if _, err := store.Ingest(c.Commit, nil, []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: data}}); err != nil {
+		return sampleRef{}, "", err
+	}
+	nh := store.History()
+	*h = nh
+	samples, _ = commitSamples(store, nh.Commits[i])
+	ref, ok := samples[metric]
+	if !ok {
+		return sampleRef{}, "", fmt.Errorf("regress: runner's artifact for commit %s does not carry %q", c.Commit, metric)
+	}
+	return ref, "run", nil
+}

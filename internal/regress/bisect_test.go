@@ -1,0 +1,142 @@
+package regress
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const bisectMetric = "bench/BenchmarkSimulatorThroughput/reuse/Minst/s"
+
+// regressedStore builds the acceptance fixture: an 8-commit trajectory with
+// a 20% throughput regression landing at commit c5.
+func regressedStore(t *testing.T) *Store {
+	t.Helper()
+	s := openStore(t)
+	ingestRates(t, s, []float64{5.0, 5.02, 4.98, 5.01, 4.99, 4.0, 4.01, 3.99})
+	return s
+}
+
+func TestBisectFindsFirstBadCommitFromCache(t *testing.T) {
+	s := regressedStore(t)
+	res, err := Bisect(s, bisectMetric, "", "", 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstBad != "c5" || res.LastGood != "c4" {
+		t.Fatalf("first bad %s (last good %s), want c5/c4\nprobes: %+v", res.FirstBad, res.LastGood, res.Probes)
+	}
+	if res.Good != "c0" || res.Bad != "c7" {
+		t.Fatalf("default endpoints %s..%s, want c0..c7", res.Good, res.Bad)
+	}
+	for _, p := range res.Probes {
+		if p.Source != "cache" {
+			t.Fatalf("probe %s used source %q — bisect must replay cached artifacts only", p.Commit, p.Source)
+		}
+	}
+	if len(res.Evidence) != 2 || res.Evidence[0].Commit != "c5" || res.Evidence[1].Commit != "c4" {
+		t.Fatalf("evidence should cite first-bad then last-good: %+v", res.Evidence)
+	}
+	if res.Evidence[0].Digest == "" || res.Evidence[0].Path == "" {
+		t.Fatalf("evidence refs must be store-resolvable: %+v", res.Evidence[0])
+	}
+}
+
+func TestBisectExplicitEndpoints(t *testing.T) {
+	s := regressedStore(t)
+	res, err := Bisect(s, bisectMetric, "c2", "c6", 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstBad != "c5" {
+		t.Fatalf("first bad %s, want c5", res.FirstBad)
+	}
+}
+
+func TestBisectEndpointValidation(t *testing.T) {
+	s := regressedStore(t)
+	// Both endpoints inside the regressed region: the predicate is relative
+	// to the good endpoint, so there is no drop left to find.
+	if _, err := Bisect(s, bisectMetric, "c6", "c7", 0.10, nil); err == nil ||
+		!strings.Contains(err.Error(), "nothing to bisect") {
+		t.Fatalf("endpoints inside the regression should error, got %v", err)
+	}
+	if _, err := Bisect(s, bisectMetric, "c0", "c4", 0.10, nil); err == nil ||
+		!strings.Contains(err.Error(), "nothing to bisect") {
+		t.Fatalf("bad endpoint before the regression should error, got %v", err)
+	}
+	if _, err := Bisect(s, bisectMetric, "c5", "c2", 0.10, nil); err == nil {
+		t.Fatal("good after bad should error")
+	}
+	if _, err := Bisect(s, bisectMetric, "nope", "", 0.10, nil); err == nil {
+		t.Fatal("unknown good commit should error")
+	}
+	if _, err := Bisect(s, "", "", "", 0.10, nil); err == nil {
+		t.Fatal("empty metric should error")
+	}
+}
+
+// TestBisectRunnerFallback covers the cache-miss path: one mid-trajectory
+// commit was ingested without a bench artifact, so the probe falls back to
+// the runner, and the runner's output is ingested (cached for next time).
+func TestBisectRunnerFallback(t *testing.T) {
+	s := openStore(t)
+	rates := []float64{5.0, 5.0, 5.0, 5.0, 4.0, 4.0}
+	for i, r := range rates {
+		commit := fmt.Sprintf("c%d", i)
+		var arts []Artifact
+		if i == 2 { // c2: golden only — no bench metric cached
+			arts = []Artifact{{Kind: KindGolden, Name: "golden_stats.json", Data: []byte(`{}`)}}
+		} else {
+			arts = []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(r, 1e6)}}
+		}
+		if _, err := s.Ingest(commit, nil, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Without a runner the c2 probe is a hard error naming the commit.
+	if _, err := Bisect(s, bisectMetric, "", "", 0.10, nil); err == nil ||
+		!strings.Contains(err.Error(), "c2") {
+		t.Fatalf("cache miss without runner should name the commit, got %v", err)
+	}
+
+	runs := 0
+	runner := func(commit string) ([]byte, error) {
+		runs++
+		if commit != "c2" {
+			t.Fatalf("runner invoked for cached commit %s", commit)
+		}
+		return benchArtifact(5.0, 1e6), nil
+	}
+	res, err := Bisect(s, bisectMetric, "", "", 0.10, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstBad != "c4" || runs != 1 {
+		t.Fatalf("first bad %s (runs=%d), want c4 with exactly 1 runner call", res.FirstBad, runs)
+	}
+	ran := 0
+	for _, p := range res.Probes {
+		if p.Source == "run" {
+			ran++
+		}
+	}
+	if ran != 1 {
+		t.Fatalf("%d run-sourced probes, want 1: %+v", ran, res.Probes)
+	}
+
+	// The runner's artifact was ingested: a second bisect is fully cached.
+	res2, err := Bisect(s, bisectMetric, "", "", 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FirstBad != "c4" {
+		t.Fatalf("cached re-bisect first bad %s, want c4", res2.FirstBad)
+	}
+	for _, p := range res2.Probes {
+		if p.Source != "cache" {
+			t.Fatalf("re-bisect probe %s not cached: %+v", p.Commit, p)
+		}
+	}
+}

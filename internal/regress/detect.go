@@ -1,0 +1,438 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Config tunes the drift detector. The zero value means "all defaults".
+type Config struct {
+	// MADK is the trajectory noise-band half-width in MADs (median absolute
+	// deviations) around the median-of-history. Default 3.
+	MADK float64
+	// MinBandFrac floors the noise band at this fraction of the median, so
+	// a perfectly flat history doesn't flag femto-drift. Default 0.05.
+	MinBandFrac float64
+	// RegressFrac is the relative drop past which a throughput regression
+	// escalates from warn to critical. Default 0.10.
+	RegressFrac float64
+	// MinHistory is how many prior samples a metric needs before trajectory
+	// checks apply. Default 2.
+	MinHistory int
+	// PaperRelTol is the default paper-band half-width as a fraction of the
+	// band's seed value. Default 0.10.
+	PaperRelTol float64
+	// GoldenPath is the repo path whose presence in a commit's changed-file
+	// list classifies a golden-fingerprint change as intentional. Default
+	// "testdata/golden_stats.json".
+	GoldenPath string
+	// Paper overrides the band set (nil = PaperBands).
+	Paper []PaperBand
+}
+
+func (c Config) withDefaults() Config {
+	if c.MADK == 0 {
+		c.MADK = 3
+	}
+	if c.MinBandFrac == 0 {
+		c.MinBandFrac = 0.05
+	}
+	if c.RegressFrac == 0 {
+		c.RegressFrac = 0.10
+	}
+	if c.MinHistory == 0 {
+		c.MinHistory = 2
+	}
+	if c.PaperRelTol == 0 {
+		c.PaperRelTol = 0.10
+	}
+	if c.GoldenPath == "" {
+		c.GoldenPath = "testdata/golden_stats.json"
+	}
+	if c.Paper == nil {
+		c.Paper = PaperBands
+	}
+	return c
+}
+
+// metric direction classes for trajectory checks.
+const (
+	classNone   = iota
+	classHigher // throughput-like: regression = below band
+	classLower  // latency-like: regression = above band
+)
+
+// metricClass decides whether (and in which direction) a metric gets a
+// trajectory check. Rates and speedups are higher-better and can fail the
+// verdict; ns/op is lower-better but capped at warn (single-iteration
+// timings are noisy — the Minst/s rates are the throughput contract).
+func metricClass(m string) int {
+	switch {
+	case strings.HasSuffix(m, "/Minst/s"),
+		strings.HasPrefix(m, "bench/headline/") &&
+			(strings.Contains(m, "minst_per_s") || strings.HasSuffix(m, "_speedup")):
+		return classHigher
+	case strings.HasSuffix(m, "/ns_per_op"):
+		return classLower
+	default:
+		return classNone
+	}
+}
+
+// sampleRef is a Sample located in its source artifact at a commit.
+type sampleRef struct {
+	Sample
+	Commit   string
+	Artifact string
+	Digest   string
+}
+
+func (r sampleRef) evidence() EvidenceRef {
+	return EvidenceRef{Commit: r.Commit, Artifact: r.Artifact, Digest: r.Digest, Path: r.Path}
+}
+
+// commitSamples parses every artifact of one commit into metric-addressed
+// samples. Unreadable or unparsable artifacts become warn findings instead
+// of aborting the report.
+func commitSamples(store *Store, c CommitState) (map[string]sampleRef, []Finding) {
+	out := map[string]sampleRef{}
+	var findings []Finding
+	for _, key := range c.ArtifactKeys() {
+		digest := c.Artifacts[key]
+		kind, name, _ := strings.Cut(key, "/")
+		data, err := store.Object(digest)
+		var samples []Sample
+		if err == nil {
+			samples, err = ParseArtifact(Artifact{Kind: kind, Name: name, Data: data})
+		}
+		if err != nil {
+			findings = append(findings, Finding{
+				Metric:   "artifact/" + key,
+				Kind:     KindArtifactError,
+				Severity: SevWarn,
+				Detail:   err.Error(),
+				Evidence: []EvidenceRef{{Commit: c.Commit, Artifact: key, Digest: digest}},
+			})
+			continue
+		}
+		for _, smp := range samples {
+			out[smp.Metric] = sampleRef{Sample: smp, Commit: c.Commit, Artifact: key, Digest: digest}
+		}
+	}
+	return out, findings
+}
+
+//repro:deterministic
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+//repro:deterministic
+func mad(xs []float64, med float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return median(devs)
+}
+
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }
+
+func pct(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return round6((v - base) / math.Abs(base) * 100)
+}
+
+// Detect runs the drift detector over the store's trajectory and returns
+// the evidence-linked report for the head (most recently ingested) commit.
+// The report is deterministic: identical store contents produce a
+// byte-identical Report.JSON().
+//
+//repro:deterministic
+func Detect(store *Store, h History, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if len(h.Commits) == 0 {
+		return Report{}, fmt.Errorf("regress: empty history — ingest at least one commit")
+	}
+	head := h.Commits[len(h.Commits)-1]
+	headSamples, findings := commitSamples(store, head)
+
+	// One pass over the prior commits collects every trajectory metric's
+	// history (artifact parse errors on old commits are ignored here — they
+	// were that commit's report's problem).
+	type histPoint struct {
+		value float64
+		ref   sampleRef
+	}
+	histFor := map[string][]histPoint{}
+	for _, c := range h.Commits[:len(h.Commits)-1] {
+		samples, _ := commitSamples(store, c)
+		names := make([]string, 0, len(samples))
+		for m := range samples {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			if metricClass(m) != classNone {
+				histFor[m] = append(histFor[m], histPoint{value: samples[m].Value, ref: samples[m]})
+			}
+		}
+	}
+
+	checks, okChecks := 0, 0
+
+	// Trajectory checks: head value vs median-of-history ± MAD band.
+	headMetrics := make([]string, 0, len(headSamples))
+	for m := range headSamples {
+		headMetrics = append(headMetrics, m)
+	}
+	sort.Strings(headMetrics)
+	for _, m := range headMetrics {
+		class := metricClass(m)
+		if class == classNone {
+			continue
+		}
+		hist := histFor[m]
+		if len(hist) < cfg.MinHistory {
+			continue
+		}
+		values := make([]float64, len(hist))
+		for i, p := range hist {
+			values[i] = p.value
+		}
+		med := median(values)
+		band := math.Max(cfg.MADK*mad(values, med), cfg.MinBandFrac*math.Abs(med))
+		ref := headSamples[m]
+		v := ref.Value
+		checks++
+		bad := false
+		kind, sev := "", ""
+		switch class {
+		case classHigher:
+			if v < med-band {
+				bad = true
+				kind, sev = KindThroughputRegression, SevWarn
+				if v < med*(1-cfg.RegressFrac) {
+					sev = SevCritical
+				}
+			}
+		case classLower:
+			if v > med+band {
+				bad = true
+				kind, sev = KindLatencyRegression, SevWarn
+			}
+		}
+		if !bad {
+			okChecks++
+			continue
+		}
+		ev := []EvidenceRef{ref.evidence()}
+		for i := len(hist) - 1; i >= 0 && len(ev) < 6; i-- {
+			ev = append(ev, hist[i].ref.evidence())
+		}
+		findings = append(findings, Finding{
+			Metric:   m,
+			Kind:     kind,
+			Severity: sev,
+			Baseline: round6(med),
+			Value:    round6(v),
+			DeltaPct: pct(v, med),
+			Band:     round6(band),
+			Detail: fmt.Sprintf("%s drifted outside the noise band: %g vs median-of-%d-history %g (band ±%.4g)",
+				m, round6(v), len(hist), round6(med), band),
+			Evidence: ev,
+		})
+	}
+
+	// Paper bands: head values vs the seeded reproduction bands, with the
+	// paper's reported values as context.
+	bands := append([]PaperBand(nil), cfg.Paper...)
+	sort.Slice(bands, func(i, j int) bool { return bands[i].Metric < bands[j].Metric })
+	paper := make([]PaperDelta, 0, len(bands))
+	for _, b := range bands {
+		tol := b.RelTol
+		if tol == 0 {
+			tol = cfg.PaperRelTol
+		}
+		d := PaperDelta{Metric: b.Metric, Seed: b.Seed, Paper: b.Paper, Note: b.Note}
+		ref, present := headSamples[b.Metric]
+		if !present {
+			d.Missing = true
+			paper = append(paper, d)
+			findings = append(findings, Finding{
+				Metric:   b.Metric,
+				Kind:     KindMetricMissing,
+				Severity: SevInfo,
+				Detail:   "paper-band metric absent from the head commit's artifacts",
+			})
+			continue
+		}
+		checks++
+		d.Value = round6(ref.Value)
+		d.DeltaVsSeedPct = pct(ref.Value, b.Seed)
+		if b.Paper != 0 {
+			d.DeltaVsPaperPct = pct(ref.Value, b.Paper)
+		}
+		d.InBand = math.Abs(ref.Value-b.Seed) <= tol*math.Abs(b.Seed)
+		if d.InBand {
+			okChecks++
+		} else {
+			findings = append(findings, Finding{
+				Metric:   b.Metric,
+				Kind:     KindPaperBand,
+				Severity: SevCritical,
+				Baseline: round6(b.Seed),
+				Value:    round6(ref.Value),
+				DeltaPct: d.DeltaVsSeedPct,
+				Band:     round6(tol * math.Abs(b.Seed)),
+				Detail: fmt.Sprintf("%s left its reproduction band: %g vs seed %g (±%.3g); %s",
+					b.Metric, round6(ref.Value), b.Seed, tol*math.Abs(b.Seed), b.Note),
+				Evidence: []EvidenceRef{ref.evidence()},
+			})
+		}
+		paper = append(paper, d)
+	}
+
+	// Golden fingerprint: changed vs the previous commit that carries one,
+	// classified intentional (golden file in the commit's changed set) or
+	// silent.
+	golden := goldenStatus(h, head, cfg.GoldenPath)
+	if golden != nil && golden.Classification != goldenFirst {
+		checks++
+		switch golden.Classification {
+		case goldenUnchanged:
+			okChecks++
+		case goldenIntentional:
+			okChecks++
+			findings = append(findings, Finding{
+				Metric:   golden.Artifact,
+				Kind:     KindGoldenIntentional,
+				Severity: SevInfo,
+				Detail: fmt.Sprintf("golden fingerprint changed with %s in the commit's changed files (intentional update)",
+					cfg.GoldenPath),
+				Evidence: golden.evidence(head.Commit),
+			})
+		case goldenSilent:
+			findings = append(findings, Finding{
+				Metric:   golden.Artifact,
+				Kind:     KindGoldenSilent,
+				Severity: SevCritical,
+				Detail: fmt.Sprintf("golden fingerprint changed but %s is not in the commit's changed files — simulator behavior drifted silently",
+					cfg.GoldenPath),
+				Evidence: golden.evidence(head.Commit),
+			})
+		}
+	}
+
+	verdict := VerdictPass
+	for _, f := range findings {
+		switch f.Severity {
+		case SevCritical:
+			verdict = VerdictFail
+		case SevWarn:
+			if verdict == VerdictPass {
+				verdict = VerdictWarn
+			}
+		}
+	}
+	convergence := 1.0
+	if checks > 0 {
+		convergence = round6(float64(okChecks) / float64(checks))
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if ra, rb := sevRank(a.Severity), sevRank(b.Severity); ra != rb {
+			return ra > rb
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		return a.Kind < b.Kind
+	})
+	if findings == nil {
+		findings = []Finding{}
+	}
+
+	return Report{
+		SchemaVersion: ReportSchemaVersion,
+		Commit:        head.Commit,
+		Commits:       len(h.Commits),
+		Verdict:       verdict,
+		Convergence:   convergence,
+		Checks:        checks,
+		ChecksOK:      okChecks,
+		Findings:      findings,
+		Paper:         paper,
+		Golden:        golden,
+	}, nil
+}
+
+// Golden classifications.
+const (
+	goldenFirst       = "first"
+	goldenUnchanged   = "unchanged"
+	goldenIntentional = "intentional"
+	goldenSilent      = "silent"
+)
+
+// goldenStatus compares the head commit's golden fingerprint against the
+// most recent prior commit carrying one. nil when the head has no golden
+// artifact.
+func goldenStatus(h History, head CommitState, goldenPath string) *GoldenStatus {
+	key, digest := goldenArtifact(head)
+	if key == "" {
+		return nil
+	}
+	st := &GoldenStatus{Artifact: key, Digest: digest, Classification: goldenFirst}
+	for i := len(h.Commits) - 2; i >= 0; i-- {
+		pk, pd := goldenArtifact(h.Commits[i])
+		if pk == "" {
+			continue
+		}
+		st.PrevCommit = h.Commits[i].Commit
+		st.PrevDigest = pd
+		switch {
+		case pd == digest:
+			st.Classification = goldenUnchanged
+		case contains(head.ChangedFiles, goldenPath):
+			st.Changed = true
+			st.Classification = goldenIntentional
+		default:
+			st.Changed = true
+			st.Classification = goldenSilent
+		}
+		return st
+	}
+	return st
+}
+
+// goldenArtifact returns the commit's golden artifact key and digest ("" if
+// none).
+func goldenArtifact(c CommitState) (string, string) {
+	for _, key := range c.ArtifactKeys() {
+		if strings.HasPrefix(key, KindGolden+"/") {
+			return key, c.Artifacts[key]
+		}
+	}
+	return "", ""
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

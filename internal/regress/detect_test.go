@@ -1,0 +1,283 @@
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchArtifact builds a minimal cmd/benchjson document with the detailed
+// throughput benchmark at rate Minst/s and an ns/op timing.
+func benchArtifact(rate float64, nsPerOp float64) []byte {
+	return []byte(fmt.Sprintf(`{
+	"schema_version": 1,
+	"benchmarks": [
+		{"name": "BenchmarkSimulatorThroughput/reuse", "iterations": 1,
+		 "ns_per_op": %g, "metrics": {"Minst/s": %g}}
+	],
+	"detailed_minst_per_s": %g
+}`, nsPerOp, rate, rate))
+}
+
+// ingestRates builds a trajectory of commits c0..c<n-1> with the given
+// throughput rates.
+func ingestRates(t *testing.T, store *Store, rates []float64) {
+	t.Helper()
+	for i, r := range rates {
+		commit := fmt.Sprintf("c%d", i)
+		arts := []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(r, 1e6)}}
+		if _, err := store.Ingest(commit, nil, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// noPaper keeps trajectory tests free of paper-band noise.
+var noPaper = Config{Paper: []PaperBand{}}
+
+func detect(t *testing.T, store *Store, cfg Config) Report {
+	t.Helper()
+	rep, err := Detect(store, store.History(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func findingOfKind(rep Report, kind string) *Finding {
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == kind {
+			return &rep.Findings[i]
+		}
+	}
+	return nil
+}
+
+func TestFlatTrajectoryPasses(t *testing.T) {
+	store := openStore(t)
+	ingestRates(t, store, []float64{5, 5, 5, 5, 5})
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("verdict %s, want pass; findings %+v", rep.Verdict, rep.Findings)
+	}
+	if rep.Checks == 0 || rep.ChecksOK != rep.Checks {
+		t.Fatalf("checks %d/%d, want all ok and nonzero", rep.ChecksOK, rep.Checks)
+	}
+	if rep.Convergence != 1 {
+		t.Fatalf("convergence %v, want 1", rep.Convergence)
+	}
+}
+
+func TestStepRegressionFlagged(t *testing.T) {
+	store := openStore(t)
+	ingestRates(t, store, []float64{5, 5, 5, 5, 4}) // 20% drop at head
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictFail {
+		t.Fatalf("verdict %s, want fail", rep.Verdict)
+	}
+	f := findingOfKind(rep, KindThroughputRegression)
+	if f == nil {
+		t.Fatalf("no throughput_regression finding: %+v", rep.Findings)
+	}
+	if f.Metric != "bench/BenchmarkSimulatorThroughput/reuse/Minst/s" {
+		t.Errorf("finding metric %q", f.Metric)
+	}
+	if f.Severity != SevCritical {
+		t.Errorf("severity %s, want critical (20%% drop)", f.Severity)
+	}
+	if len(f.Evidence) == 0 || f.Evidence[0].Commit != "c4" || f.Evidence[0].Digest == "" {
+		t.Errorf("evidence should lead with the head artifact: %+v", f.Evidence)
+	}
+	if f.Evidence[0].Path == "" {
+		t.Errorf("evidence ref should locate the benchmark inside the artifact")
+	}
+}
+
+func TestSmallDipWarnsOnly(t *testing.T) {
+	store := openStore(t)
+	// 7% below a tight flat history: outside the 5% floor band but inside
+	// the 10% critical escalation.
+	ingestRates(t, store, []float64{5, 5, 5, 5, 4.65})
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictWarn {
+		t.Fatalf("verdict %s, want warn; findings %+v", rep.Verdict, rep.Findings)
+	}
+	f := findingOfKind(rep, KindThroughputRegression)
+	if f == nil || f.Severity != SevWarn {
+		t.Fatalf("want warn throughput finding, got %+v", rep.Findings)
+	}
+}
+
+func TestNoisyButStableWithinBand(t *testing.T) {
+	store := openStore(t)
+	ingestRates(t, store, []float64{5.0, 5.2, 4.8, 5.1, 4.9, 4.97})
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("verdict %s, want pass; findings %+v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestLatencyRegressionWarns(t *testing.T) {
+	store := openStore(t)
+	for i, ns := range []float64{1e6, 1e6, 1e6, 2e6} { // ns/op doubles at head
+		arts := []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(5, ns)}}
+		if _, err := store.Ingest(fmt.Sprintf("c%d", i), nil, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictWarn {
+		t.Fatalf("verdict %s, want warn (ns/op is warn-capped); findings %+v", rep.Verdict, rep.Findings)
+	}
+	if f := findingOfKind(rep, KindLatencyRegression); f == nil || f.Severity != SevWarn {
+		t.Fatalf("want warn latency finding, got %+v", rep.Findings)
+	}
+}
+
+func goldenTrajectory(t *testing.T, store *Store, headChanged []string) {
+	t.Helper()
+	for i, golden := range []string{`{"w/base": {"Cycles": 100}}`, `{"w/base": {"Cycles": 101}}`} {
+		var changed []string
+		if i == 1 {
+			changed = headChanged
+		}
+		arts := []Artifact{
+			{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(5, 1e6)},
+			{Kind: KindGolden, Name: "golden_stats.json", Data: []byte(golden)},
+		}
+		if _, err := store.Ingest(fmt.Sprintf("c%d", i), changed, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGoldenChangeWithUpdateIsIntentional(t *testing.T) {
+	store := openStore(t)
+	goldenTrajectory(t, store, []string{"internal/pipeline/core.go", "testdata/golden_stats.json"})
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("verdict %s, want pass; findings %+v", rep.Verdict, rep.Findings)
+	}
+	if rep.Golden == nil || rep.Golden.Classification != goldenIntentional || !rep.Golden.Changed {
+		t.Fatalf("golden status %+v, want intentional", rep.Golden)
+	}
+	if f := findingOfKind(rep, KindGoldenIntentional); f == nil || f.Severity != SevInfo {
+		t.Fatalf("want info golden_intentional finding, got %+v", rep.Findings)
+	}
+}
+
+func TestGoldenChangeWithoutUpdateIsSilent(t *testing.T) {
+	store := openStore(t)
+	goldenTrajectory(t, store, []string{"internal/pipeline/core.go"})
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictFail {
+		t.Fatalf("verdict %s, want fail; findings %+v", rep.Verdict, rep.Findings)
+	}
+	if rep.Golden == nil || rep.Golden.Classification != goldenSilent {
+		t.Fatalf("golden status %+v, want silent", rep.Golden)
+	}
+	f := findingOfKind(rep, KindGoldenSilent)
+	if f == nil || f.Severity != SevCritical {
+		t.Fatalf("want critical golden_silent finding, got %+v", rep.Findings)
+	}
+	if len(f.Evidence) != 2 {
+		t.Fatalf("silent golden finding should cite both fingerprints: %+v", f.Evidence)
+	}
+}
+
+func TestGoldenUnchangedPasses(t *testing.T) {
+	store := openStore(t)
+	for i := 0; i < 2; i++ {
+		arts := []Artifact{
+			{Kind: KindGolden, Name: "golden_stats.json", Data: []byte(`{"w/base": {"Cycles": 100}}`)},
+		}
+		if _, err := store.Ingest(fmt.Sprintf("c%d", i), nil, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := detect(t, store, noPaper)
+	if rep.Verdict != VerdictPass || rep.Golden == nil || rep.Golden.Classification != goldenUnchanged {
+		t.Fatalf("verdict %s golden %+v, want pass/unchanged", rep.Verdict, rep.Golden)
+	}
+}
+
+func TestPaperBandViolation(t *testing.T) {
+	store := openStore(t)
+	ingestRates(t, store, []float64{5})
+	cfg := Config{Paper: []PaperBand{
+		{Metric: "bench/headline/detailed_minst_per_s", Seed: 7, Note: "synthetic"},
+	}}
+	rep := detect(t, store, cfg)
+	if rep.Verdict != VerdictFail {
+		t.Fatalf("verdict %s, want fail (5 vs seed 7 at 10%%)", rep.Verdict)
+	}
+	f := findingOfKind(rep, KindPaperBand)
+	if f == nil || f.Severity != SevCritical {
+		t.Fatalf("want critical paper_band finding, got %+v", rep.Findings)
+	}
+	if len(rep.Paper) != 1 || rep.Paper[0].InBand || rep.Paper[0].Value != 5 {
+		t.Fatalf("paper deltas %+v", rep.Paper)
+	}
+}
+
+func TestPaperBandMissingMetricIsInfo(t *testing.T) {
+	store := openStore(t)
+	ingestRates(t, store, []float64{5})
+	cfg := Config{Paper: []PaperBand{{Metric: "figure/nonexistent/x/y", Seed: 1}}}
+	rep := detect(t, store, cfg)
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("verdict %s, want pass (missing band metric is info-only)", rep.Verdict)
+	}
+	if f := findingOfKind(rep, KindMetricMissing); f == nil {
+		t.Fatalf("want metric_missing finding, got %+v", rep.Findings)
+	}
+	if len(rep.Paper) != 1 || !rep.Paper[0].Missing {
+		t.Fatalf("paper deltas %+v", rep.Paper)
+	}
+}
+
+// TestReportDeterminism pins the contract driftsmoke relies on: identical
+// store contents produce byte-identical report JSON, including across a
+// fresh store built from the same ingest sequence.
+func TestReportDeterminism(t *testing.T) {
+	build := func() *Store {
+		store := openStore(t)
+		ingestRates(t, store, []float64{5, 5.1, 4.9, 4})
+		arts := []Artifact{{Kind: KindGolden, Name: "golden_stats.json", Data: []byte(`{"a":1}`)}}
+		if _, err := store.Ingest("c3", nil, arts); err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+	s1, s2 := build(), build()
+	j1 := reportJSON(t, s1)
+	if !bytes.Equal(j1, reportJSON(t, s1)) {
+		t.Fatal("same store, two Detect runs: report JSON differs")
+	}
+	if !bytes.Equal(j1, reportJSON(t, s2)) {
+		t.Fatal("identical ingest sequences in different dirs: report JSON differs")
+	}
+}
+
+func reportJSON(t *testing.T, store *Store) []byte {
+	t.Helper()
+	rep, err := Detect(store, store.History(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

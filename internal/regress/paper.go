@@ -1,0 +1,74 @@
+package regress
+
+// PaperBand anchors one reproduction metric against the paper. The band is
+// centered on the committed reproduction value (Seed) — the substrate is a
+// from-scratch simulator, so absolute agreement with the paper is not the
+// invariant; *stability of the reproduced figure* is. The paper's reported
+// value rides along in the report as context (delta_vs_paper_pct), matching
+// EXPERIMENTS.md's paper-vs-measured framing.
+type PaperBand struct {
+	// Metric is the sample name the band applies to.
+	Metric string
+	// Seed is the committed reproduction value the band centers on.
+	Seed float64
+	// RelTol is the allowed relative drift from Seed (0 means the default
+	// Config.PaperRelTol).
+	RelTol float64
+	// Paper is the paper's reported value, when directly comparable
+	// (0 = shape-only claim; see Note).
+	Paper float64
+	// Note cites the paper's claim.
+	Note string
+}
+
+// PaperBands is the default band set: the Fig 1–3 single-use/consumer/
+// reuse-depth percentages, Table 2/3 area and equal-area sizing, and the
+// Fig 10/11 speedup/IPC metrics — each present twice where the repo records
+// it twice (scale-1 benchmark metrics in BENCH_core.json, reference-scale
+// figure CSVs in results/). Seeds are the committed values; see
+// EXPERIMENTS.md for the paper-vs-measured discussion each Note summarizes.
+var PaperBands = []PaperBand{
+	// Figure 1 — single-use consumer fraction.
+	{Metric: "figure/fig1_singleuse/specfp/total%", Seed: 42.081, Paper: 50,
+		Note: "Fig 1: >50% of SPECfp instructions are single-use consumers"},
+	{Metric: "figure/fig1_singleuse/specint/total%", Seed: 35.172, Paper: 30,
+		Note: "Fig 1: >30% of SPECint instructions are single-use consumers"},
+	{Metric: "bench/BenchmarkFig1SingleUse/specfp-singleuse-%", Seed: 42.05, Paper: 50,
+		Note: "Fig 1 (scale-1 benchmark)"},
+	{Metric: "bench/BenchmarkFig1SingleUse/specint-singleuse-%", Seed: 34.32, Paper: 30,
+		Note: "Fig 1 (scale-1 benchmark)"},
+	// Figure 2 — values with exactly one consumer.
+	{Metric: "figure/fig2_consumers/specfp/1", Seed: 79.068,
+		Note: "Fig 2: most SPECfp values are consumed exactly once"},
+	{Metric: "bench/BenchmarkFig2Consumers/specfp-one-use-%", Seed: 79.05,
+		Note: "Fig 2 (scale-1 benchmark)"},
+	// Figure 3 — reuse opportunity by chain depth.
+	{Metric: "figure/fig3_reuse_depth/specfp/one", Seed: 19.568, Paper: 32.3,
+		Note: "Fig 3: SPECfp one-reuse fraction"},
+	{Metric: "figure/fig3_reuse_depth/specfp/two", Seed: 8.848, Paper: 12.3,
+		Note: "Fig 3: SPECfp two-reuse fraction"},
+	{Metric: "bench/BenchmarkFig3ReuseDepth/specfp-one-reuse-%", Seed: 19.47, Paper: 32.3,
+		Note: "Fig 3 (scale-1 benchmark)"},
+	// Table 2 — area overhead of the proposal.
+	{Metric: "figure/table2_area/Total Overhead/area mm^2", Seed: 0.005088, RelTol: 0.02, Paper: 0.005085,
+		Note: "Table 2: total area overhead (mm^2); analytical model is calibrated on the paper"},
+	{Metric: "bench/BenchmarkTable2Area/overhead-milli-mm2", Seed: 5.088, RelTol: 0.02, Paper: 5.085,
+		Note: "Table 2 (milli-mm^2, scale-1 benchmark)"},
+	// Table 3 — equal-area register-file sizing.
+	{Metric: "figure/table3_configs/64/regs saved %", Seed: 2.5,
+		Note: "Table 3: derived hybrid at 64 regs; paper's own hybrids concede more (§VI-A methodology)"},
+	{Metric: "bench/BenchmarkTable3EqualArea/hybrid-regs-at-112", Seed: 108, RelTol: 0.02, Paper: 99,
+		Note: "Table 3: hybrid register count fitting the 112-entry baseline's area"},
+	// Figure 10 — speedup at equal area.
+	{Metric: "figure/fig10_speedup/specfp/64", Seed: 1.080, RelTol: 0.05, Paper: 1.0375,
+		Note: "Fig 10: SPECfp speedup at 64 regs (paper avg 3.75%)"},
+	{Metric: "bench/BenchmarkFig10Speedup/specfp-speedup-%-at-64", Seed: 11.28, Paper: 3.75,
+		Note: "Fig 10 (scale-1 benchmark, %)"},
+	// Figure 11 — IPC and the equal-performance saving.
+	{Metric: "figure/fig11_ipc/specfp/64/baseline IPC", Seed: 1.440, RelTol: 0.05,
+		Note: "Fig 11: SPECfp baseline IPC at 64 regs (substrate-absolute)"},
+	{Metric: "figure/fig11_ipc/specfp/64/reuse IPC", Seed: 1.535, RelTol: 0.05,
+		Note: "Fig 11: SPECfp reuse IPC at 64 regs; paper: reuse reaches baseline IPC with ~10.5% fewer registers"},
+	{Metric: "bench/BenchmarkFig11IPC/equal-ipc-saving-%", Seed: 17.68, Paper: 10.5,
+		Note: "Fig 11: equal-IPC register saving (paper band 10.5-13%)"},
+}

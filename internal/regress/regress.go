@@ -1,0 +1,89 @@
+// Package regress is the regression-intelligence layer: it ingests the
+// per-commit artifacts the repo already emits (BENCH_core.json benchmark
+// records, the golden-stats fingerprint, figure CSVs under results/) into a
+// content-addressed append-only history store, runs a drift detector over
+// the trajectory, and emits a schema-versioned, evidence-linked report — the
+// perf/figure trajectory becomes a guardrail instead of a file to eyeball.
+//
+// The pieces:
+//
+//   - Store (store.go): sha256 content-addressed object store plus an
+//     append-only JSONL ingest journal, keyed by commit + artifact digest.
+//   - Parsers (artifact.go): turn each artifact kind into flat Samples
+//     addressed by hierarchical metric names.
+//   - Detector (detect.go): throughput floors with median±MAD noise bands
+//     over the history, figure-metric deltas vs the paper's reported bands
+//     (paper.go), and golden-fingerprint changes classified intentional vs
+//     silent.
+//   - Report (report.go): deterministic JSON (byte-identical for identical
+//     inputs) with a verdict, per-metric deltas, a convergence score, and
+//     evidence refs naming the exact artifact/benchmark/row that moved.
+//   - Bisect (bisect.go): binary search over the commit trajectory for the
+//     first bad commit, replaying cached artifacts and only falling back to
+//     a caller-supplied runner (e.g. `make bench` in a worktree) on misses.
+//   - Server (server.go): the sweepd-style HTTP surface — POST /ingest,
+//     GET /report, GET /history, GET /metrics over the internal/obs
+//     registry.
+package regress
+
+// Artifact kinds. An artifact's store key is "<kind>/<name>".
+const (
+	KindBench  = "bench"  // BENCH_core.json (cmd/benchjson schema v1 or v2)
+	KindGolden = "golden" // testdata/golden_stats.json (fingerprint-tracked)
+	KindFigure = "figure" // results/<name>.csv figure/table data
+)
+
+// Severities, in escalating order. Only warn and critical affect the
+// verdict; info findings are recorded context (e.g. an intentional golden
+// update).
+const (
+	SevInfo     = "info"
+	SevWarn     = "warn"
+	SevCritical = "critical"
+)
+
+// Verdicts.
+const (
+	VerdictPass = "pass"
+	VerdictWarn = "warn"
+	VerdictFail = "fail"
+)
+
+// Finding kinds.
+const (
+	KindThroughputRegression = "throughput_regression"
+	KindLatencyRegression    = "latency_regression"
+	KindPaperBand            = "paper_band"
+	KindGoldenSilent         = "golden_silent_change"
+	KindGoldenIntentional    = "golden_intentional_change"
+	KindMetricMissing        = "metric_missing"
+	KindArtifactError        = "artifact_error"
+)
+
+// Sample is one scalar extracted from an artifact, addressed by a
+// hierarchical metric name:
+//
+//	bench/<Benchmark>/<unit>   ns_per_op and custom ReportMetric units
+//	bench/headline/<field>     artifact-level headline rates/speedups
+//	figure/<name>/<row>/<col>  numeric cells of results/<name>.csv
+//
+// Metric names never contain '.', so report paths built from them stay
+// addressable with cmd/ckjson's dot-separated path syntax.
+type Sample struct {
+	Metric string
+	Value  float64
+	// Path locates the value inside its source artifact — ckjson path
+	// syntax for JSON artifacts, "row=<key>,col=<header>" for CSV cells.
+	Path string
+}
+
+func sevRank(s string) int {
+	switch s {
+	case SevCritical:
+		return 2
+	case SevWarn:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,149 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchemaVersion versions the report JSON. Version history:
+//
+//	1: initial shape (verdict, convergence, findings, paper deltas, golden)
+const ReportSchemaVersion = 1
+
+// EvidenceRef points at the exact artifact (and location within it) a
+// number came from: the commit, the artifact key, its content digest, and —
+// for JSON artifacts — a cmd/ckjson-resolvable path, so every claim in a
+// report can be re-derived from the store.
+type EvidenceRef struct {
+	Commit   string `json:"commit"`
+	Artifact string `json:"artifact"`
+	Digest   string `json:"digest"`
+	Path     string `json:"path,omitempty"`
+}
+
+// Finding is one detected drift. The "name" field carries the metric so
+// ckjson's #name array selection addresses findings directly.
+type Finding struct {
+	Metric   string        `json:"name"`
+	Kind     string        `json:"kind"`
+	Severity string        `json:"severity"`
+	Baseline float64       `json:"baseline,omitempty"`
+	Value    float64       `json:"value,omitempty"`
+	DeltaPct float64       `json:"delta_pct,omitempty"`
+	Band     float64       `json:"band,omitempty"`
+	Detail   string        `json:"detail"`
+	Evidence []EvidenceRef `json:"evidence,omitempty"`
+}
+
+// PaperDelta is one paper-band metric's per-report delta record, emitted
+// whether or not it is in band.
+type PaperDelta struct {
+	Metric          string  `json:"name"`
+	Value           float64 `json:"value,omitempty"`
+	Seed            float64 `json:"seed"`
+	Paper           float64 `json:"paper,omitempty"`
+	Note            string  `json:"note,omitempty"`
+	DeltaVsSeedPct  float64 `json:"delta_vs_seed_pct"`
+	DeltaVsPaperPct float64 `json:"delta_vs_paper_pct,omitempty"`
+	InBand          bool    `json:"in_band"`
+	Missing         bool    `json:"missing,omitempty"`
+}
+
+// GoldenStatus records the golden-stats fingerprint comparison.
+type GoldenStatus struct {
+	Artifact       string `json:"artifact"`
+	Digest         string `json:"digest"`
+	PrevCommit     string `json:"prev_commit,omitempty"`
+	PrevDigest     string `json:"prev_digest,omitempty"`
+	Changed        bool   `json:"changed"`
+	Classification string `json:"classification"` // first | unchanged | intentional | silent
+}
+
+func (g *GoldenStatus) evidence(headCommit string) []EvidenceRef {
+	ev := []EvidenceRef{{Commit: headCommit, Artifact: g.Artifact, Digest: g.Digest}}
+	if g.PrevDigest != "" {
+		ev = append(ev, EvidenceRef{Commit: g.PrevCommit, Artifact: g.Artifact, Digest: g.PrevDigest})
+	}
+	return ev
+}
+
+// Report is the schema-versioned drift report for one head commit.
+// Convergence is the asterisk-style confidence score: the fraction of
+// checks (trajectory bands + paper bands + golden fingerprint) that landed
+// in band, 1.0 meaning fully converged with the recorded trajectory.
+type Report struct {
+	SchemaVersion int           `json:"schema_version"`
+	Commit        string        `json:"commit"`
+	Commits       int           `json:"commits"`
+	Verdict       string        `json:"verdict"`
+	Convergence   float64       `json:"convergence"`
+	Checks        int           `json:"checks"`
+	ChecksOK      int           `json:"checks_ok"`
+	Findings      []Finding     `json:"findings"`
+	Paper         []PaperDelta  `json:"paper"`
+	Golden        *GoldenStatus `json:"golden,omitempty"`
+}
+
+// JSON renders the report deterministically: identical inputs yield
+// byte-identical output (all slices are sorted by the detector, no maps or
+// timestamps appear in the document).
+//
+//repro:deterministic
+func (r Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Text writes the human summary.
+func (r Report) Text(w io.Writer) error {
+	inBand := 0
+	for _, p := range r.Paper {
+		if p.InBand {
+			inBand++
+		}
+	}
+	_, err := fmt.Fprintf(w, "drift report: verdict=%s commit=%s commits=%d checks=%d/%d convergence=%.3f\n",
+		r.Verdict, short(r.Commit), r.Commits, r.ChecksOK, r.Checks, r.Convergence)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  paper bands: %d/%d in band\n", inBand, len(r.Paper)); err != nil {
+		return err
+	}
+	if r.Golden != nil {
+		if _, err := fmt.Fprintf(w, "  golden: %s (%s)\n", r.Golden.Classification, short(r.Golden.Digest)); err != nil {
+			return err
+		}
+	}
+	if len(r.Findings) == 0 {
+		_, err := fmt.Fprintln(w, "  no drift findings")
+		return err
+	}
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "  [%s] %s %s: %s\n", f.Severity, f.Kind, f.Metric, f.Detail); err != nil {
+			return err
+		}
+		for _, e := range f.Evidence {
+			loc := e.Artifact
+			if e.Path != "" {
+				loc += " " + e.Path
+			}
+			if _, err := fmt.Fprintf(w, "      evidence: %s@%s sha256:%s\n", loc, short(e.Commit), short(e.Digest)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// short abbreviates digests/commits for the text view.
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}

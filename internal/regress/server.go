@@ -1,0 +1,190 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics aggregates driftd activity into an obs.Registry, mirroring the
+// sweep engine's metrics: /metrics serves the flat, name-sorted
+// []obs.Metric list, the serialization path shared with sweepd. A nil
+// *Metrics records nothing.
+type Metrics struct {
+	mu sync.Mutex
+	r  *obs.Registry
+
+	ingests     *obs.Counter
+	artifacts   *obs.Counter
+	reports     *obs.Counter
+	findings    *obs.Counter
+	failReports *obs.Counter
+
+	reportMS *obs.Hist
+}
+
+// NewMetrics creates a Metrics over a fresh registry.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		r:           r,
+		ingests:     r.Counter("drift_ingests"),
+		artifacts:   r.Counter("drift_artifacts_ingested"),
+		reports:     r.Counter("drift_reports"),
+		findings:    r.Counter("drift_report_findings"),
+		failReports: r.Counter("drift_reports_failed"),
+		reportMS:    r.Hist("drift_report_ms"),
+	}
+}
+
+// Metrics returns the registry as the shared flat []obs.Metric list.
+func (m *Metrics) Metrics() []obs.Metric {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.r.Metrics()
+}
+
+func (m *Metrics) ingested(artifacts int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.ingests.Inc()
+	m.artifacts.Add(uint64(artifacts))
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reported(rep Report, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reports.Inc()
+	m.findings.Add(uint64(len(rep.Findings)))
+	if rep.Verdict == VerdictFail {
+		m.failReports.Inc()
+	}
+	m.reportMS.Observe(uint64(elapsed.Milliseconds()))
+	m.mu.Unlock()
+}
+
+// Server is driftd's HTTP surface over one artifact store:
+//
+//	POST /ingest    record a commit's artifacts, returns the digests
+//	GET  /report    drift report over the trajectory (?format=text)
+//	GET  /history   the ingested trajectory (commits + artifact digests)
+//	GET  /metrics   flat sorted []obs.Metric of the service registry
+type Server struct {
+	store *Store
+	cfg   Config
+	met   *Metrics
+}
+
+// NewServer opens (creating if needed) the store at dir.
+func NewServer(dir string, cfg Config) (*Server, error) {
+	store, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{store: store, cfg: cfg, met: NewMetrics()}, nil
+}
+
+// Store exposes the underlying artifact store (for embedding callers).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the service metrics (for embedding callers).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /report", s.handleReport)
+	mux.HandleFunc("GET /history", s.handleHistory)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// IngestRequest is POST /ingest's body. Artifact data rides as a JSON
+// string (figure CSVs aren't JSON; bench/golden documents embed verbatim).
+type IngestRequest struct {
+	Commit       string   `json:"commit"`
+	ChangedFiles []string `json:"changed_files,omitempty"`
+	Artifacts    []struct {
+		Kind string `json:"kind"`
+		Name string `json:"name"`
+		Data string `json:"data"`
+	} `json:"artifacts"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest request: %v", err)
+		return
+	}
+	arts := make([]Artifact, 0, len(req.Artifacts))
+	for _, a := range req.Artifacts {
+		arts = append(arts, Artifact{Kind: a.Kind, Name: a.Name, Data: []byte(a.Data)})
+	}
+	res, err := s.store.Ingest(req.Commit, req.ChangedFiles, arts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.met.ingested(len(arts))
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rep, err := Detect(s.store, s.store.History(), s.cfg)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.met.reported(rep, time.Since(start))
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.Text(w)
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.History())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.met.Metrics()})
+}

@@ -1,0 +1,118 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func ingestBody(commit string, rate float64) string {
+	data, _ := json.Marshal(string(benchArtifact(rate, 1e6)))
+	return fmt.Sprintf(`{"commit": %q, "artifacts": [
+		{"kind": "bench", "name": "BENCH_core.json", "data": %s}
+	]}`, commit, data)
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), Config{Paper: []PaperBand{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Store().Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i, rate := range []float64{5, 5, 5, 4} {
+		resp := post(ingestBody(fmt.Sprintf("c%d", i), rate))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest c%d: status %d", i, resp.StatusCode)
+		}
+		var res IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(res.Digests) != 1 {
+			t.Fatalf("ingest c%d result %+v", i, res)
+		}
+	}
+	if resp := post(`{"commit": "", "artifacts": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: status %d, want 400", resp.StatusCode)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var rep Report
+	if err := json.Unmarshal(get("/report"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != VerdictFail || rep.Commit != "c3" || rep.Commits != 4 {
+		t.Fatalf("report %+v, want fail at c3 over 4 commits", rep)
+	}
+
+	text := string(get("/report?format=text"))
+	if !strings.Contains(text, "verdict=fail") || !strings.Contains(text, "evidence:") {
+		t.Fatalf("text report missing verdict/evidence:\n%s", text)
+	}
+
+	var h History
+	if err := json.Unmarshal(get("/history"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Commits) != 4 {
+		t.Fatalf("history %+v", h)
+	}
+
+	// /metrics serves the flat sorted []obs.Metric list shared with sweepd.
+	var met struct {
+		Metrics []obs.Metric `json:"metrics"`
+	}
+	if err := json.Unmarshal(get("/metrics"), &met); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.Metric{}
+	for i, m := range met.Metrics {
+		byName[m.Name] = m
+		if i > 0 && met.Metrics[i-1].Name >= m.Name {
+			t.Fatalf("/metrics not sorted by name: %+v", met.Metrics)
+		}
+	}
+	if byName["drift_ingests"].Value != 4 {
+		t.Fatalf("drift_ingests = %d, want 4", byName["drift_ingests"].Value)
+	}
+	if byName["drift_reports"].Value != 2 {
+		t.Fatalf("drift_reports = %d, want 2 (json + text)", byName["drift_reports"].Value)
+	}
+	if m := byName["drift_report_ms"]; m.Kind != "histogram" || m.Hist == nil {
+		t.Fatalf("drift_report_ms should be a histogram with a snapshot: %+v", m)
+	}
+}

@@ -1,0 +1,298 @@
+package regress
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// StoreSchemaVersion is stamped into every journal record. Bump it when the
+// record shape changes incompatibly; Open tolerates (skips) records from
+// unknown versions rather than failing the whole store.
+const StoreSchemaVersion = 1
+
+// IngestRecord is one line of the store's append-only JSONL journal: one
+// artifact observed at one commit. The journal is the source of truth for
+// trajectory order (commits appear in first-ingest order); blobs live in
+// the content-addressed object store and are shared across commits whose
+// artifacts didn't change.
+type IngestRecord struct {
+	SchemaVersion int      `json:"schema_version"`
+	Seq           int      `json:"seq"`
+	Commit        string   `json:"commit"`
+	ChangedFiles  []string `json:"changed_files,omitempty"`
+	Kind          string   `json:"kind"`
+	Name          string   `json:"name"`
+	Digest        string   `json:"digest"`
+}
+
+// Store is the content-addressed, append-only artifact history:
+//
+//	<dir>/objects/<sha256>   artifact blobs, written once, named by content
+//	<dir>/history.jsonl      ingest journal (fsynced per record)
+//
+// Re-ingesting an identical (commit, artifact, digest) triple is a no-op,
+// so ingest is idempotent; ingesting a different digest for the same
+// commit+artifact appends a superseding record (append-only — history is
+// never rewritten).
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	records []IngestRecord
+	nextSeq int
+}
+
+// Open opens (creating if needed) a store rooted at dir and replays its
+// journal. Like the sweep manifest, the scan is tolerant: a truncated or
+// corrupt tail line ends the replay and everything before it counts.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("regress: empty store dir")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, nextSeq: 1}
+	path := s.journalPath()
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec IngestRecord
+			if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.Digest == "" {
+				break
+			}
+			if rec.SchemaVersion != StoreSchemaVersion {
+				continue
+			}
+			s.records = append(s.records, rec)
+			if rec.Seq >= s.nextSeq {
+				s.nextSeq = rec.Seq + 1
+			}
+		}
+		f.Close()
+	}
+	j, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	return s, nil
+}
+
+// Close releases the journal handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "history.jsonl") }
+
+func (s *Store) objectPath(digest string) string {
+	return filepath.Join(s.dir, "objects", digest)
+}
+
+// Digest returns the content address of a blob: its sha256 hex.
+//
+//repro:deterministic
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// IngestResult summarizes one Ingest call.
+type IngestResult struct {
+	Commit   string            `json:"commit"`
+	Ingested int               `json:"ingested"` // records appended (deduped re-ingests excluded)
+	Digests  map[string]string `json:"digests"`  // artifact key -> content digest
+}
+
+// Ingest records the artifacts as observed at commit. changedFiles is the
+// commit's changed-path list (used to classify golden-fingerprint changes);
+// nil means unknown.
+func (s *Store) Ingest(commit string, changedFiles []string, arts []Artifact) (IngestResult, error) {
+	if commit == "" {
+		return IngestResult{}, fmt.Errorf("regress: empty commit")
+	}
+	if len(arts) == 0 {
+		return IngestResult{}, fmt.Errorf("regress: no artifacts to ingest")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := IngestResult{Commit: commit, Digests: map[string]string{}}
+	for _, a := range arts {
+		if a.Kind == "" || a.Name == "" {
+			return res, fmt.Errorf("regress: artifact needs kind and name")
+		}
+		digest := Digest(a.Data)
+		res.Digests[a.Key()] = digest
+		if err := s.writeObject(digest, a.Data); err != nil {
+			return res, err
+		}
+		if s.lastDigest(commit, a.Kind, a.Name) == digest {
+			continue // idempotent re-ingest
+		}
+		rec := IngestRecord{
+			SchemaVersion: StoreSchemaVersion,
+			Seq:           s.nextSeq,
+			Commit:        commit,
+			ChangedFiles:  changedFiles,
+			Kind:          a.Kind,
+			Name:          a.Name,
+			Digest:        digest,
+		}
+		if err := s.appendRecord(rec); err != nil {
+			return res, err
+		}
+		s.records = append(s.records, rec)
+		s.nextSeq++
+		res.Ingested++
+	}
+	return res, nil
+}
+
+// lastDigest returns the most recent recorded digest for commit's artifact,
+// or "".
+func (s *Store) lastDigest(commit, kind, name string) string {
+	for i := len(s.records) - 1; i >= 0; i-- {
+		r := s.records[i]
+		if r.Commit == commit && r.Kind == kind && r.Name == name {
+			return r.Digest
+		}
+	}
+	return ""
+}
+
+// writeObject stores a blob at its content address, atomically; an existing
+// object is trusted (content-addressed: same name ⇒ same bytes).
+func (s *Store) writeObject(digest string, data []byte) error {
+	path := s.objectPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "objects"), "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+//repro:deterministic
+func (s *Store) appendRecord(rec IngestRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := s.journal.Write(data); err != nil {
+		return err
+	}
+	return s.journal.Sync()
+}
+
+// Object reads a blob by content address.
+func (s *Store) Object(digest string) ([]byte, error) {
+	return os.ReadFile(s.objectPath(digest))
+}
+
+// CommitState is one commit's view of the artifact history: the latest
+// digest per artifact key, plus the changed-file metadata supplied at
+// ingest.
+type CommitState struct {
+	Commit       string            `json:"commit"`
+	ChangedFiles []string          `json:"changed_files,omitempty"`
+	Artifacts    map[string]string `json:"artifacts"` // "kind/name" -> digest
+}
+
+// ArtifactKeys returns the commit's artifact keys, sorted.
+func (c CommitState) ArtifactKeys() []string {
+	keys := make([]string, 0, len(c.Artifacts))
+	for k := range c.Artifacts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// History is the ordered trajectory: commits in first-ingest order.
+type History struct {
+	Commits []CommitState `json:"commits"`
+}
+
+// IndexOf returns the position of commit in the trajectory, or -1.
+func (h History) IndexOf(commit string) int {
+	for i, c := range h.Commits {
+		if c.Commit == commit {
+			return i
+		}
+	}
+	return -1
+}
+
+// History replays the journal into the ordered trajectory. Later records
+// for the same commit+artifact supersede earlier ones; changed-file lists
+// are unioned (sorted) across a commit's ingests.
+func (s *Store) History() History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var h History
+	index := map[string]int{}
+	for _, rec := range s.records {
+		i, seen := index[rec.Commit]
+		if !seen {
+			i = len(h.Commits)
+			index[rec.Commit] = i
+			h.Commits = append(h.Commits, CommitState{
+				Commit:    rec.Commit,
+				Artifacts: map[string]string{},
+			})
+		}
+		c := &h.Commits[i]
+		c.Artifacts[rec.Kind+"/"+rec.Name] = rec.Digest
+		c.ChangedFiles = mergeSorted(c.ChangedFiles, rec.ChangedFiles)
+	}
+	return h
+}
+
+// mergeSorted unions two string lists into a sorted, deduplicated list.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := append(append([]string{}, a...), b...)
+	sort.Strings(out)
+	n := 0
+	for i, s := range out {
+		if i == 0 || s != out[n-1] {
+			out[n] = s
+			n++
+		}
+	}
+	return out[:n]
+}

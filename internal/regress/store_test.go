@@ -1,0 +1,132 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := []Artifact{
+		{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(5, 1e6)},
+		{Kind: KindGolden, Name: "golden_stats.json", Data: []byte(`{"a":1}`)},
+	}
+	res, err := s.Ingest("c0", []string{"b.go", "a.go"}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 2 || len(res.Digests) != 2 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	for key, digest := range res.Digests {
+		blob, err := s.Object(digest)
+		if err != nil {
+			t.Fatalf("object %s: %v", key, err)
+		}
+		if Digest(blob) != digest {
+			t.Fatalf("object %s content does not hash to its address", key)
+		}
+	}
+	s.Close()
+
+	// Reopen: journal replay reconstructs the same history.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h := s2.History()
+	if len(h.Commits) != 1 || h.Commits[0].Commit != "c0" {
+		t.Fatalf("history after reopen: %+v", h)
+	}
+	if got := h.Commits[0].ChangedFiles; !reflect.DeepEqual(got, []string{"a.go", "b.go"}) {
+		t.Fatalf("changed files not merged sorted: %v", got)
+	}
+	if got := h.Commits[0].ArtifactKeys(); !reflect.DeepEqual(got, []string{"bench/BENCH_core.json", "golden/golden_stats.json"}) {
+		t.Fatalf("artifact keys: %v", got)
+	}
+}
+
+func TestStoreIngestIdempotent(t *testing.T) {
+	s := openStore(t)
+	arts := []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(5, 1e6)}}
+	if _, err := s.Ingest("c0", nil, arts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Ingest("c0", nil, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 0 {
+		t.Fatalf("re-ingest appended %d records, want 0", res.Ingested)
+	}
+	// A changed artifact at the same commit supersedes, append-only.
+	arts[0].Data = benchArtifact(6, 1e6)
+	if res, err = s.Ingest("c0", nil, arts); err != nil || res.Ingested != 1 {
+		t.Fatalf("superseding ingest: %+v, %v", res, err)
+	}
+	h := s.History()
+	if len(h.Commits) != 1 {
+		t.Fatalf("history has %d commits, want 1", len(h.Commits))
+	}
+	samples, _ := commitSamples(s, h.Commits[0])
+	if v := samples["bench/headline/detailed_minst_per_s"].Value; v != 6 {
+		t.Fatalf("superseded artifact should win: got %g, want 6", v)
+	}
+}
+
+func TestStoreSharesObjectsAcrossCommits(t *testing.T) {
+	s := openStore(t)
+	data := benchArtifact(5, 1e6)
+	arts := []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: data}}
+	for _, c := range []string{"c0", "c1", "c2"} {
+		if _, err := s.Ingest(c, nil, arts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs, err := filepath.Glob(filepath.Join(s.Dir(), "objects", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("3 commits with identical artifact should share 1 object, have %d", len(objs))
+	}
+	if len(s.History().Commits) != 3 {
+		t.Fatalf("history: %+v", s.History())
+	}
+}
+
+func TestStoreToleratesCorruptJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestRates(t, s, []float64{5, 5})
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, "history.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"schema_version":1,"seq":3,"commit":"c2","kind":"bench","na`) // torn write
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt tail should not fail Open: %v", err)
+	}
+	defer s2.Close()
+	if n := len(s2.History().Commits); n != 2 {
+		t.Fatalf("history after torn tail: %d commits, want 2", n)
+	}
+	// The store keeps accepting ingests past the torn line.
+	if _, err := s2.Ingest("c2", nil, []Artifact{{Kind: KindBench, Name: "BENCH_core.json", Data: benchArtifact(5, 1e6)}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,6 +69,17 @@ func (m *Metrics) Snapshot() obs.Snapshot {
 	return m.r.Snapshot()
 }
 
+// Metrics returns the registry as the flat, name-sorted []obs.Metric list —
+// the serialization the /metrics endpoints (sweepd, driftd) share.
+func (m *Metrics) Metrics() []obs.Metric {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.r.Metrics()
+}
+
 // sweepSubmitted records one accepted sweep.
 func (m *Metrics) sweepSubmitted() {
 	if m == nil {

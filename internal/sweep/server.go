@@ -34,7 +34,7 @@ type ServerOptions struct {
 //	GET  /sweeps              list sweep statuses
 //	GET  /sweeps/{id}         one sweep's status
 //	GET  /sweeps/{id}/results the results.json artifact once done
-//	GET  /metrics             obs.Snapshot of the engine metrics registry
+//	GET  /metrics             flat sorted []obs.Metric of the engine registry
 type Server struct {
 	dir   string
 	opts  ServerOptions
@@ -264,5 +264,5 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.Snapshot())
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.met.Metrics()})
 }

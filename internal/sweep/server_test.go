@@ -67,16 +67,17 @@ func counterValue(t *testing.T, ts *httptest.Server, name string) uint64 {
 	}
 	defer resp.Body.Close()
 	var snap struct {
-		Counters []struct {
+		Metrics []struct {
 			Name  string `json:"name"`
+			Kind  string `json:"kind"`
 			Value uint64 `json:"value"`
-		} `json:"counters"`
+		} `json:"metrics"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	for _, c := range snap.Counters {
-		if c.Name == name {
+	for _, c := range snap.Metrics {
+		if c.Name == name && c.Kind == "counter" {
 			return c.Value
 		}
 	}
