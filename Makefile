@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet lint race smoke benchsmoke driftsmoke ci ckpt-tests bench bench-baseline
+.PHONY: test vet lint race smoke benchsmoke driftsmoke fabricsmoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -67,7 +67,7 @@ smoke:
 	for i in $$(seq 1 100); do \
 		grep -q 'listening on' /tmp/regreuse_smoke_sweepd.log && break; sleep 0.1; \
 	done; \
-	base=$$(sed -n 's/^sweepd listening on //p' /tmp/regreuse_smoke_sweepd.log); \
+	base=$$(sed -n 's/^sweepd local listening on //p' /tmp/regreuse_smoke_sweepd.log); \
 	test -n "$$base" || { echo "sweepd did not start"; cat /tmp/regreuse_smoke_sweepd.log; exit 1; }; \
 	spec='{"name":"smoke","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"sizes":[64]}'; \
 	id=$$(curl -sf -X POST "$$base/sweeps" -d "$$spec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
@@ -161,7 +161,62 @@ driftsmoke:
 	rm -rf /tmp/regreuse_driftsmoke /tmp/regreuse_driftsmoke_driftd /tmp/regreuse_driftsmoke_ckjson
 	@echo driftsmoke OK
 
-ci: test vet lint race ckpt-tests smoke benchsmoke driftsmoke
+# fabricsmoke boots the distributed sweep fabric on loopback — one
+# coordinator and two workers, each with its own state dir — runs a small
+# grid, asserts the results schema, then re-submits the identical spec and
+# requires the rerun to be served 100% from the shared artifact store
+# (fabric_jobs_cache_hits covers the grid, fabric_jobs_executed unchanged,
+# no new leases). Finally every process is SIGTERMed and must drain to a
+# zero exit — the graceful-shutdown contract of all three sweepd modes.
+fabricsmoke:
+	$(GO) build -o /tmp/regreuse_fabsmoke_sweepd ./cmd/sweepd
+	$(GO) build -o /tmp/regreuse_fabsmoke_ckjson ./cmd/ckjson
+	@set -e; \
+	rm -rf /tmp/regreuse_fabsmoke; mkdir -p /tmp/regreuse_fabsmoke; \
+	/tmp/regreuse_fabsmoke_sweepd -mode=coordinator -addr 127.0.0.1:0 \
+		-dir /tmp/regreuse_fabsmoke/coord -lease-ttl 5s \
+		> /tmp/regreuse_fabsmoke/coord.log 2>&1 & \
+	cpid=$$!; trap 'kill $$cpid $$w1pid $$w2pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' /tmp/regreuse_fabsmoke/coord.log && break; sleep 0.1; \
+	done; \
+	base=$$(sed -n 's/^sweepd coordinator listening on //p' /tmp/regreuse_fabsmoke/coord.log); \
+	test -n "$$base" || { echo "coordinator did not start"; cat /tmp/regreuse_fabsmoke/coord.log; exit 1; }; \
+	/tmp/regreuse_fabsmoke_sweepd -mode=worker -coordinator "$$base" -id w1 \
+		-dir /tmp/regreuse_fabsmoke/w1 -poll 50ms \
+		> /tmp/regreuse_fabsmoke/w1.log 2>&1 & \
+	w1pid=$$!; \
+	/tmp/regreuse_fabsmoke_sweepd -mode=worker -coordinator "$$base" -id w2 \
+		-dir /tmp/regreuse_fabsmoke/w2 -poll 50ms \
+		> /tmp/regreuse_fabsmoke/w2.log 2>&1 & \
+	w2pid=$$!; \
+	spec='{"name":"fabsmoke","workloads":["poly_horner"],"schemes":["baseline","reuse"],"scale":1,"sizes":[64]}'; \
+	id=$$(curl -sf -X POST "$$base/sweeps" -d "$$spec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "sweep submission failed"; exit 1; }; \
+	for i in $$(seq 1 600); do \
+		curl -sf "$$base/sweeps/$$id" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/sweeps/$$id/results" | /tmp/regreuse_fabsmoke_ckjson \
+		schema_version spec.name jobs.0.workload jobs.1.scheme \
+		results.0.cycles results.0.checksum_ok=true results.1.checksum_ok=true; \
+	id2=$$(curl -sf -X POST "$$base/sweeps" -d "$$spec" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	for i in $$(seq 1 600); do \
+		curl -sf "$$base/sweeps/$$id2" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "$$base/metrics" | /tmp/regreuse_fabsmoke_ckjson \
+		'metrics.#fabric_jobs_executed.value=2' \
+		'metrics.#fabric_jobs_cache_hits.value=2' \
+		'metrics.#fabric_leases_granted.value=2' \
+		'metrics.#fabric_sweeps_completed.value=2' \
+		'metrics.#fabric_lease_expiries.value=0'; \
+	kill -TERM $$w1pid; wait $$w1pid || { echo "worker 1 did not exit cleanly"; cat /tmp/regreuse_fabsmoke/w1.log; exit 1; }; \
+	kill -TERM $$w2pid; wait $$w2pid || { echo "worker 2 did not exit cleanly"; cat /tmp/regreuse_fabsmoke/w2.log; exit 1; }; \
+	kill -TERM $$cpid; wait $$cpid || { echo "coordinator did not exit cleanly"; cat /tmp/regreuse_fabsmoke/coord.log; exit 1; }; \
+	trap - EXIT; \
+	rm -rf /tmp/regreuse_fabsmoke /tmp/regreuse_fabsmoke_sweepd /tmp/regreuse_fabsmoke_ckjson
+	@echo fabricsmoke OK
+
+ci: test vet lint race ckpt-tests smoke benchsmoke driftsmoke fabricsmoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep — and regenerates BENCH_core.json (per-benchmark ns/op,

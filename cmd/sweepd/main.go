@@ -1,9 +1,25 @@
-// Command sweepd serves the design-space-exploration engine over HTTP: it
-// accepts SweepSpecs, fans their job grids out across a bounded worker
-// pool, deduplicates work through the shared content-addressed result
-// cache, and journals every sweep into a resumable on-disk manifest.
+// Command sweepd serves the design-space-exploration engine over HTTP in
+// one of three modes:
+//
+//	-mode=local (default): the single-process server. Accepts SweepSpecs,
+//	fans their job grids out across a bounded in-process worker pool,
+//	deduplicates work through the shared content-addressed result cache,
+//	and journals every sweep into a resumable on-disk manifest.
+//
+//	-mode=coordinator: the fabric control plane. Same submission API, but
+//	jobs are leased to remote workers over HTTP (POST /lease, /complete,
+//	/heartbeat) and artifacts are served from a shared object store
+//	(GET/PUT /objects/{name}). Dead workers' leases expire and their jobs
+//	are re-leased; results.json is byte-identical to a local run.
+//
+//	-mode=worker: a pull-model executor. Leases jobs from -coordinator,
+//	runs them through the same engine, and mounts its result cache and
+//	checkpoint store over the coordinator's object store (with a local
+//	read-through layer under -dir).
 //
 //	sweepd -addr :8080 -dir sweeps
+//	sweepd -mode=coordinator -addr :8080 -dir fab
+//	sweepd -mode=worker -coordinator http://127.0.0.1:8080 -dir w1
 //
 //	curl -X POST localhost:8080/sweeps -d '{
 //	  "name": "fig10", "workloads": ["poly_horner"],
@@ -11,53 +27,162 @@
 //	}'
 //	curl localhost:8080/sweeps/<id>           # status: state + progress counts
 //	curl localhost:8080/sweeps/<id>/results   # results.json once done
-//	curl localhost:8080/metrics               # engine counters + latency histogram
+//	curl localhost:8080/metrics               # engine or fabric counters
 //
 // Submitting an identical spec again completes with zero simulator
-// executions (every job is a cache hit); killing the daemon mid-sweep and
-// re-submitting resumes from the manifest with bit-identical results.
+// executions (every job is a cache hit); killing any mode mid-sweep is
+// safe: SIGINT/SIGTERM drain in-flight jobs, manifests are fsynced, and a
+// restart resumes with bit-identical results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for a random port)")
-		dir     = flag.String("dir", "sweeps", "state directory (content-addressed cache + per-sweep manifests)")
-		workers = flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
-		timeout = flag.Duration("job-timeout", 10*time.Minute, "per-job attempt timeout")
-		retries = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+		mode        = flag.String("mode", "local", "local | coordinator | worker")
+		addr        = flag.String("addr", ":8080", "listen address for local/coordinator (use 127.0.0.1:0 for a random port)")
+		dir         = flag.String("dir", "sweeps", "state directory (cache/object store + per-sweep manifests; worker scratch)")
+		workers     = flag.Int("workers", 0, "local mode: simulation parallelism (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("job-timeout", 10*time.Minute, "per-job attempt timeout (local + worker)")
+		retries     = flag.Int("retries", 1, "extra attempts for a failed or timed-out job (local + coordinator)")
+		coordinator = flag.String("coordinator", "", "worker mode: coordinator base URL, e.g. http://127.0.0.1:8080")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: lease expiry without a heartbeat")
+		poll        = flag.Duration("poll", 250*time.Millisecond, "worker mode: idle poll interval")
+		workerID    = flag.String("id", "", "worker mode: worker identity (default hostname-pid)")
+		drain       = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight work on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	srv, err := sweep.NewServer(*dir, sweep.ServerOptions{
-		Workers:    *workers,
-		JobTimeout: *timeout,
-		Retries:    *retries,
+	// All modes drain on SIGINT/SIGTERM: in-flight jobs finish, manifests
+	// are fsynced, and the process exits 0 so supervisors treat the stop as
+	// clean. A restart resumes from the on-disk state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch *mode {
+	case "local":
+		err = runLocal(ctx, *addr, *dir, *workers, *timeout, *retries, *drain)
+	case "coordinator":
+		err = runCoordinator(ctx, *addr, *dir, *retries, *leaseTTL, *drain)
+	case "worker":
+		err = runWorker(ctx, *coordinator, *dir, *workerID, *poll, *timeout)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want local, coordinator, or worker)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// listenAndAnnounce binds addr and prints the resolved address to stdout so
+// scripts starting sweepd on a random port (make smoke, make fabricsmoke)
+// can discover it.
+func listenAndAnnounce(addr, mode string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("sweepd %s listening on http://%s\n", mode, ln.Addr())
+	return ln, nil
+}
+
+// serveUntil runs the HTTP server until ctx cancels, then shuts the
+// listener down within the drain budget. The caller drains its own engine
+// afterwards.
+func serveUntil(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return hs.Shutdown(sdCtx)
+}
+
+func runLocal(ctx context.Context, addr, dir string, workers int, timeout time.Duration, retries int, drain time.Duration) error {
+	srv, err := sweep.NewServer(dir, sweep.ServerOptions{
+		Workers:    workers,
+		JobTimeout: timeout,
+		Retries:    retries,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := listenAndAnnounce(addr, "local")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	// The resolved address goes to stdout so scripts starting sweepd on a
-	// random port (make smoke) can discover it.
-	fmt.Printf("sweepd listening on http://%s\n", ln.Addr())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := serveUntil(ctx, ln, srv.Handler(), drain); err != nil {
+		return err
 	}
+	log.Printf("sweepd: draining in-flight sweeps")
+	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("sweepd: clean shutdown")
+	return nil
+}
+
+func runCoordinator(ctx context.Context, addr, dir string, retries int, leaseTTL, drain time.Duration) error {
+	c, err := fabric.NewCoordinator(dir, fabric.CoordinatorOptions{
+		LeaseTTL: leaseTTL,
+		Retries:  retries,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := listenAndAnnounce(addr, "coordinator")
+	if err != nil {
+		return err
+	}
+	if err := serveUntil(ctx, ln, c.Handler(), drain); err != nil {
+		return err
+	}
+	// Journals are fsynced on every append; Close just releases them. Any
+	// lease still in flight will be re-leased by the next coordinator
+	// process after it recovers the manifests.
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("close journals: %w", err)
+	}
+	log.Printf("sweepd: coordinator state synced, clean shutdown")
+	return nil
+}
+
+func runWorker(ctx context.Context, coordinator, dir, id string, poll, timeout time.Duration) error {
+	w, err := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: coordinator,
+		Dir:         dir,
+		ID:          id,
+		Poll:        poll,
+		JobTimeout:  timeout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	// Worker.Run drains on cancellation: the in-flight job finishes and its
+	// completion is reported before Run returns.
+	return w.Run(ctx)
 }

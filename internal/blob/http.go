@@ -1,0 +1,139 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves a Store over HTTP — the artifact-store wire protocol of the
+// sweep fabric:
+//
+//	GET /objects/{name}  -> 200 + bytes, or 404 if absent
+//	PUT /objects/{name}  -> 204 on durable write
+//
+// The optional hooks observe traffic (the coordinator counts them into its
+// /metrics); nil hooks record nothing.
+type Handler struct {
+	Store Store
+	// OnGet is called per GET with whether the object was present.
+	OnGet func(hit bool)
+	// OnPut is called per successful PUT with the object size.
+	OnPut func(bytes int)
+}
+
+// maxObjectBytes bounds a single uploaded object (checkpoints of the largest
+// workloads are a few MB; 256 MB is far past anything legitimate).
+const maxObjectBytes = 256 << 20
+
+// ServeHTTP implements http.Handler rooted at /objects/.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/objects/")
+	if name == r.URL.Path { // not under /objects/
+		http.NotFound(w, r)
+		return
+	}
+	if !ValidName(name) {
+		http.Error(w, fmt.Sprintf("bad object name %q", name), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok, err := h.Store.Get(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if h.OnGet != nil {
+			h.OnGet(ok)
+		}
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObjectBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := h.Store.Put(name, data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if h.OnPut != nil {
+			h.OnPut(len(data))
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Remote is the client-side Store over Handler's protocol. It is what a
+// fabric worker composes under a ReadThrough so checkpoint and result
+// objects are shared across machines through the coordinator.
+type Remote struct {
+	base   string // ".../objects" with no trailing slash
+	client *http.Client
+}
+
+// NewRemote creates a Store talking to the /objects tree at baseURL (the
+// server root, e.g. "http://10.0.0.1:8080"). A nil client gets a dedicated
+// one with a generous-but-bounded timeout.
+func NewRemote(baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/") + "/objects", client: client}
+}
+
+// Get implements Store.
+func (r *Remote) Get(name string) ([]byte, bool, error) {
+	if !ValidName(name) {
+		return nil, false, fmt.Errorf("blob: bad object name %q", name)
+	}
+	resp, err := r.client.Get(r.base + "/" + name)
+	if err != nil {
+		return nil, false, fmt.Errorf("blob: remote get %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("blob: remote get %s: %w", name, err)
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("blob: remote get %s: status %s", name, resp.Status)
+	}
+}
+
+// Put implements Store.
+func (r *Remote) Put(name string, data []byte) error {
+	if !ValidName(name) {
+		return fmt.Errorf("blob: bad object name %q", name)
+	}
+	req, err := http.NewRequest(http.MethodPut, r.base+"/"+name, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("blob: remote put %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("blob: remote put %s: status %s", name, resp.Status)
+	}
+	return nil
+}

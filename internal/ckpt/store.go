@@ -1,17 +1,14 @@
 package ckpt
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 
+	"repro/internal/blob"
 	"repro/internal/emu"
 	"repro/internal/isa"
 )
@@ -40,78 +37,70 @@ const FormatVersion = 1
 // checkpoint is a cache miss, never a wrong simulation.
 var magic = [8]byte{'R', 'R', 'C', 'K', 'P', 'T', 0, 0}
 
-// Store is a content-addressed checkpoint directory, designed to sit beside
-// the sweep result cache. Files are written atomically (temp + rename), so
-// concurrent writers of the same key are safe — last rename wins and both
-// wrote identical bytes.
+// Store is a content-addressed checkpoint store, designed to sit beside the
+// sweep result cache. Storage is pluggable through blob.Store: NewStore
+// keeps the classic one-file-per-checkpoint directory, while the sweep
+// fabric mounts the same store over a read-through remote backend so one
+// worker's fast-forward serves every machine. Writes are atomic at the store
+// layer, so concurrent writers of the same key are safe — last write wins
+// and both wrote identical bytes.
 type Store struct {
-	dir string
+	b blob.Store
 }
 
-// NewStore opens (creating if needed) a checkpoint directory.
+// NewStore opens (creating if needed) a directory-backed checkpoint store.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	d, err := blob.NewDir(dir)
+	if err != nil {
 		return nil, fmt.Errorf("ckpt: create store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{b: d}, nil
 }
 
-// Dir returns the store's directory.
-func (st *Store) Dir() string { return st.dir }
+// NewStoreWith opens a checkpoint store over an arbitrary object store —
+// the backend seam the fabric uses to share checkpoints across machines.
+func NewStoreWith(b blob.Store) *Store { return &Store{b: b} }
 
-// Key returns the filename serving (digest, instCount).
+// Dir returns the store's directory for directory-backed stores ("" for
+// remote backends).
+func (st *Store) Dir() string {
+	if d, ok := st.b.(*blob.Dir); ok {
+		return d.Path()
+	}
+	return ""
+}
+
+// Key returns the object name serving (digest, instCount).
 func (st *Store) Key(d Digest, instCount uint64) string {
 	return fmt.Sprintf("%s-%d.ckpt", d.Short(), instCount)
 }
 
-func (st *Store) path(d Digest, instCount uint64) string {
-	return filepath.Join(st.dir, st.Key(d, instCount))
-}
-
 // Save writes a snapshot under (digest, snapshot.InstCount).
 func (st *Store) Save(d Digest, sn *emu.Snapshot) error {
-	path := st.path(d, sn.InstCount)
-	tmp, err := os.CreateTemp(st.dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("ckpt: save: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-
+	key := st.Key(d, sn.InstCount)
+	var buf bytes.Buffer
 	h := sha256.New()
-	w := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<16)
-	if err := encode(w, d, sn); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	if err := encode(io.MultiWriter(&buf, h), d, sn); err != nil {
+		return fmt.Errorf("ckpt: save %s: %w", key, err)
 	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ckpt: save %s: %w", path, err)
-	}
-	if _, err := tmp.Write(h.Sum(nil)); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ckpt: save %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("ckpt: save %s: %w", path, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("ckpt: save %s: %w", path, err)
+	if err := st.b.Put(key, h.Sum(buf.Bytes())); err != nil {
+		return fmt.Errorf("ckpt: save %s: %w", key, err)
 	}
 	return nil
 }
 
 // Load retrieves the snapshot stored under (digest, instCount). ok is false
-// on any recoverable mismatch — absent file, other format version, digest
+// on any recoverable mismatch — absent object, other format version, digest
 // mismatch, truncation, or checksum failure; callers just fast-forward and
-// re-save. The error return is reserved for I/O failures that indicate the
-// store itself is broken.
+// re-save. The error return is reserved for failures that indicate the
+// store itself is broken (I/O error, unreachable backend).
 func (st *Store) Load(d Digest, instCount uint64) (*emu.Snapshot, bool, error) {
-	data, err := os.ReadFile(st.path(d, instCount))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, false, nil
-	}
+	data, ok, err := st.b.Get(st.Key(d, instCount))
 	if err != nil {
 		return nil, false, fmt.Errorf("ckpt: load: %w", err)
+	}
+	if !ok {
+		return nil, false, nil
 	}
 	if len(data) < sha256.Size {
 		return nil, false, nil

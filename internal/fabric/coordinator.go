@@ -1,0 +1,780 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/sweep"
+)
+
+// CoordinatorOptions configures a coordinator.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a leased job may go without a heartbeat before
+	// it is re-leased to another worker (0 = 30s).
+	LeaseTTL time.Duration
+	// Retries bounds how many times a job is re-queued after a failed
+	// attempt or an expired lease before it is recorded as failed
+	// (0 = 3; a crashing worker must not loop a job forever).
+	Retries int
+	// Clock is the time source (nil = time.Now); tests inject a fake to
+	// drive lease expiry deterministically.
+	Clock func() time.Time
+}
+
+// Coordinator owns a sweeps directory (<dir>/objects for the shared
+// artifact store, <dir>/sweeps/<id> per submitted sweep) and serves the
+// fabric protocol:
+//
+//	POST /sweeps              submit a SweepSpec, returns {"id": ...}
+//	GET  /sweeps              list sweep statuses
+//	GET  /sweeps/{id}         one sweep's status
+//	GET  /sweeps/{id}/results final artifact once done; partial view while running
+//	POST /lease | /complete | /heartbeat   worker protocol (see package doc)
+//	GET/PUT /objects/{name}   shared content-addressed artifact store
+//	GET  /metrics             flat sorted []obs.Metric
+//
+// All coordinator state that matters for correctness lives on disk: the
+// artifact store, each sweep's spec.json, and its fsynced JSONL manifest.
+// NewCoordinator replays those on startup, so a killed coordinator resumes
+// exactly where it stopped (satisfied jobs become "resume" entries, the
+// rest re-enter the queue).
+type Coordinator struct {
+	dir   string
+	opts  CoordinatorOptions
+	store *blob.Dir
+	cache *sweep.Cache
+	met   *Metrics
+	now   func() time.Time
+
+	mu       sync.Mutex
+	seq      int
+	sweeps   map[string]*sweepState
+	order    []string
+	pending  []jobRef
+	leases   map[string]*lease
+	leaseSeq uint64
+	workers  map[string]time.Time // worker -> last contact
+}
+
+// sweepState is the in-memory face of one sweep; everything here is
+// reconstructible from spec.json + manifest.jsonl.
+type sweepState struct {
+	id     string
+	spec   sweep.Spec
+	jobs   []sweep.Job
+	keys   []string
+	result []sweep.JobResult
+	done   []bool
+	source []string // "" until done; then "run" | "cache" | "resume" | "failed"
+	errs   []string
+	// attempts counts failed attempts and expired leases per job; a job
+	// whose attempts exceed Retries is recorded as failed.
+	attempts []int
+	// holder is the worker currently (or most recently) leased each job —
+	// the steal-accounting trail.
+	holder    []string
+	doneCount int
+	failed    int
+	state     string // "running" | "done" | "failed"
+	errMsg    string
+	journal   *sweep.Manifest
+	// status counters, mirroring sweep.SweepStatus semantics
+	executed, cacheHits, resumed int
+}
+
+type jobRef struct {
+	s     *sweepState
+	index int
+}
+
+type lease struct {
+	id      string
+	ref     jobRef
+	worker  string
+	granted time.Time
+	expiry  time.Time
+}
+
+// SweepStatus is the machine-readable state of one sweep on the
+// coordinator, a superset of the local server's status with fabric-side
+// queue visibility.
+type SweepStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"` // "running" | "done" | "failed"
+	Error string `json:"error,omitempty"`
+
+	Jobs      int `json:"jobs"`
+	Done      int `json:"done"`
+	Executed  int `json:"executed"`
+	CacheHits int `json:"cache_hits"`
+	Resumed   int `json:"resumed"`
+	Failed    int `json:"failed"`
+	Leased    int `json:"leased"`
+	Pending   int `json:"pending"`
+}
+
+// NewCoordinator opens (creating if needed) a coordinator rooted at dir and
+// recovers every sweep found under <dir>/sweeps.
+func NewCoordinator(dir string, opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 3
+	}
+	store, err := blob.NewDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sweeps"), 0o755); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		dir:     dir,
+		opts:    opts,
+		store:   store,
+		cache:   sweep.NewCacheStore(store),
+		met:     NewMetrics(),
+		now:     opts.Clock,
+		sweeps:  map[string]*sweepState{},
+		leases:  map[string]*lease{},
+		workers: map[string]time.Time{},
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if err := c.recover(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Metrics exposes the coordinator's metrics (for embedding callers).
+func (c *Coordinator) Metrics() *Metrics { return c.met }
+
+// Store exposes the shared artifact store the coordinator serves.
+func (c *Coordinator) Store() blob.Store { return c.store }
+
+// Close closes every open manifest journal. In-flight workers will fail
+// their completes and the next coordinator process resumes from the synced
+// manifests.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, s := range c.sweeps {
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.journal = nil
+		}
+	}
+	return first
+}
+
+func (c *Coordinator) runDir(id string) string {
+	return filepath.Join(c.dir, "sweeps", id)
+}
+
+// recover replays <dir>/sweeps: finished sweeps are listed as done, and
+// every unfinished one re-enters the queue with its manifest-satisfied jobs
+// marked "resume" — the restart path of the kill-mid-sweep contract.
+func (c *Coordinator) recover() error {
+	specs, err := filepath.Glob(filepath.Join(c.dir, "sweeps", "*", sweep.SpecFile))
+	if err != nil {
+		return err
+	}
+	sort.Strings(specs)
+	for _, specPath := range specs {
+		runDir := filepath.Dir(specPath)
+		id := filepath.Base(runDir)
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return fmt.Errorf("fabric: recover %s: %w", id, err)
+		}
+		var spec sweep.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("fabric: recover %s: bad spec: %w", id, err)
+		}
+		finished := false
+		if _, err := os.Stat(filepath.Join(runDir, sweep.ResultsFile)); err == nil {
+			finished = true
+		}
+		s, err := c.admit(id, spec, finished)
+		if err != nil {
+			return fmt.Errorf("fabric: recover %s: %w", id, err)
+		}
+		c.met.locked(func(m *Metrics) { m.sweepsRecovered.Inc() })
+		_ = s
+	}
+	return nil
+}
+
+// admit registers a sweep under id: it expands the job grid, replays the
+// manifest (entries become "resume"), satisfies what it can from the shared
+// store ("cache"), queues the rest, and finalizes immediately when nothing
+// is left. Callers hold no locks; admit takes c.mu itself.
+//
+//repro:deterministic
+func (c *Coordinator) admit(id string, spec sweep.Spec, finished bool) (*sweepState, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	runDir := c.runDir(id)
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return nil, err
+	}
+	if data, err := json.MarshalIndent(spec, "", "\t"); err == nil {
+		_ = blob.WriteFileAtomic(filepath.Join(runDir, sweep.SpecFile), append(data, '\n'))
+	}
+	s := &sweepState{
+		id:       id,
+		spec:     spec,
+		jobs:     jobs,
+		keys:     make([]string, len(jobs)),
+		result:   make([]sweep.JobResult, len(jobs)),
+		done:     make([]bool, len(jobs)),
+		source:   make([]string, len(jobs)),
+		errs:     make([]string, len(jobs)),
+		attempts: make([]int, len(jobs)),
+		holder:   make([]string, len(jobs)),
+		state:    "running",
+	}
+	for i := range jobs {
+		s.keys[i] = jobs[i].Key()
+	}
+	resumed := sweep.LoadManifest(filepath.Join(runDir, sweep.ManifestFile))
+	if finished {
+		// Nothing left to schedule; report the terminal state the artifact
+		// proves. Manifest entries count as resumed for status visibility.
+		s.state = "done"
+		for i := range jobs {
+			if e, ok := resumed[s.keys[i]]; ok {
+				s.result[i] = e.Result
+				s.done[i] = true
+				s.source[i] = "resume"
+				s.resumed++
+				s.doneCount++
+			}
+		}
+		c.mu.Lock()
+		c.register(s)
+		c.mu.Unlock()
+		return s, nil
+	}
+	journal, err := sweep.OpenManifest(filepath.Join(runDir, sweep.ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	s.journal = journal
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.register(s)
+	c.met.locked(func(m *Metrics) { m.jobsTotal.Add(uint64(len(jobs))) })
+	for i := range jobs {
+		if e, ok := resumed[s.keys[i]]; ok {
+			c.recordLocked(s, i, "resume", e.Result, "")
+			continue
+		}
+		if r, ok := c.cache.Get(s.keys[i]); ok {
+			c.recordLocked(s, i, "cache", r, "")
+			continue
+		}
+		c.pending = append(c.pending, jobRef{s: s, index: i})
+	}
+	c.maybeFinishLocked(s)
+	c.publishLevelsLocked()
+	return s, nil
+}
+
+// register adds s to the sweep table (c.mu held).
+func (c *Coordinator) register(s *sweepState) {
+	c.sweeps[s.id] = s
+	c.order = append(c.order, s.id)
+}
+
+// newID derives a sweep ID: a content prefix of the spec plus a sequence
+// number that skips both live sweeps and run directories left by earlier
+// coordinator processes.
+func (c *Coordinator) newID(spec sweep.Spec) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", spec)))
+	base := hex.EncodeToString(sum[:])[:12]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		c.seq++
+		id := fmt.Sprintf("%s-%d", base, c.seq)
+		if _, taken := c.sweeps[id]; taken {
+			continue
+		}
+		if _, err := os.Stat(c.runDir(id)); err == nil {
+			continue
+		}
+		return id
+	}
+}
+
+// recordLocked marks job i of s done with the given source ("run" | "cache"
+// | "resume" | "failed" — errMsg set only for the last), journals
+// non-resume outcomes, and updates counters. c.mu must be held.
+func (c *Coordinator) recordLocked(s *sweepState, i int, source string, r sweep.JobResult, errMsg string) {
+	c.recordTimedLocked(s, i, source, r, errMsg, 0)
+}
+
+// recordTimedLocked is recordLocked carrying the worker-reported wall clock
+// of an executed attempt (feeds the fabric_job_ms histogram; 0 elsewhere).
+//
+//repro:deterministic
+func (c *Coordinator) recordTimedLocked(s *sweepState, i int, source string, r sweep.JobResult, errMsg string, elapsed time.Duration) {
+	if s.done[i] {
+		return
+	}
+	s.done[i] = true
+	s.source[i] = source
+	s.doneCount++
+	switch source {
+	case "run":
+		s.executed++
+		s.result[i] = r
+	case "cache":
+		s.cacheHits++
+		s.result[i] = r
+	case "resume":
+		s.resumed++
+		s.result[i] = r
+	case "failed":
+		s.failed++
+		s.errs[i] = errMsg
+	}
+	if s.journal != nil && source != "resume" && source != "failed" {
+		if err := s.journal.Append(sweep.ManifestEntry{Key: s.keys[i], Source: source, Result: r}); err != nil {
+			fmt.Fprintf(os.Stderr, "fabric: manifest append %s: %v\n", s.id, err)
+		}
+	}
+	c.met.jobDone(source, elapsed)
+}
+
+// maybeFinishLocked finalizes s once every job has an outcome: on full
+// success the results.json artifact is written atomically (byte-identical
+// to a serial run — it is the engine's own serialization over the same
+// deterministic job order), on any failure the sweep is marked failed with
+// the engine's error shape. c.mu must be held.
+//
+//repro:deterministic
+func (c *Coordinator) maybeFinishLocked(s *sweepState) {
+	if s.state != "running" || s.doneCount < len(s.jobs) {
+		return
+	}
+	if s.journal != nil {
+		_ = s.journal.Close()
+		s.journal = nil
+	}
+	if s.failed > 0 {
+		var first string
+		n := 0
+		for i, msg := range s.errs {
+			if s.source[i] != "failed" {
+				continue
+			}
+			n++
+			if first == "" {
+				j := s.jobs[i]
+				first = fmt.Sprintf("%s/%s@%d: %s", j.Workload, j.Scheme, j.Size, msg)
+			}
+		}
+		s.state = "failed"
+		s.errMsg = fmt.Sprintf("sweep: %d of %d jobs failed (first: %s)", n, len(s.jobs), first)
+		c.met.locked(func(m *Metrics) { m.sweepsFailed.Inc() })
+		return
+	}
+	res := &sweep.RunResult{
+		SchemaVersion: sweep.SchemaVersion,
+		Spec:          s.spec,
+		Jobs:          s.jobs,
+		Results:       s.result,
+	}
+	data, err := sweep.MarshalResults(res)
+	if err == nil {
+		err = blob.WriteFileAtomic(filepath.Join(c.runDir(s.id), sweep.ResultsFile), data)
+	}
+	if err != nil {
+		s.state = "failed"
+		s.errMsg = fmt.Sprintf("write results: %v", err)
+		c.met.locked(func(m *Metrics) { m.sweepsFailed.Inc() })
+		return
+	}
+	s.state = "done"
+	c.met.locked(func(m *Metrics) { m.sweepsCompleted.Inc() })
+}
+
+// expireLocked re-queues every lease whose worker stopped heartbeating.
+// Each expiry spends one of the job's attempts, so a job that kills its
+// workers (or a worker that never completes) cannot circulate forever.
+// c.mu must be held.
+//
+// The scan collects from the lease map and sorts before re-queueing, so the
+// re-lease order never inherits map iteration order — the directive below
+// holds the function to that.
+//
+//repro:deterministic
+func (c *Coordinator) expireLocked(now time.Time) {
+	var expired []*lease
+	//repro:allow determinism collect-then-sort: the filtered leases are sorted by id below
+	for _, l := range c.leases {
+		if now.After(l.expiry) {
+			expired = append(expired, l)
+		}
+	}
+	// Deterministic re-queue order (map iteration order is not).
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, l := range expired {
+		delete(c.leases, l.id)
+		s, i := l.ref.s, l.ref.index
+		c.met.locked(func(m *Metrics) { m.leaseExpiries.Inc() })
+		if s.done[i] {
+			continue
+		}
+		s.attempts[i]++
+		if s.attempts[i] > c.opts.Retries {
+			c.recordLocked(s, i, "failed", sweep.JobResult{},
+				fmt.Sprintf("lease expired %d times (last worker %s)", s.attempts[i], l.worker))
+			c.maybeFinishLocked(s)
+			continue
+		}
+		c.pending = append(c.pending, l.ref)
+		c.met.locked(func(m *Metrics) { m.releases.Inc(); m.jobsRetried.Inc() })
+	}
+}
+
+// publishLevelsLocked refreshes the queue/lease/worker gauges; c.mu held.
+func (c *Coordinator) publishLevelsLocked() {
+	alive := 0
+	cutoff := c.now().Add(-3 * c.opts.LeaseTTL)
+	for w, seen := range c.workers {
+		if seen.After(cutoff) {
+			alive++
+		} else if seen.Before(cutoff.Add(-7 * c.opts.LeaseTTL)) {
+			delete(c.workers, w) // long-gone: stop tracking
+		}
+	}
+	c.met.levels(len(c.pending), len(c.leases), alive)
+}
+
+// Handler returns the coordinator's HTTP mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", c.handleSubmit)
+	mux.HandleFunc("GET /sweeps", c.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", c.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/results", c.handleResults)
+	mux.HandleFunc("POST /lease", c.handleLease)
+	mux.HandleFunc("POST /complete", c.handleComplete)
+	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	mux.Handle("/objects/", &blob.Handler{
+		Store: c.store,
+		OnGet: c.met.storeGet,
+		OnPut: c.met.storePut,
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"metrics": c.met.Metrics()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if _, err := spec.Jobs(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := c.newID(spec)
+	c.met.locked(func(m *Metrics) { m.sweepsSubmitted.Inc() })
+	s, err := c.admit(id, spec, false)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      id,
+		"jobs":    len(s.jobs),
+		"status":  "/sweeps/" + id,
+		"results": "/sweeps/" + id + "/results",
+	})
+}
+
+// statusLocked snapshots s's status; c.mu must be held.
+func (c *Coordinator) statusLocked(s *sweepState) SweepStatus {
+	st := SweepStatus{
+		ID: s.id, Name: s.spec.Name, State: s.state, Error: s.errMsg,
+		Jobs: len(s.jobs), Done: s.doneCount,
+		Executed: s.executed, CacheHits: s.cacheHits, Resumed: s.resumed,
+		Failed: s.failed,
+	}
+	for _, l := range c.leases {
+		if l.ref.s == s {
+			st.Leased++
+		}
+	}
+	for _, ref := range c.pending {
+		if ref.s == s {
+			st.Pending++
+		}
+	}
+	return st
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.expireLocked(c.now())
+	list := make([]SweepStatus, 0, len(c.order))
+	for _, id := range c.order {
+		list = append(list, c.statusLocked(c.sweeps[id]))
+	}
+	c.publishLevelsLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": list})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	c.expireLocked(c.now())
+	s, ok := c.sweeps[id]
+	var st SweepStatus
+	if ok {
+		st = c.statusLocked(s)
+	}
+	c.publishLevelsLocked()
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults serves the finished artifact byte-for-byte; while the grid
+// is still filling in it serves a partial view — the same RunResult shape
+// wrapped with progress so a dashboard can watch results stream in.
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	s, ok := c.sweeps[id]
+	var state string
+	var partial *sweep.RunResult
+	var done, total int
+	if ok {
+		state = s.state
+		if state == "running" {
+			partial = &sweep.RunResult{
+				SchemaVersion: sweep.SchemaVersion,
+				Spec:          s.spec,
+				Jobs:          s.jobs,
+				Results:       append([]sweep.JobResult(nil), s.result...),
+			}
+			done, total = s.doneCount, len(s.jobs)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	switch state {
+	case "done":
+		data, err := os.ReadFile(filepath.Join(c.runDir(id), sweep.ResultsFile))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "read results: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case "failed":
+		c.mu.Lock()
+		msg := s.errMsg
+		c.mu.Unlock()
+		writeError(w, http.StatusConflict, "sweep %q failed: %s", id, msg)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"state":     "running",
+			"completed": done,
+			"total":     total,
+			"result":    partial,
+		})
+	}
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "bad lease request")
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	c.workers[req.Worker] = now
+	c.expireLocked(now)
+	var resp *LeaseResponse
+	for len(c.pending) > 0 {
+		ref := c.pending[0]
+		c.pending = c.pending[1:]
+		s, i := ref.s, ref.index
+		if s.done[i] || s.state != "running" {
+			continue
+		}
+		c.leaseSeq++
+		l := &lease{
+			id:      fmt.Sprintf("%s/%d#%d", s.id, i, c.leaseSeq),
+			ref:     ref,
+			worker:  req.Worker,
+			granted: now,
+			expiry:  now.Add(c.opts.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		if prev := s.holder[i]; prev != "" && prev != req.Worker {
+			c.met.locked(func(m *Metrics) { m.steals.Inc() })
+		}
+		s.holder[i] = req.Worker
+		c.met.locked(func(m *Metrics) { m.leasesGranted.Inc() })
+		resp = &LeaseResponse{
+			LeaseID:       l.id,
+			SweepID:       s.id,
+			Index:         i,
+			Job:           s.jobs[i],
+			SampleWorkers: s.spec.SampleWorkers,
+			TTLMillis:     c.opts.LeaseTTL.Milliseconds(),
+		}
+		break
+	}
+	c.publishLevelsLocked()
+	c.mu.Unlock()
+	if resp == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad complete request: %v", err)
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = now
+	}
+	s, ok := c.sweeps[req.SweepID]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", req.SweepID)
+		return
+	}
+	if req.Index < 0 || req.Index >= len(s.jobs) {
+		writeError(w, http.StatusNotFound, "unknown job %s[%d]", req.SweepID, req.Index)
+		return
+	}
+	i := req.Index
+	// Whatever happens below, this lease is finished.
+	if l, held := c.leases[req.LeaseID]; held && l.ref.s == s && l.ref.index == i {
+		delete(c.leases, req.LeaseID)
+		c.met.locked(func(m *Metrics) { m.leaseMS.Observe(uint64(now.Sub(l.granted).Milliseconds())) })
+	}
+	if s.done[i] {
+		// A slow worker finished a job that already completed elsewhere
+		// (after its lease expired). Determinism makes the duplicate result
+		// identical, so dropping it is harmless.
+		c.met.locked(func(m *Metrics) { m.lateCompletes.Inc() })
+		c.expireLocked(now)
+		c.publishLevelsLocked()
+		writeJSON(w, http.StatusOK, CompleteResponse{Status: "ignored"})
+		return
+	}
+	if req.Error != "" {
+		s.attempts[i]++
+		if s.attempts[i] > c.opts.Retries {
+			c.recordLocked(s, i, "failed", sweep.JobResult{}, req.Error)
+			c.maybeFinishLocked(s)
+		} else {
+			c.pending = append(c.pending, jobRef{s: s, index: i})
+			c.met.locked(func(m *Metrics) { m.jobsRetried.Inc() })
+		}
+		c.expireLocked(now)
+		c.publishLevelsLocked()
+		writeJSON(w, http.StatusOK, CompleteResponse{Status: "ok"})
+		return
+	}
+	source := req.Source
+	if source != "cache" {
+		source = "run"
+	}
+	c.recordTimedLocked(s, i, source, req.Result, "", time.Duration(req.ElapsedMillis)*time.Millisecond)
+	// Any other lease for the same job (re-leased before this complete
+	// arrived) is now moot.
+	for lid, l := range c.leases {
+		if l.ref.s == s && l.ref.index == i {
+			delete(c.leases, lid)
+		}
+	}
+	c.maybeFinishLocked(s)
+	c.expireLocked(now)
+	c.publishLevelsLocked()
+	writeJSON(w, http.StatusOK, CompleteResponse{Status: "ok"})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "bad heartbeat")
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	c.workers[req.Worker] = now
+	renewed := 0
+	for _, l := range c.leases {
+		if l.worker == req.Worker {
+			l.expiry = now.Add(c.opts.LeaseTTL)
+			renewed++
+		}
+	}
+	c.met.locked(func(m *Metrics) { m.heartbeats.Inc() })
+	c.expireLocked(now)
+	c.publishLevelsLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Renewed: renewed})
+}

@@ -1,0 +1,292 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/ckpt"
+	"repro/internal/sweep"
+)
+
+// WorkerOptions configures a pull-model worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://127.0.0.1:8080".
+	Coordinator string
+	// Dir is the worker's scratch directory; <Dir>/objects becomes a local
+	// read-through cache in front of the coordinator's store. Empty means
+	// every object access goes to the coordinator.
+	Dir string
+	// ID names this worker in leases and heartbeats ("" = hostname-pid).
+	ID string
+	// Poll is how long to sleep when the coordinator has no work (0 = 250ms).
+	Poll time.Duration
+	// JobTimeout bounds one attempt (0 = 10m), mirroring the engine's default.
+	JobTimeout time.Duration
+	// Client overrides the HTTP client (nil = 2 minute timeout).
+	Client *http.Client
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Worker pulls leases from a coordinator, executes them through the same
+// sweep.ExecuteWithWorkers path a local run uses, and reports completions.
+// Its result cache and checkpoint store are mounted over the coordinator's
+// shared artifact store (with an optional local read-through layer), so any
+// job another worker already simulated — in this sweep or any earlier one —
+// completes as a cache hit without touching the simulator.
+type Worker struct {
+	opts   WorkerOptions
+	id     string
+	base   string
+	client *http.Client
+	cache  *sweep.Cache
+	ckpts  *ckpt.Store
+}
+
+// NewWorker validates opts and builds the worker's store stack.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("fabric: worker needs a coordinator URL")
+	}
+	if opts.ID == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		opts.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 250 * time.Millisecond
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 10 * time.Minute
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	var store blob.Store = blob.NewRemote(opts.Coordinator, client)
+	if opts.Dir != "" {
+		local, err := blob.NewDir(filepath.Join(opts.Dir, "objects"))
+		if err != nil {
+			return nil, err
+		}
+		store = &blob.ReadThrough{Local: local, Back: store}
+	}
+	return &Worker{
+		opts:   opts,
+		id:     opts.ID,
+		base:   strings.TrimRight(opts.Coordinator, "/"),
+		client: client,
+		cache:  sweep.NewCacheStore(store),
+		ckpts:  ckpt.NewStoreWith(store),
+	}, nil
+}
+
+// ID returns the worker's lease identity.
+func (w *Worker) ID() string { return w.id }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Run pulls and executes jobs until ctx is cancelled. Shutdown is a drain:
+// cancellation is only observed between leases, so an in-flight job finishes
+// and reports its completion before Run returns. The return is always nil —
+// an unreachable coordinator is a retry loop, not a worker death.
+func (w *Worker) Run(ctx context.Context) error {
+	w.logf("worker %s pulling from %s", w.id, w.base)
+	idle := false
+	for {
+		select {
+		case <-ctx.Done():
+			w.logf("worker %s drained, exiting", w.id)
+			return nil
+		default:
+		}
+		lr, ok, err := w.lease()
+		if err != nil {
+			w.logf("worker %s: lease: %v (retrying)", w.id, err)
+			if !sleepCtx(ctx, w.opts.Poll) {
+				w.logf("worker %s drained, exiting", w.id)
+				return nil
+			}
+			continue
+		}
+		if !ok {
+			if !idle {
+				w.logf("worker %s idle", w.id)
+				idle = true
+			}
+			if !sleepCtx(ctx, w.opts.Poll) {
+				w.logf("worker %s drained, exiting", w.id)
+				return nil
+			}
+			continue
+		}
+		idle = false
+		w.process(lr)
+	}
+}
+
+// process executes one lease and reports it, heartbeating for the duration
+// so a healthy-but-slow job is never stolen out from under us.
+func (w *Worker) process(lr *LeaseResponse) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go w.heartbeatLoop(time.Duration(lr.TTLMillis)*time.Millisecond, stop, done)
+
+	start := time.Now()
+	res, source, err := w.attempt(lr.Job, lr.SampleWorkers)
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+
+	req := CompleteRequest{
+		LeaseID:       lr.LeaseID,
+		SweepID:       lr.SweepID,
+		Index:         lr.Index,
+		Worker:        w.id,
+		Source:        source,
+		Result:        res,
+		ElapsedMillis: elapsed.Milliseconds(),
+	}
+	if err != nil {
+		req.Error = err.Error()
+		w.logf("worker %s: job %s/%s@%d failed: %v", w.id, lr.Job.Workload, lr.Job.Scheme, lr.Job.Size, err)
+	} else {
+		w.logf("worker %s: job %s/%s@%d done (%s, %s)", w.id, lr.Job.Workload, lr.Job.Scheme, lr.Job.Size, source, elapsed.Round(time.Millisecond))
+	}
+	var resp CompleteResponse
+	if _, err := w.post("/complete", req, &resp); err != nil {
+		// The coordinator will expire the lease and re-lease the job; the
+		// result is already in the shared store, so the retry is a cache hit.
+		w.logf("worker %s: complete: %v (lease will expire)", w.id, err)
+	}
+}
+
+// attempt serves the job from the shared cache when possible, otherwise
+// executes it with the engine's panic/timeout containment. A timed-out
+// goroutine is abandoned (its eventual result is discarded), matching the
+// single-process engine's containment semantics.
+func (w *Worker) attempt(job sweep.Job, sampleWorkers int) (sweep.JobResult, string, error) {
+	key := job.Key()
+	if r, ok := w.cache.Get(key); ok {
+		return r, "cache", nil
+	}
+	type outcome struct {
+		res sweep.JobResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		r, e := sweep.ExecuteWithWorkers(job, w.ckpts, nil, sampleWorkers)
+		ch <- outcome{res: r, err: e}
+	}()
+	t := time.NewTimer(w.opts.JobTimeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return sweep.JobResult{}, "", o.err
+		}
+		if err := w.cache.Put(key, job, o.res); err != nil {
+			// A store hiccup costs future reuse, never this result.
+			w.logf("worker %s: cache put %s: %v", w.id, key, err)
+		}
+		return o.res, "run", nil
+	case <-t.C:
+		return sweep.JobResult{}, "", fmt.Errorf("job timed out after %s", w.opts.JobTimeout)
+	}
+}
+
+// heartbeatLoop renews this worker's leases at a third of the lease TTL
+// until stop closes, then signals done.
+func (w *Worker) heartbeatLoop(ttl time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			var resp HeartbeatResponse
+			if _, err := w.post("/heartbeat", HeartbeatRequest{Worker: w.id}, &resp); err != nil {
+				w.logf("worker %s: heartbeat: %v", w.id, err)
+			}
+		}
+	}
+}
+
+// lease asks the coordinator for one job; ok is false when the queue is
+// empty (HTTP 204).
+func (w *Worker) lease() (*LeaseResponse, bool, error) {
+	var lr LeaseResponse
+	status, err := w.post("/lease", LeaseRequest{Worker: w.id}, &lr)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == http.StatusNoContent {
+		return nil, false, nil
+	}
+	return &lr, true, nil
+}
+
+// post sends one JSON request to the coordinator and decodes the response
+// into out (skipped on 204). Non-2xx statuses are errors.
+func (w *Worker) post(path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, fmt.Errorf("%s: status %s", path, resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s: decode: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// sleepCtx sleeps for d unless ctx cancels first; it reports whether the
+// caller should keep running.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

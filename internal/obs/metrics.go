@@ -20,6 +20,20 @@ func (c *Counter) Inc() { c.N++ }
 // Add adds d.
 func (c *Counter) Add(d uint64) { c.N += d }
 
+// Gauge is a named instantaneous value — a level that moves both ways
+// (leases in flight, workers connected, queue depth), as opposed to a
+// Counter's monotone total.
+type Gauge struct {
+	Name string
+	V    int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.V = v }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.V += d }
+
 // histBuckets is the number of power-of-two histogram buckets: bucket 0
 // counts zero values, bucket i (i >= 1) counts values in [2^(i-1), 2^i),
 // and the last bucket absorbs everything >= 2^(histBuckets-2).
@@ -95,6 +109,7 @@ func (h *Hist) Quantile(q float64) uint64 {
 // layout is stable across runs and across registration-order refactors.
 type Registry struct {
 	counters []*Counter
+	gauges   []*Gauge
 	hists    []*Hist
 }
 
@@ -111,6 +126,18 @@ func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{Name: name}
 	r.counters = append(r.counters, c)
 	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	for _, g := range r.gauges {
+		if g.Name == name {
+			return g
+		}
+	}
+	g := &Gauge{Name: name}
+	r.gauges = append(r.gauges, g)
+	return g
 }
 
 // Hist returns the histogram with the given name, creating it on first use.
@@ -144,9 +171,18 @@ type HistSnap struct {
 	Buckets []uint64 `json:"buckets"`
 }
 
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
 // Snapshot is a point-in-time copy of a registry, shaped for JSON output.
+// Gauges is omitted when empty so registries that predate gauges (the
+// simulator run artifacts) serialize exactly as before.
 type Snapshot struct {
 	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
 	Histograms []HistSnap    `json:"histograms"`
 }
 
@@ -157,17 +193,25 @@ type Snapshot struct {
 // list, so there is exactly one serialization path out of a registry.
 type Metric struct {
 	Name  string    `json:"name"`
-	Kind  string    `json:"kind"`  // "counter" | "histogram"
+	Kind  string    `json:"kind"`  // "counter" | "gauge" | "histogram"
 	Value uint64    `json:"value"` // counter value; histogram sample count
+	Gauge int64     `json:"gauge,omitempty"`
 	Hist  *HistSnap `json:"hist,omitempty"`
 }
 
 // Metrics returns the registry's current state as a stable, name-sorted
 // flat list.
 func (r *Registry) Metrics() []Metric {
-	ms := make([]Metric, 0, len(r.counters)+len(r.hists))
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for _, c := range r.counters {
 		ms = append(ms, Metric{Name: c.Name, Kind: "counter", Value: c.N})
+	}
+	for _, g := range r.gauges {
+		m := Metric{Name: g.Name, Kind: "gauge", Gauge: g.V}
+		if g.V >= 0 {
+			m.Value = uint64(g.V)
+		}
+		ms = append(ms, m)
 	}
 	for _, h := range r.hists {
 		hs := HistSnap{
@@ -190,6 +234,8 @@ func (r *Registry) Snapshot() Snapshot {
 		switch m.Kind {
 		case "counter":
 			s.Counters = append(s.Counters, CounterSnap{Name: m.Name, Value: m.Value})
+		case "gauge":
+			s.Gauges = append(s.Gauges, GaugeSnap{Name: m.Name, Value: m.Gauge})
 		case "histogram":
 			s.Histograms = append(s.Histograms, *m.Hist)
 		}

@@ -3,19 +3,23 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"repro/internal/blob"
 )
 
 // Cache is the content-addressed result store shared across sweeps: one
-// JSON file per job, named by the job's Key. Because the key covers every
+// JSON object per job, named by the job's Key. Because the key covers every
 // behavior-affecting parameter plus SchemaVersion, a hit is always safe to
 // reuse; re-running any sweep only executes the missing points.
+//
+// Storage is pluggable through blob.Store: NewCache keeps the classic
+// local-directory layout, while the sweep fabric mounts the same cache over
+// a read-through remote store so hits are shared across machines.
 type Cache struct {
-	dir string
+	store blob.Store
 }
 
-// cacheEntry is the on-disk cache record. The job is stored alongside the
+// cacheEntry is the stored cache record. The job is stored alongside the
 // result for human inspection and as a belt-and-braces identity check.
 type cacheEntry struct {
 	SchemaVersion int       `json:"schema_version"`
@@ -23,32 +27,45 @@ type cacheEntry struct {
 	Result        JobResult `json:"result"`
 }
 
-// NewCache opens (creating if needed) a cache rooted at dir.
+// NewCache opens (creating if needed) a cache rooted at a local dir.
 func NewCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sweep: empty cache dir")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	d, err := blob.NewDir(dir)
+	if err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{store: d}, nil
 }
 
-// Dir returns the cache root.
-func (c *Cache) Dir() string { return c.dir }
-
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+// NewCacheStore opens a cache over an arbitrary object store — the seam the
+// fabric uses to back the result cache with the coordinator's shared
+// artifact store.
+func NewCacheStore(store blob.Store) *Cache {
+	return &Cache{store: store}
 }
+
+// Dir returns the cache root for directory-backed caches ("" otherwise).
+func (c *Cache) Dir() string {
+	if d, ok := c.store.(*blob.Dir); ok {
+		return d.Path()
+	}
+	return ""
+}
+
+// objectName is the store name serving a job key.
+func objectName(key string) string { return key + ".json" }
 
 // Get looks the key up. Unreadable or schema-mismatched entries count as
-// misses (the sweep simply recomputes and overwrites them).
+// misses (the sweep simply recomputes and overwrites them), and so do store
+// errors: a flaky backend degrades to recomputation, never to failure.
 func (c *Cache) Get(key string) (JobResult, bool) {
 	if c == nil {
 		return JobResult{}, false
 	}
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+	data, ok, err := c.store.Get(objectName(key))
+	if err != nil || !ok {
 		return JobResult{}, false
 	}
 	var e cacheEntry
@@ -58,8 +75,8 @@ func (c *Cache) Get(key string) (JobResult, bool) {
 	return e.Result, true
 }
 
-// Put stores a result under the key, atomically (temp file + rename) so a
-// concurrent reader or a crash can never observe a torn entry.
+// Put stores a result under the key. Writes are atomic at the store layer,
+// so a concurrent reader or a crash can never observe a torn entry.
 func (c *Cache) Put(key string, job Job, res JobResult) error {
 	if c == nil {
 		return nil
@@ -68,19 +85,5 @@ func (c *Cache) Put(key string, job Job, res JobResult) error {
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), c.path(key))
+	return c.store.Put(objectName(key), append(data, '\n'))
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/ckpt"
 	"repro/internal/par"
 	"repro/internal/workloads"
@@ -76,10 +77,12 @@ type RunResult struct {
 	Stats         RunStats    `json:"-"`
 }
 
+// Run-directory artifact names, shared with the fabric coordinator so a
+// directory produced by either scheduler resumes under the other.
 const (
-	specFile     = "spec.json"
-	manifestFile = "manifest.jsonl"
-	resultsFile  = "results.json"
+	SpecFile     = "spec.json"
+	ManifestFile = "manifest.jsonl"
+	ResultsFile  = "results.json"
 )
 
 // Run expands spec and executes it to completion: manifest-recorded jobs
@@ -99,22 +102,22 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 	}
 
 	var (
-		resumed map[string]manifestEntry
-		journal *manifest
+		resumed map[string]ManifestEntry
+		journal *Manifest
 	)
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, err
 		}
 		if data, err := json.MarshalIndent(spec, "", "\t"); err == nil {
-			_ = writeFileAtomic(filepath.Join(opts.Dir, specFile), append(data, '\n'))
+			_ = blob.WriteFileAtomic(filepath.Join(opts.Dir, SpecFile), append(data, '\n'))
 		}
-		resumed = loadManifest(filepath.Join(opts.Dir, manifestFile))
-		journal, err = openManifest(filepath.Join(opts.Dir, manifestFile))
+		resumed = LoadManifest(filepath.Join(opts.Dir, ManifestFile))
+		journal, err = OpenManifest(filepath.Join(opts.Dir, ManifestFile))
 		if err != nil {
 			return nil, err
 		}
-		defer journal.close()
+		defer journal.Close()
 	}
 
 	res := &RunResult{
@@ -147,7 +150,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 		}
 		opts.Metrics.jobDone(source, retried, elapsed)
 		if journal != nil && jerr == nil && source != "resume" {
-			if err := journal.append(manifestEntry{Key: jobs[i].Key(), Source: source, Result: r}); err != nil {
+			if err := journal.Append(ManifestEntry{Key: jobs[i].Key(), Source: source, Result: r}); err != nil {
 				return fmt.Errorf("manifest append: %w", err)
 			}
 		}
@@ -194,21 +197,23 @@ func Run(ctx context.Context, spec Spec, opts Options) (*RunResult, error) {
 		return res, fmt.Errorf("sweep: %d of %d jobs failed (first: %s)", len(res.Errors), len(jobs), res.Errors[0])
 	}
 	if opts.Dir != "" {
-		data, err := marshalResults(res)
+		data, err := MarshalResults(res)
 		if err != nil {
 			return res, err
 		}
-		if err := writeFileAtomic(filepath.Join(opts.Dir, resultsFile), data); err != nil {
+		if err := blob.WriteFileAtomic(filepath.Join(opts.Dir, ResultsFile), data); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
 }
 
-// marshalResults renders the results.json artifact. It depends only on the
+// MarshalResults renders the results.json artifact. It depends only on the
 // spec and the (deterministic) per-job results, never on scheduling order
-// or on how each result was obtained — the bit-identical-resume guarantee.
-func marshalResults(res *RunResult) ([]byte, error) {
+// or on how each result was obtained — the bit-identical-resume guarantee,
+// which is also why a fabric run's artifact matches a serial run's byte for
+// byte.
+func MarshalResults(res *RunResult) ([]byte, error) {
 	data, err := json.MarshalIndent(res, "", "\t")
 	if err != nil {
 		return nil, err
@@ -221,7 +226,7 @@ func marshalResults(res *RunResult) ([]byte, error) {
 // (workload, scale, position) that still has work to do. Errors are left
 // for job execution to surface (a job with no checkpoint just fast-forwards
 // itself).
-func prewarmCheckpoints(jobs []Job, resumed map[string]manifestEntry, opts Options) {
+func prewarmCheckpoints(jobs []Job, resumed map[string]ManifestEntry, opts Options) {
 	type site struct {
 		workload string
 		scale    int
@@ -307,24 +312,4 @@ func executeOnce(ctx context.Context, job Job, timeout time.Duration, store *ckp
 	case <-ctx.Done():
 		return JobResult{}, ctx.Err()
 	}
-}
-
-// writeFileAtomic writes data via a temp file + rename in the target's
-// directory.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -70,7 +70,7 @@ func TestResumeFromTruncatedManifest(t *testing.T) {
 	if cold.Stats.Executed != 4 {
 		t.Fatalf("cold stats = %+v", cold.Stats)
 	}
-	coldBytes, err := os.ReadFile(filepath.Join(coldDir, resultsFile))
+	coldBytes, err := os.ReadFile(filepath.Join(coldDir, ResultsFile))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestResumeFromTruncatedManifest(t *testing.T) {
 	if _, err := Run(context.Background(), tinySpec(), Options{Dir: killDir, Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
-	manifestPath := filepath.Join(killDir, manifestFile)
+	manifestPath := filepath.Join(killDir, ManifestFile)
 	data, err := os.ReadFile(manifestPath)
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestResumeFromTruncatedManifest(t *testing.T) {
 	if err := os.WriteFile(manifestPath, truncated, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(killDir, resultsFile)); err != nil {
+	if err := os.Remove(filepath.Join(killDir, ResultsFile)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +107,7 @@ func TestResumeFromTruncatedManifest(t *testing.T) {
 	if resumedRun.Stats.Resumed != 2 || resumedRun.Stats.Executed != 2 {
 		t.Fatalf("resume stats = %+v, want 2 resumed + 2 executed", resumedRun.Stats)
 	}
-	resumedBytes, err := os.ReadFile(filepath.Join(killDir, resultsFile))
+	resumedBytes, err := os.ReadFile(filepath.Join(killDir, ResultsFile))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,32 +6,33 @@ import (
 	"os"
 )
 
-// manifestEntry is one line of a sweep run's append-only JSONL journal: a
+// ManifestEntry is one line of a sweep run's append-only JSONL journal: a
 // completed job, how its result was obtained, and the result itself.
 // Because results are embedded, resuming never re-reads the cache — a run
-// directory is self-contained.
-type manifestEntry struct {
+// directory is self-contained. The fabric coordinator journals the same
+// format, so local runs and coordinator runs resume each other's manifests.
+type ManifestEntry struct {
 	Key    string    `json:"key"`
 	Source string    `json:"source"` // "run" | "cache"
 	Result JobResult `json:"result"`
 }
 
-// loadManifest reads a manifest tolerantly: a truncated or corrupt line
+// LoadManifest reads a manifest tolerantly: a truncated or corrupt line
 // (the tail of a killed run) ends the scan, and everything before it
 // counts. A missing file is an empty manifest.
 //
 //repro:deterministic
-func loadManifest(path string) map[string]manifestEntry {
+func LoadManifest(path string) map[string]ManifestEntry {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil
 	}
 	defer f.Close()
-	done := map[string]manifestEntry{}
+	done := map[string]ManifestEntry{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		var e manifestEntry
+		var e ManifestEntry
 		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Key == "" {
 			break
 		}
@@ -40,23 +41,25 @@ func loadManifest(path string) map[string]manifestEntry {
 	return done
 }
 
-// manifest appends completed jobs to the journal. Writes are serialized by
-// the engine's mutex; each line is flushed (and synced) immediately so a
-// kill loses at most the in-flight line, which loadManifest tolerates.
-type manifest struct {
+// Manifest appends completed jobs to the journal. Writers serialize their
+// own appends (the engine under its record mutex, the coordinator under its
+// state mutex); each line is flushed and synced immediately so a kill loses
+// at most the in-flight line, which LoadManifest tolerates.
+type Manifest struct {
 	f *os.File
 }
 
-func openManifest(path string) (*manifest, error) {
+// OpenManifest opens (creating if needed) the journal for appending.
+func OpenManifest(path string) (*Manifest, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &manifest{f: f}, nil
+	return &Manifest{f: f}, nil
 }
 
 //repro:deterministic
-func (m *manifest) append(e manifestEntry) error {
+func (m *Manifest) Append(e ManifestEntry) error {
 	data, err := json.Marshal(e)
 	if err != nil {
 		return err
@@ -68,4 +71,5 @@ func (m *manifest) append(e manifestEntry) error {
 	return m.f.Sync()
 }
 
-func (m *manifest) close() error { return m.f.Close() }
+// Close closes the journal file.
+func (m *Manifest) Close() error { return m.f.Close() }

@@ -36,11 +36,13 @@ type ServerOptions struct {
 //	GET  /sweeps/{id}/results the results.json artifact once done
 //	GET  /metrics             flat sorted []obs.Metric of the engine registry
 type Server struct {
-	dir   string
-	opts  ServerOptions
-	cache *Cache
-	ckpt  *ckpt.Store
-	met   *Metrics
+	dir    string
+	opts   ServerOptions
+	cache  *Cache
+	ckpt   *ckpt.Store
+	met    *Metrics
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	seq    int
@@ -68,15 +70,20 @@ func NewServer(dir string, opts ServerOptions) (*Server, error) {
 	if opts.BaseContext == nil {
 		opts.BaseContext = context.Background()
 	}
+	var cancel context.CancelFunc
+	opts.BaseContext, cancel = context.WithCancel(opts.BaseContext)
 	cache, err := NewCache(filepath.Join(dir, "cache"))
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	ckstore, err := ckpt.NewStore(filepath.Join(dir, "ckpt"))
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	if err := os.MkdirAll(filepath.Join(dir, "sweeps"), 0o755); err != nil {
+		cancel()
 		return nil, err
 	}
 	return &Server{
@@ -85,12 +92,33 @@ func NewServer(dir string, opts ServerOptions) (*Server, error) {
 		cache:  cache,
 		ckpt:   ckstore,
 		met:    NewMetrics(),
+		cancel: cancel,
 		sweeps: map[string]*SweepStatus{},
 	}, nil
 }
 
 // Metrics exposes the server's engine metrics (for embedding callers).
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// Shutdown drains the server: no new jobs are claimed (the base context is
+// cancelled, which the engine's worker pool observes between jobs), in-flight
+// jobs finish and are journaled to their fsynced manifests, and Shutdown
+// returns once every background sweep has wound down or ctx expires. A
+// partially-run sweep resumes from its manifest on re-submission.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Handler returns the HTTP mux.
 func (s *Server) Handler() http.Handler {
@@ -161,6 +189,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.met.sweepSubmitted()
+	s.wg.Add(1)
 	go s.run(id, spec)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":      id,
@@ -173,6 +202,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // run executes one sweep in the background and folds progress into its
 // status record.
 func (s *Server) run(id string, spec Spec) {
+	defer s.wg.Done()
 	_, err := Run(s.opts.BaseContext, spec, Options{
 		Dir:        s.runDir(id),
 		Cache:      s.cache,
@@ -253,7 +283,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "sweep %q is %s; results are available once done", id, state)
 		return
 	}
-	data, err := os.ReadFile(filepath.Join(s.runDir(id), resultsFile))
+	data, err := os.ReadFile(filepath.Join(s.runDir(id), ResultsFile))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "read results: %v", err)
 		return
