@@ -135,13 +135,16 @@ smoke:
 	rm -rf /tmp/regreuse_smoke_drift /tmp/regreuse_smoke_driftd /tmp/regreuse_smoke_driftd.log /tmp/regreuse_smoke_ckjson
 	@echo smoke OK
 
-# benchsmoke is the CI throughput gate: one cold run of the throughput
-# benchmarks, failed by benchjson unless the detailed core clears the floor.
-# The floor is half the current baseline (BENCH_core.json records ~4.9
-# Minst/s raw detailed), so it only trips on large regressions, not noise.
+# benchsmoke is the CI throughput gate: one cold run of the throughput and
+# figure benchmarks, failed by benchjson unless every headline clears its
+# floor and the streaming figure collectors stay within their allocs/op
+# ceilings. Floors sit at roughly half the committed baselines
+# (BENCH_core.json records ~5.5 Minst/s raw detailed, ~25 sampled, ~21
+# streaming analysis), so they only trip on large regressions, not noise.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFastForward|BenchmarkSampledThroughput' -benchtime 1x . | \
-		$(GO) run ./cmd/benchjson -floor 2.4 > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFastForward|BenchmarkSampledThroughput|BenchmarkAnalysisThroughput|BenchmarkFig1SingleUse|BenchmarkFig2Consumers|BenchmarkFig3ReuseDepth' -benchtime 1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -floor 2.4 -sampled-floor 10 -analysis-floor 10 \
+			-allocs 'BenchmarkFig1SingleUse=1000,BenchmarkFig2Consumers=1000,BenchmarkFig3ReuseDepth=1000' > /dev/null
 
 # driftsmoke is the regression-intelligence CI gate: ingest the committed
 # artifacts (BENCH_core.json, golden stats, figure CSVs) at HEAD into a
@@ -220,8 +223,9 @@ ci: test vet lint race ckpt-tests smoke benchsmoke driftsmoke fabricsmoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep — and regenerates BENCH_core.json (per-benchmark ns/op,
-# allocs/op, and custom metrics, plus the detailed/sampled/fast-forward
-# headline rates). The artifact is committed: it is the recorded baseline
+# allocs/op, and custom metrics, plus the detailed/sampled/analysis/
+# fast-forward headline rates). The artifact is committed: it is the
+# recorded baseline
 # that README's throughput table cites and benchsmoke's floor derives from.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . | \

@@ -10,7 +10,11 @@
 //
 // With -floor N the exit status is nonzero unless the detailed-core
 // throughput benchmark reached N Minst/s — the `make benchsmoke` CI gate
-// against large simulator slowdowns.
+// against large simulator slowdowns. -sampled-floor and -analysis-floor
+// gate the sampled-mode and streaming-analysis headline rates the same
+// way, and -allocs "Benchmark=Max,..." fails unless every named benchmark
+// ran with -benchmem and stayed at or under its allocs/op ceiling (the
+// zero-allocation guarantee of the streaming figure collectors).
 package main
 
 import (
@@ -59,21 +63,27 @@ type artifact struct {
 	Benchmarks     []benchRecord `json:"benchmarks"`
 	DetailedRate   *float64      `json:"detailed_minst_per_s,omitempty"`
 	SampledRate    *float64      `json:"sampled_minst_per_s,omitempty"`
-	SampledSpeedup *float64      `json:"sampled_speedup,omitempty"`
-	FFSpeedup      *float64      `json:"ff_speedup,omitempty"`
+	// AnalysisRate is the streaming trace-analysis rate (Minst/s): committed
+	// instructions per wall second through the batched commit sink and the
+	// bounded-memory figure collector.
+	AnalysisRate   *float64 `json:"analysis_minst_per_s,omitempty"`
+	SampledSpeedup *float64 `json:"sampled_speedup,omitempty"`
+	FFSpeedup      *float64 `json:"ff_speedup,omitempty"`
 }
 
 // Schema history:
 //
 //	1: benchmarks + derived headline rates
 //	2: adds the git_commit/go_version/generated_utc provenance stamp
-const schemaVersion = 2
+//	3: adds the analysis_minst_per_s streaming-analysis headline
+const schemaVersion = 3
 
-// The benchmarks whose Minst/s ratio defines the fast-forward speedup.
+// The benchmarks the derived headline rates are read from.
 const (
 	ffBench       = "BenchmarkFastForward"
 	detailedBench = "BenchmarkSimulatorThroughput/reuse"
 	sampledBench  = "BenchmarkSampledThroughput"
+	analysisBench = "BenchmarkAnalysisThroughput"
 	rateUnit      = "Minst/s"
 )
 
@@ -81,6 +91,9 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	echo := flag.Bool("echo", false, "copy the input through to stdout while parsing")
 	floor := flag.Float64("floor", 0, "fail unless the detailed-core benchmark reaches this many Minst/s")
+	sampledFloor := flag.Float64("sampled-floor", 0, "fail unless the sampled-mode benchmark reaches this many Minst/s")
+	analysisFloor := flag.Float64("analysis-floor", 0, "fail unless the streaming-analysis benchmark reaches this many Minst/s")
+	allocsSpec := flag.String("allocs", "", "comma-separated Benchmark=Max allocs/op ceilings; fail if a named benchmark is missing, lacks -benchmem data, or exceeds its ceiling")
 	flag.Parse()
 
 	doc := artifact{
@@ -110,11 +123,15 @@ func main() {
 	ff, haveFF := rateOf(doc.Benchmarks, ffBench)
 	det, haveDet := rateOf(doc.Benchmarks, detailedBench)
 	sam, haveSam := rateOf(doc.Benchmarks, sampledBench)
+	ana, haveAna := rateOf(doc.Benchmarks, analysisBench)
 	if haveDet {
 		doc.DetailedRate = &det
 	}
 	if haveSam {
 		doc.SampledRate = &sam
+	}
+	if haveAna {
+		doc.AnalysisRate = &ana
 	}
 	if haveFF && haveDet && det > 0 {
 		ratio := ff / det
@@ -124,15 +141,32 @@ func main() {
 		ratio := sam / det
 		doc.SampledSpeedup = &ratio
 	}
-	if *floor > 0 {
-		if !haveDet {
-			fmt.Fprintf(os.Stderr, "benchjson: -floor %v set but %s did not run\n", *floor, detailedBench)
+	for _, gate := range []struct {
+		floor float64
+		have  bool
+		rate  float64
+		bench string
+		label string
+	}{
+		{*floor, haveDet, det, detailedBench, "detailed core"},
+		{*sampledFloor, haveSam, sam, sampledBench, "sampled mode"},
+		{*analysisFloor, haveAna, ana, analysisBench, "streaming analysis"},
+	} {
+		if gate.floor <= 0 {
+			continue
+		}
+		if !gate.have {
+			fmt.Fprintf(os.Stderr, "benchjson: floor %v set but %s did not run\n", gate.floor, gate.bench)
 			os.Exit(1)
 		}
-		if det < *floor {
-			fmt.Fprintf(os.Stderr, "benchjson: detailed core at %.3f Minst/s, below floor %.3f\n", det, *floor)
+		if gate.rate < gate.floor {
+			fmt.Fprintf(os.Stderr, "benchjson: %s at %.3f Minst/s, below floor %.3f\n", gate.label, gate.rate, gate.floor)
 			os.Exit(1)
 		}
+	}
+	if err := checkAllocs(doc.Benchmarks, *allocsSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "\t")
@@ -206,4 +240,47 @@ func rateOf(recs []benchRecord, prefix string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// findBench locates the record for a benchmark name, tolerating the
+// -GOMAXPROCS suffix like rateOf.
+func findBench(recs []benchRecord, prefix string) (benchRecord, bool) {
+	for _, r := range recs {
+		if r.Name == prefix || strings.HasPrefix(r.Name, prefix+"-") {
+			return r, true
+		}
+	}
+	return benchRecord{}, false
+}
+
+// checkAllocs enforces a "Benchmark=Max,Benchmark=Max" allocs/op spec: every
+// named benchmark must be present, carry allocs/op data (the run needs
+// -benchmem), and stay at or under its ceiling. A missing benchmark is an
+// error — a ceiling that silently stops being checked is how allocation
+// regressions sneak back in.
+func checkAllocs(recs []benchRecord, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, maxStr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return fmt.Errorf("-allocs entry %q: want Benchmark=Max", entry)
+		}
+		max, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil {
+			return fmt.Errorf("-allocs entry %q: bad ceiling: %v", entry, err)
+		}
+		r, found := findBench(recs, name)
+		if !found {
+			return fmt.Errorf("-allocs: benchmark %s did not run", name)
+		}
+		if r.AllocsPerOp == nil {
+			return fmt.Errorf("-allocs: benchmark %s has no allocs/op (run with -benchmem)", name)
+		}
+		if *r.AllocsPerOp > max {
+			return fmt.Errorf("%s at %.0f allocs/op, above ceiling %.0f", name, *r.AllocsPerOp, max)
+		}
+	}
+	return nil
 }

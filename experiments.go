@@ -62,16 +62,40 @@ type MotivationRow struct {
 	Report   analysis.Report
 }
 
-// Motivation runs the Figure 1/2/3 analyses over every workload.
+// Motivation runs the Figure 1/2/3 analyses over every workload. Each
+// workload's trace streams through the bounded-memory collector on the
+// emulator's batched commit-sink path (analysis.AnalyzeProgram); the fan-out
+// merges rows by workload index, so the output order is deterministic for
+// any worker count.
 func Motivation(scale int) ([]MotivationRow, error) {
+	return motivation(scale, analysisStream)
+}
+
+// MotivationOracle recomputes the same rows through the reference per-commit
+// collector over emu.Step — the slow path kept as the correctness oracle for
+// the streaming collector. cmd/paper -oracle routes figure generation
+// through it for cross-checking.
+func MotivationOracle(scale int) ([]MotivationRow, error) {
+	return motivation(scale, analysisOracle)
+}
+
+func analysisStream(w workloads.Workload) (analysis.Report, error) {
+	return analysis.AnalyzeProgram(w.Program(), 1<<32)
+}
+
+func analysisOracle(w workloads.Workload) (analysis.Report, error) {
+	return analysis.Analyze(emu.New(w.Program()), 1<<32)
+}
+
+func motivation(scale int, analyze func(workloads.Workload) (analysis.Report, error)) ([]MotivationRow, error) {
 	ws := workloads.All()
 	if scale == 1 {
 		ws = workloads.Small()
 	}
 	rows := make([]MotivationRow, len(ws))
-	err := par.ForEach(len(ws), 0, func(i int) error {
+	err := par.ForEachCtx(context.Background(), len(ws), 0, func(i int) error {
 		w := ws[i]
-		rep, err := analysis.Analyze(emu.New(w.Program()), 1<<32)
+		rep, err := analyze(w)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}

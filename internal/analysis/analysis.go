@@ -9,6 +9,16 @@
 //     register, bucketed by position in the reuse chain (one, two, three,
 //     or more reuses of the same register).
 //
+// Two collectors implement the same Report contract. Collector (this file)
+// is the reference oracle: it retains one record per dynamic definition and
+// classifies everything in Finalize, which makes the semantics easy to
+// audit but costs O(trace) memory. Stream (stream.go) is the production
+// path: it rides the batched commit sink, retires records as soon as
+// redefinition closes them, and runs in bounded memory with zero
+// steady-state allocations. Exact Report equality between the two is
+// pinned over every workload and seeded random programs (stream_test.go),
+// so the oracle stays the executable specification.
+//
 //repro:deterministic
 package analysis
 
@@ -34,7 +44,9 @@ type def struct {
 	soleConsumerDefID int64
 }
 
-// Collector consumes a committed-instruction stream.
+// Collector consumes a committed-instruction stream. It is the reference
+// oracle: simple, memory-unbounded, and the equality target for the
+// streaming collector. Production figure paths use Stream/AnalyzeProgram.
 type Collector struct {
 	// live[class][reg] is the index of the currently-live def (-1 none).
 	live [2][32]int64

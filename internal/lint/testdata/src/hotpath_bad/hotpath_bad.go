@@ -120,3 +120,50 @@ func (c *SpecializedCore) stepB() {
 	_ = probe
 	_ = fmt.Sprintf("loop=%d", c.scheme) // want `fmt.Sprintf allocates in hot path`
 }
+
+// The batched commit-sink shape of internal/analysis: a streaming collector
+// consumes []uint32 row batches, recycling pooled records through
+// receiver-owned freelists. Pool recycling must stay allocation-free; a
+// per-batch closure or an append to a slice the receiver does not own is a
+// violation even when it looks like pooling.
+
+// StreamCollector mimics the streaming figure collector.
+type StreamCollector struct {
+	recs  []int
+	free  []int
+	work  []int
+	o     obs.Observer
+}
+
+// CommitBatch is the clean batched sink: rows drain through receiver-owned
+// pools and freelists in place. No findings.
+//
+//repro:hotpath
+func (c *StreamCollector) CommitBatch(startSeq uint64, rows []uint32) {
+	for range rows {
+		n := len(c.free)
+		if n > 0 {
+			c.free = c.free[:n-1]
+		}
+		c.recs = append(c.recs, int(startSeq))
+		c.work = append(c.work, len(c.recs))
+	}
+	if c.o != nil {
+		c.o.Core(obs.CoreEvent{Kind: obs.CoreFlush, Arg: startSeq})
+	}
+}
+
+// CommitBatchLeaky seeds the violations the clean sink avoids.
+//
+//repro:hotpath
+func (c *StreamCollector) CommitBatchLeaky(rows []uint32) {
+	drain := func(r uint32) { // want `function literal in hot path`
+		c.recs = append(c.recs, int(r))
+	}
+	var spill []int
+	for _, r := range rows {
+		drain(r)
+		spill = append(spill, int(r)) // want `append to a slice the receiver does not own`
+	}
+	_ = spill
+}

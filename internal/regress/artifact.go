@@ -22,7 +22,9 @@ func (a Artifact) Key() string { return a.Kind + "/" + a.Name }
 
 // benchDoc is the subset of cmd/benchjson's artifact the detector consumes.
 // Schema v1 and v2 differ only in the metadata stamp (git_commit,
-// go_version, generated_utc), which the parser ignores, so both decode here.
+// go_version, generated_utc), which the parser ignores; v3 adds the
+// analysis_minst_per_s headline, absent in older documents. All three
+// decode here.
 type benchDoc struct {
 	SchemaVersion int `json:"schema_version"`
 	Benchmarks    []struct {
@@ -32,13 +34,14 @@ type benchDoc struct {
 	} `json:"benchmarks"`
 	Detailed       *float64 `json:"detailed_minst_per_s"`
 	Sampled        *float64 `json:"sampled_minst_per_s"`
+	Analysis       *float64 `json:"analysis_minst_per_s"`
 	SampledSpeedup *float64 `json:"sampled_speedup"`
 	FFSpeedup      *float64 `json:"ff_speedup"`
 }
 
 // maxBenchSchema is the newest cmd/benchjson schema_version this parser
 // understands.
-const maxBenchSchema = 2
+const maxBenchSchema = 3
 
 // ParseBench extracts samples from a BENCH_core.json document: one
 // bench/<name>/ns_per_op sample per benchmark, one bench/<name>/<unit>
@@ -87,6 +90,7 @@ func ParseBench(data []byte) ([]Sample, error) {
 	}{
 		{"detailed_minst_per_s", doc.Detailed},
 		{"sampled_minst_per_s", doc.Sampled},
+		{"analysis_minst_per_s", doc.Analysis},
 		{"sampled_speedup", doc.SampledSpeedup},
 		{"ff_speedup", doc.FFSpeedup},
 	} {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/prog"
@@ -62,9 +63,25 @@ type Workload struct {
 	Want        uint64 // expected value of x10 at HALT
 }
 
-// Program assembles the workload. Generated sources are tested, so assembly
-// failure is a programming error.
-func (w Workload) Program() *prog.Program { return asm.MustAssemble(w.Source) }
+// progCache memoizes assembled programs keyed by source text. Generators
+// are deterministic, Program is immutable, and the emulator copies the data
+// image into its own memory, so a cached instance is safe to share across
+// goroutines. Without this cache every figure/regression pass re-assembles
+// the full suite, which dominates the streaming analysis path.
+var progCache sync.Map // source string -> *prog.Program
+
+// Program assembles the workload (memoized per source). Generated sources
+// are tested, so assembly failure is a programming error.
+func (w Workload) Program() *prog.Program {
+	if p, ok := progCache.Load(w.Source); ok {
+		return p.(*prog.Program)
+	}
+	p := asm.MustAssemble(w.Source)
+	// Concurrent first calls may race here; both assemble the same source,
+	// and LoadOrStore keeps one canonical instance.
+	got, _ := progCache.LoadOrStore(w.Source, p)
+	return got.(*prog.Program)
+}
 
 type generator func(scale int) Workload
 
@@ -119,19 +136,36 @@ func All() []Workload { return atScale(4) }
 // (tens of thousands of dynamic instructions each).
 func Small() []Workload { return atScale(1) }
 
+// scaleCache memoizes generated workload sets per scale: the generators
+// synthesize source text line by line and re-running all of them per
+// figure pass costs more than the analysis itself. Workload is a value
+// struct of immutable fields, so handing out copies of cached entries is
+// safe; atScale copies the slice so callers may reorder it freely.
+var scaleCache sync.Map // scale int -> []Workload
+
 func atScale(scale int) []Workload {
-	ws := make([]Workload, 0, len(registry))
-	for _, r := range registry {
-		ws = append(ws, r.gen(scale))
+	cached, ok := scaleCache.Load(scale)
+	if !ok {
+		ws := make([]Workload, 0, len(registry))
+		for _, r := range registry {
+			ws = append(ws, r.gen(scale))
+		}
+		cached, _ = scaleCache.LoadOrStore(scale, ws)
 	}
-	return ws
+	src := cached.([]Workload)
+	out := make([]Workload, len(src))
+	copy(out, src)
+	return out
 }
 
 // ByName returns the named workload at the given scale (1 = small, 4 =
 // reference). It returns false if the name is unknown.
 func ByName(name string, scale int) (Workload, bool) {
-	for _, r := range registry {
+	for i, r := range registry {
 		if r.name == name {
+			if cached, ok := scaleCache.Load(scale); ok {
+				return cached.([]Workload)[i], true
+			}
 			return r.gen(scale), true
 		}
 	}

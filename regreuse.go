@@ -27,7 +27,6 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
-	"repro/internal/emu"
 	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -424,11 +423,14 @@ func FastForwardWorkload(name string, scale int) (uint64, error) {
 }
 
 // AnalyzeWorkload runs the functional emulator over a workload and returns
-// the single-use / consumer-count / reuse-chain report (Figures 1-3).
+// the single-use / consumer-count / reuse-chain report (Figures 1-3). It
+// rides the streaming collector on the batched commit-sink path; the
+// per-commit reference collector (analysis.Analyze) produces an identical
+// report, pinned by test.
 func AnalyzeWorkload(name string, scale int) (analysis.Report, error) {
 	w, ok := workloads.ByName(name, scale)
 	if !ok {
 		return analysis.Report{}, fmt.Errorf("regreuse: unknown workload %q", name)
 	}
-	return analysis.Analyze(emu.New(w.Program()), 1<<32)
+	return analysis.AnalyzeProgram(w.Program(), 1<<32)
 }
