@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test vet lint race smoke benchsmoke driftsmoke fabricsmoke ci ckpt-tests bench bench-baseline
+.PHONY: test vet lint lintsmoke race smoke benchsmoke driftsmoke fabricsmoke ci ckpt-tests bench bench-baseline
 
 test:
 	$(GO) build ./...
@@ -14,11 +14,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs renamelint (internal/lint): determinism, hotpath, tagpair and
-# obsguard analyzers over every package. Zero findings is a hard gate; see
-# DESIGN.md §13 for the directives that scope and suppress it.
+# lint runs renamelint (internal/lint): the determinism, detflow, hotpath,
+# tagpair, obsguard, guardedby, snapshot and schemalock analyzers over every
+# package, commands included. Zero findings is a hard gate; see DESIGN.md
+# §13 and §18 for the directives that scope and suppress it.
 lint:
 	$(GO) run ./cmd/renamelint ./...
+
+# lintsmoke is the schema-golden no-drift gate: regenerate every
+# //repro:schema golden into a scratch directory and require it to be
+# byte-identical to the committed schemas/. A shape change that skipped
+# `renamelint -update-schemas` — or a hand-edited golden — fails here, so
+# the goldens on main can never go stale.
+lintsmoke:
+	@set -e; \
+	rm -rf /tmp/regreuse_lintsmoke_schemas; \
+	$(GO) run ./cmd/renamelint -update-schemas -schema-dir /tmp/regreuse_lintsmoke_schemas ./... > /dev/null; \
+	diff -ru schemas /tmp/regreuse_lintsmoke_schemas; \
+	rm -rf /tmp/regreuse_lintsmoke_schemas
+	@echo lintsmoke OK
 
 # race covers the root package and commands too; -short skips the full
 # multi-workload sweeps there (race-instrumented, they blow the CI budget —
@@ -45,7 +59,7 @@ ckpt-tests:
 # HTTP surface: POST /ingest, GET /report, GET /metrics).
 smoke:
 	$(GO) run ./cmd/renamelint -json ./... | \
-		$(GO) run ./cmd/ckjson 'schema_version=1' analyzers.0 analyzers.3 \
+		$(GO) run ./cmd/ckjson 'schema_version=2' analyzers.0 analyzers.7 \
 			'count=0' findings
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 > /dev/null
 	$(GO) run ./cmd/trace -workload poly_horner -n 20 -chrome /tmp/regreuse_smoke_trace.json > /dev/null
@@ -219,7 +233,7 @@ fabricsmoke:
 	rm -rf /tmp/regreuse_fabsmoke /tmp/regreuse_fabsmoke_sweepd /tmp/regreuse_fabsmoke_ckjson
 	@echo fabricsmoke OK
 
-ci: test vet lint race ckpt-tests smoke benchsmoke driftsmoke fabricsmoke
+ci: test vet lint lintsmoke race ckpt-tests smoke benchsmoke driftsmoke fabricsmoke
 
 # bench runs every benchmark once with allocation counts — the quick
 # regression sweep — and regenerates BENCH_core.json (per-benchmark ns/op,

@@ -31,6 +31,8 @@ import (
 )
 
 // benchRecord is one parsed benchmark result line.
+//
+//repro:schema benchjson-record v1
 type benchRecord struct {
 	Name        string   `json:"name"`
 	Iterations  int64    `json:"iterations"`
@@ -51,6 +53,8 @@ type benchRecord struct {
 //     checksum), the production way to characterize a workload.
 //   - SampledSpeedup: SampledRate / DetailedRate.
 //   - FFSpeedup: functional fast-forward rate over DetailedRate.
+//
+//repro:schema benchjson-artifact v3
 type artifact struct {
 	SchemaVersion int `json:"schema_version"`
 	// Provenance stamp (schema v2): which commit and toolchain produced the

@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	renamelint [-json] [-enable determinism,hotpath,tagpair,obsguard] [packages]
+//	renamelint [-json] [-enable determinism,detflow,hotpath,tagpair,obsguard,guardedby,snapshot,schemalock] [packages]
+//	renamelint -update-schemas [packages]
 //
-// With no package arguments it analyzes ./...
+// With no package arguments it analyzes ./... The -update-schemas mode
+// regenerates the committed schema goldens for every //repro:schema struct
+// (after a deliberate shape change with a version bump) instead of checking
+// them; -schema-dir overrides where goldens are read and written.
 package main
 
 import (
@@ -21,8 +25,9 @@ import (
 	"repro/internal/lint"
 )
 
-// schemaVersion gates the -json artifact layout.
-const schemaVersion = 1
+// schemaVersion gates the -json artifact layout. v2 added per-finding
+// analyzer_version and the four v2 analyzers.
+const schemaVersion = 2
 
 type artifact struct {
 	SchemaVersion int            `json:"schema_version"`
@@ -34,16 +39,34 @@ type artifact struct {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the findings artifact as JSON on stdout")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	updateSchemas := flag.Bool("update-schemas", false, "regenerate schema goldens for //repro:schema structs instead of checking them")
+	schemaDir := flag.String("schema-dir", "", "directory for schema goldens (default: nearest schemas/ dir up from each package)")
 	flag.Parse()
+
+	if *schemaDir != "" {
+		lint.SchemaDir = *schemaDir
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *updateSchemas {
+		written, err := lint.UpdateSchemas(patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renamelint:", err)
+			os.Exit(2)
+		}
+		for _, path := range written {
+			fmt.Println("wrote", path)
+		}
+		return
+	}
 
 	analyzers, err := selectAnalyzers(*enable)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "renamelint:", err)
 		os.Exit(2)
-	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
 	}
 
 	findings, err := lint.Run(patterns, analyzers)

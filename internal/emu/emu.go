@@ -32,7 +32,7 @@ type State struct {
 	PC  uint64
 	Mem *Memory
 
-	prog   *prog.Program
+	prog   *prog.Program //repro:allow snapshot immutable loaded program, re-supplied by New
 	halted bool
 	count  uint64
 }

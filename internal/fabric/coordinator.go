@@ -270,7 +270,7 @@ func (c *Coordinator) admit(id string, spec sweep.Spec, finished bool) (*sweepSt
 			}
 		}
 		c.mu.Lock()
-		c.register(s)
+		c.registerLocked(s)
 		c.mu.Unlock()
 		return s, nil
 	}
@@ -282,7 +282,7 @@ func (c *Coordinator) admit(id string, spec sweep.Spec, finished bool) (*sweepSt
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.register(s)
+	c.registerLocked(s)
 	c.met.locked(func(m *Metrics) { m.jobsTotal.Add(uint64(len(jobs))) })
 	for i := range jobs {
 		if e, ok := resumed[s.keys[i]]; ok {
@@ -300,8 +300,8 @@ func (c *Coordinator) admit(id string, spec sweep.Spec, finished bool) (*sweepSt
 	return s, nil
 }
 
-// register adds s to the sweep table (c.mu held).
-func (c *Coordinator) register(s *sweepState) {
+// registerLocked adds s to the sweep table (c.mu held).
+func (c *Coordinator) registerLocked(s *sweepState) {
 	c.sweeps[s.id] = s
 	c.order = append(c.order, s.id)
 }

@@ -23,6 +23,8 @@ import (
 )
 
 // LeaseRequest is a worker's pull for one job.
+//
+//repro:schema fabric-lease-request v1
 type LeaseRequest struct {
 	Worker string `json:"worker"`
 }
@@ -30,6 +32,8 @@ type LeaseRequest struct {
 // LeaseResponse grants one job to the requesting worker until the lease
 // expires or is completed. TTLMillis tells the worker how often to
 // heartbeat (a third of the TTL is the convention).
+//
+//repro:schema fabric-lease-response v1
 type LeaseResponse struct {
 	LeaseID string    `json:"lease_id"`
 	SweepID string    `json:"sweep_id"`
@@ -45,6 +49,8 @@ type LeaseResponse struct {
 // CompleteRequest reports the outcome of a lease. Source is "run" (simulated
 // here) or "cache" (served from the shared store); Error non-empty marks a
 // failed attempt, which the coordinator retries up to its bound.
+//
+//repro:schema fabric-complete-request v1
 type CompleteRequest struct {
 	LeaseID string          `json:"lease_id"`
 	SweepID string          `json:"sweep_id"`
@@ -61,16 +67,22 @@ type CompleteRequest struct {
 // outcome and "ignored" for a late completion whose job already finished
 // elsewhere (both are success at the HTTP layer: the worker is done with the
 // job either way).
+//
+//repro:schema fabric-complete-response v1
 type CompleteResponse struct {
 	Status string `json:"status"`
 }
 
 // HeartbeatRequest renews every lease the worker holds.
+//
+//repro:schema fabric-heartbeat-request v1
 type HeartbeatRequest struct {
 	Worker string `json:"worker"`
 }
 
 // HeartbeatResponse reports how many leases were renewed.
+//
+//repro:schema fabric-heartbeat-response v1
 type HeartbeatResponse struct {
 	Renewed int `json:"renewed"`
 }

@@ -178,7 +178,13 @@ func (w *Worker) process(lr *LeaseResponse) {
 // attempt serves the job from the shared cache when possible, otherwise
 // executes it with the engine's panic/timeout containment. A timed-out
 // goroutine is abandoned (its eventual result is discarded), matching the
-// single-process engine's containment semantics.
+// single-process engine's containment semantics. The result bits must match
+// what a serial run of the same job produces — that equivalence is what
+// makes the shared cache and the byte-identical results.json claims hold —
+// so the body is held to the deterministic scope rules (the timeout timer
+// is containment, not result data).
+//
+//repro:deterministic
 func (w *Worker) attempt(job sweep.Job, sampleWorkers int) (sweep.JobResult, string, error) {
 	key := job.Key()
 	if r, ok := w.cache.Get(key); ok {

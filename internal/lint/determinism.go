@@ -22,9 +22,10 @@ import (
 // Anything else — early returns, callbacks, channel sends, appends that are
 // never sorted — is flagged.
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "flags wall-clock, global math/rand, and order-dependent map iteration in //repro:deterministic scopes",
-	Run:  runDeterminism,
+	Name:    "determinism",
+	Version: 1,
+	Doc:     "flags wall-clock, global math/rand, and order-dependent map iteration in //repro:deterministic scopes",
+	Run:     runDeterminism,
 }
 
 func runDeterminism(p *Pass) {

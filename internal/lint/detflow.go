@@ -1,0 +1,525 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detflow upgrades determinism checking from per-statement idiom matching
+// to a function-local, one-call-deep dataflow pass: inside
+// //repro:deterministic scopes, any value originating in a map range (loop
+// key/value, anything derived from them, slices they are appended to) that
+// reaches an emit sink without passing through a sort is flagged. Sinks:
+//
+//   - return statements (the order leak escapes to the caller);
+//   - fmt print/fprint calls and Write/WriteString/Encode-style method
+//     calls (the leak reaches an output stream);
+//   - channel sends;
+//   - calls into same-package functions whose body forwards the tainted
+//     parameter to one of the above (one call deep).
+//
+// sort.* and slices.Sort* calls sanitize their argument, so the repo's
+// collect-then-sort idiom stays clean; writes keyed into maps stay clean
+// (contents are a set); numeric accumulation stays clean — but string
+// concatenation across iterations is tainted, which the old idiom
+// classifier silently accepted. len/cap of a tainted container are
+// order-independent and never tainted.
+var Detflow = &Analyzer{
+	Name:    "detflow",
+	Version: 1,
+	Doc:     "dataflow pass flagging map-iteration-order-dependent values reaching emit sinks unsorted",
+	Run:     runDetflow,
+}
+
+func runDetflow(p *Pass) {
+	funcs := map[types.Object]*ast.FuncDecl{}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					funcs[obj] = fd
+				}
+			}
+		}
+	}
+	shared := &flowShared{p: p, funcs: funcs, summaries: map[summaryKey]flowSummary{}}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.Pkg.Directives.Deterministic(fd) {
+				continue
+			}
+			fa := &flowAnalysis{shared: shared, report: true, taint: map[types.Object]token.Pos{}}
+			fa.stmts(fd.Body.List)
+		}
+	}
+}
+
+// flowShared is the per-package state shared between the top-level pass and
+// callee summaries.
+type flowShared struct {
+	p         *Pass
+	funcs     map[types.Object]*ast.FuncDecl
+	summaries map[summaryKey]flowSummary
+}
+
+type summaryKey struct {
+	fn    types.Object
+	param int
+}
+
+// flowSummary describes what a callee does with one tainted parameter.
+type flowSummary struct {
+	emits   bool // the parameter reaches a print/write/send sink inside the callee
+	returns bool // the parameter (or a derivative) is returned
+}
+
+// flowAnalysis walks one function body in statement order, tracking which
+// objects currently carry map-iteration-order taint.
+type flowAnalysis struct {
+	shared *flowShared
+	report bool // false while computing a callee summary
+	taint  map[types.Object]token.Pos
+
+	// summary-mode outputs
+	emits   bool
+	returns bool
+}
+
+func (fa *flowAnalysis) info() *types.Info { return fa.shared.p.Pkg.Info }
+
+func (fa *flowAnalysis) originLine(pos token.Pos) int {
+	return fa.shared.p.Pkg.Fset.Position(pos).Line
+}
+
+func (fa *flowAnalysis) sink(at token.Pos, origin token.Pos, what string) {
+	if !fa.report {
+		fa.emits = true
+		return
+	}
+	fa.shared.p.Reportf(at, "value derived from map iteration (range at line %d) reaches %s without an intervening sort", fa.originLine(origin), what)
+}
+
+func (fa *flowAnalysis) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		fa.stmt(s)
+	}
+}
+
+func (fa *flowAnalysis) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		t := fa.info().TypeOf(s.X)
+		_, overMap := t.Underlying().(*types.Map)
+		srcPos, srcTainted := fa.exprTaint(s.X)
+		if overMap || srcTainted {
+			origin := s.Pos()
+			if srcTainted {
+				origin = srcPos
+			}
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+					if obj := fa.info().ObjectOf(id); obj != nil {
+						fa.taint[obj] = origin
+					}
+				}
+			}
+		}
+		fa.stmts(s.Body.List)
+	case *ast.AssignStmt:
+		fa.assign(s)
+	case *ast.ExprStmt:
+		fa.exprTaint(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if pos, tainted := fa.exprTaint(r); tainted {
+				if !fa.report {
+					fa.returns = true
+				} else {
+					fa.sink(r.Pos(), pos, "a return value")
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if pos, tainted := fa.exprTaint(s.Value); tainted {
+			fa.sink(s.Value.Pos(), pos, "a channel send")
+		}
+		fa.exprTaint(s.Chan)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init)
+		}
+		fa.exprTaint(s.Cond)
+		fa.stmts(s.Body.List)
+		if s.Else != nil {
+			fa.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			fa.exprTaint(s.Cond)
+		}
+		fa.stmts(s.Body.List)
+		if s.Post != nil {
+			fa.stmt(s.Post)
+		}
+	case *ast.BlockStmt:
+		fa.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				fa.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				fa.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					fa.stmt(cc.Comm)
+				}
+				fa.stmts(cc.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		fa.call(s.Call)
+	case *ast.GoStmt:
+		fa.call(s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if pos, tainted := fa.exprTaint(vs.Values[i]); tainted {
+							if obj := fa.info().ObjectOf(name); obj != nil {
+								fa.taint[obj] = pos
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		fa.stmt(s.Stmt)
+	}
+}
+
+// assign propagates taint across an assignment, with strong updates for
+// plain identifier targets.
+func (fa *flowAnalysis) assign(s *ast.AssignStmt) {
+	// Multi-value call: one RHS feeding several LHS.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		pos, tainted := fa.exprTaint(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			fa.taintLHS(lhs, pos, tainted, s.Tok)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		pos, tainted := fa.exprTaint(s.Rhs[i])
+		if s.Tok == token.ADD_ASSIGN && !isString(fa.info().TypeOf(lhs)) {
+			continue // numeric accumulation commutes
+		}
+		switch s.Tok {
+		case token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN,
+			token.SUB_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN,
+			token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+			continue // commutative or scalar accumulation
+		}
+		fa.taintLHS(lhs, pos, tainted, s.Tok)
+	}
+}
+
+// taintLHS applies one assignment target. Keyed writes into maps stay
+// untainted (map contents are a set); everything else roots the taint at
+// the target's base object. A plain identifier assigned an untainted value
+// is strongly cleared.
+func (fa *flowAnalysis) taintLHS(lhs ast.Expr, pos token.Pos, tainted bool, tok token.Token) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := fa.info().ObjectOf(l)
+		if obj == nil {
+			return
+		}
+		if tainted {
+			fa.taint[obj] = pos
+		} else if tok == token.ASSIGN || tok == token.DEFINE {
+			delete(fa.taint, obj)
+		}
+	case *ast.IndexExpr:
+		base := fa.info().TypeOf(l.X)
+		if base == nil {
+			return
+		}
+		if _, isMap := base.Underlying().(*types.Map); isMap {
+			return // keyed write: order-independent contents
+		}
+		// Slice/array positional write: a tainted value or index makes the
+		// container order-dependent.
+		ipos, itainted := fa.exprTaint(l.Index)
+		if !tainted && itainted {
+			tainted, pos = true, ipos
+		}
+		if tainted {
+			if root := rootIdent(l.X); root != nil {
+				if obj := fa.info().ObjectOf(root); obj != nil {
+					fa.taint[obj] = pos
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if tainted {
+			if root := rootIdent(l); root != nil {
+				if obj := fa.info().ObjectOf(root); obj != nil {
+					fa.taint[obj] = pos
+				}
+			}
+		}
+	case *ast.StarExpr:
+		if tainted {
+			if root := rootIdent(l.X); root != nil {
+				if obj := fa.info().ObjectOf(root); obj != nil {
+					fa.taint[obj] = pos
+				}
+			}
+		}
+	}
+}
+
+// exprTaint evaluates an expression for taint, processing any calls inside
+// it (sanitizers, sinks, summaries) along the way.
+func (fa *flowAnalysis) exprTaint(e ast.Expr) (token.Pos, bool) {
+	if e == nil {
+		return token.NoPos, false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := fa.info().ObjectOf(e); obj != nil {
+			if pos, ok := fa.taint[obj]; ok {
+				return pos, true
+			}
+		}
+		return token.NoPos, false
+	case *ast.CallExpr:
+		return fa.call(e)
+	case *ast.ParenExpr:
+		return fa.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		return fa.exprTaint(e.X)
+	case *ast.StarExpr:
+		return fa.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		if pos, t := fa.exprTaint(e.X); t {
+			return pos, true
+		}
+		return fa.exprTaint(e.Y)
+	case *ast.IndexExpr:
+		if pos, t := fa.exprTaint(e.X); t {
+			return pos, true
+		}
+		return fa.exprTaint(e.Index)
+	case *ast.SliceExpr:
+		return fa.exprTaint(e.X)
+	case *ast.SelectorExpr:
+		// Field/method access through a tainted base is tainted.
+		return fa.exprTaint(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if pos, t := fa.exprTaint(el); t {
+				return pos, true
+			}
+		}
+		return token.NoPos, false
+	case *ast.KeyValueExpr:
+		return fa.exprTaint(e.Value)
+	case *ast.TypeAssertExpr:
+		return fa.exprTaint(e.X)
+	case *ast.FuncLit:
+		// Closures are walked for sinks with the current taint set; their
+		// value itself is untainted.
+		fa.stmts(e.Body.List)
+		return token.NoPos, false
+	}
+	return token.NoPos, false
+}
+
+// call processes one call: sanitizer, sink, builtin, or (one level deep)
+// same-package callee summary. It returns the taint of the call's result.
+func (fa *flowAnalysis) call(call *ast.CallExpr) (token.Pos, bool) {
+	info := fa.info()
+	// Builtins: len/cap of a tainted container are order-independent;
+	// append/copy propagate.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "len", "cap", "delete":
+				for _, a := range call.Args {
+					fa.exprTaint(a)
+				}
+				return token.NoPos, false
+			}
+		}
+	}
+	// Sanitizer: sort.*/slices.Sort* clear their argument's taint.
+	if name, pkgPath := calleePkgFunc(info, call); pkgPath == "sort" || (pkgPath == "slices" && strings.HasPrefix(name, "Sort")) {
+		for _, a := range call.Args {
+			if root := rootIdent(a); root != nil {
+				if obj := info.ObjectOf(root); obj != nil {
+					delete(fa.taint, obj)
+				}
+			}
+		}
+		return token.NoPos, false
+	}
+	// Evaluate arguments once (walks nested calls and closures too).
+	type argTaint struct {
+		pos     token.Pos
+		tainted bool
+	}
+	args := make([]argTaint, len(call.Args))
+	argPos := token.NoPos
+	argTainted := false
+	for i, a := range call.Args {
+		pos, t := fa.exprTaint(a)
+		args[i] = argTaint{pos, t}
+		if t && !argTainted {
+			argPos, argTainted = pos, true
+		}
+	}
+	// Sinks.
+	if argTainted {
+		if name, pkgPath := calleePkgFunc(info, call); pkgPath == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			fa.sink(call.Pos(), argPos, "fmt."+name)
+			return token.NoPos, false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if emitMethod(sel.Sel.Name) {
+				// A method on a same-package value may still be summarized
+				// below; stdlib writers/encoders are terminal sinks.
+				if fd := fa.callee(call); fd == nil {
+					fa.sink(call.Pos(), argPos, sel.Sel.Name+" call")
+					return token.NoPos, false
+				}
+			}
+		}
+	}
+	// One call deep: summarize a same-package callee's handling of each
+	// tainted argument.
+	if fd := fa.callee(call); fd != nil && fa.report {
+		obj := info.Defs[fd.Name]
+		resTaint := false
+		var resPos token.Pos
+		for i, a := range call.Args {
+			if !args[i].tainted {
+				continue
+			}
+			sum := fa.shared.summary(obj, fd, i)
+			if sum.emits {
+				fa.sink(a.Pos(), args[i].pos, "a call to "+fd.Name.Name+", which emits it")
+			}
+			if sum.returns && !resTaint {
+				resTaint, resPos = true, args[i].pos
+			}
+		}
+		if resTaint {
+			return resPos, true
+		}
+		return token.NoPos, false
+	}
+	// Unknown callee: conservatively propagate argument taint to the result.
+	if argTainted {
+		return argPos, true
+	}
+	// Method calls on tainted receivers produce tainted results.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pos, t := fa.exprTaint(sel.X); t {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// callee resolves a call to a function or method declared in this package.
+func (fa *flowAnalysis) callee(call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = fa.info().Uses[fun]
+	case *ast.SelectorExpr:
+		obj = fa.info().Uses[fun.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	return fa.shared.funcs[obj]
+}
+
+// summary computes (memoized) what fd does with a taint entering through
+// parameter index i.
+func (fs *flowShared) summary(obj types.Object, fd *ast.FuncDecl, i int) flowSummary {
+	key := summaryKey{fn: obj, param: i}
+	if s, ok := fs.summaries[key]; ok {
+		return s
+	}
+	// Seed the memo first so self-recursive callees terminate.
+	fs.summaries[key] = flowSummary{}
+	params := flattenParams(fd)
+	if i >= len(params) {
+		return flowSummary{}
+	}
+	fa := &flowAnalysis{shared: fs, report: false, taint: map[types.Object]token.Pos{}}
+	if pobj := fs.p.Pkg.Info.Defs[params[i]]; pobj != nil {
+		fa.taint[pobj] = params[i].Pos()
+	}
+	fa.stmts(fd.Body.List)
+	s := flowSummary{emits: fa.emits, returns: fa.returns}
+	fs.summaries[key] = s
+	return s
+}
+
+// flattenParams lists fd's parameter names in positional order.
+func flattenParams(fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, ast.NewIdent("_"))
+			continue
+		}
+		out = append(out, f.Names...)
+	}
+	return out
+}
+
+// emitMethod reports whether a method name is an output-stream emission.
+func emitMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Print", "Printf", "Fprintf":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces mutex discipline on shared state. A struct field is
+// "guarded" by a mutex field of the same struct when either
+//
+//   - the field's doc or line comment carries `//repro:guardedby <mutex>`
+//     naming a sync.Mutex/sync.RWMutex field of the struct, or
+//   - the struct owns a sync.Mutex/sync.RWMutex field and the field is
+//     declared after it — the repository's (and Go's) standard "mu guards
+//     the fields below" layout, inferred so existing structs are covered
+//     without annotation. `//repro:guardedby none` opts a field out of the
+//     inference (e.g. an atomic, or a field immutable after construction).
+//
+// Every read or write of a guarded field is then flagged unless the
+// enclosing function provably holds the guard:
+//
+//   - the function body locks the same access path's mutex (c.mu.Lock() for
+//     an access to c.field, s.m.mu.Lock() for s.m.field — paths are matched
+//     textually on the resolved root object plus field names);
+//   - the function is a method whose name ends in "Locked" — the
+//     caller-holds-the-lock naming convention used across the repo;
+//   - the access is through a variable created inside the function itself
+//     (the constructor pattern: a value not yet shared needs no lock).
+//
+// For sync.RWMutex guards, reads accept RLock or Lock; writes require Lock.
+// Intentional exceptions use `//repro:allow guardedby <reason>`.
+var GuardedBy = &Analyzer{
+	Name:    "guardedby",
+	Version: 1,
+	Doc:     "flags reads/writes of mutex-guarded struct fields from functions that do not hold the guard",
+	Run:     runGuardedBy,
+}
+
+const dirGuardedBy = "//repro:guardedby"
+
+// guardInfo describes one struct type's guarded fields.
+type guardInfo struct {
+	// guards maps a field object to the name of the mutex field guarding
+	// it; rw records whether that mutex is a sync.RWMutex.
+	guards map[*types.Var]string
+	rw     map[string]bool
+}
+
+func runGuardedBy(p *Pass) {
+	guarded := collectGuards(p)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(p, fd, guarded)
+		}
+	}
+}
+
+// mutexKind classifies t as a sync mutex: 0 = not a mutex, 1 = Mutex,
+// 2 = RWMutex.
+func mutexKind(t types.Type) int {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return 1
+	case "RWMutex":
+		return 2
+	}
+	return 0
+}
+
+// collectGuards builds the guarded-field table for every struct type
+// declared in the package, from explicit //repro:guardedby directives and
+// from mutex-position inference.
+func collectGuards(p *Pass) map[*types.Struct]*guardInfo {
+	out := map[*types.Struct]*guardInfo{}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			stAST, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			gi := buildGuardInfo(p, stAST, st)
+			if gi != nil {
+				out[st] = gi
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// buildGuardInfo resolves one struct's guards, or nil when it has none.
+func buildGuardInfo(p *Pass, stAST *ast.StructType, st *types.Struct) *guardInfo {
+	// Map AST fields to type-checker field objects, and find the mutexes.
+	type fieldDecl struct {
+		v     *types.Var
+		field *ast.Field
+	}
+	var fields []fieldDecl
+	mutexes := map[string]int{} // mutex field name -> kind
+	i := 0
+	for _, f := range stAST.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field occupies one slot
+		}
+		for j := 0; j < n; j++ {
+			if i >= st.NumFields() {
+				break
+			}
+			v := st.Field(i)
+			fields = append(fields, fieldDecl{v: v, field: f})
+			if k := mutexKind(v.Type()); k != 0 {
+				mutexes[v.Name()] = k
+			}
+			i++
+		}
+	}
+	gi := &guardInfo{guards: map[*types.Var]string{}, rw: map[string]bool{}}
+	for name, kind := range mutexes {
+		gi.rw[name] = kind == 2
+	}
+	// Inference: fields declared after the first mutex are guarded by it.
+	inferredMu := ""
+	for _, fd := range fields {
+		if inferredMu == "" {
+			if _, isMu := mutexes[fd.v.Name()]; isMu && mutexKind(fd.v.Type()) != 0 {
+				inferredMu = fd.v.Name()
+				continue
+			}
+		}
+		dir, has := fieldGuardDirective(fd.field)
+		switch {
+		case has && dir == "none":
+			// explicit opt-out
+		case has:
+			if _, ok := mutexes[dir]; ok {
+				gi.guards[fd.v] = dir
+			} else {
+				p.Reportf(fd.field.Pos(), "//repro:guardedby names %q, which is not a sync.Mutex/RWMutex field of this struct", dir)
+			}
+		case inferredMu != "" && mutexKind(fd.v.Type()) == 0:
+			gi.guards[fd.v] = inferredMu
+		}
+	}
+	if len(gi.guards) == 0 {
+		return nil
+	}
+	return gi
+}
+
+// fieldGuardDirective extracts `//repro:guardedby <arg>` from a field's doc
+// or trailing line comment.
+func fieldGuardDirective(f *ast.Field) (arg string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, dirGuardedBy)
+			if !found {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				return fields[0], true
+			}
+		}
+	}
+	return "", false
+}
+
+// lockSet records, per textual access path ("c" or "c.met"), which mutex
+// fields the function locks and how (write lock vs read lock).
+type lockSet struct {
+	write map[string]bool // "path.mu" locked via Lock
+	read  map[string]bool // "path.mu" locked via RLock (or Lock)
+}
+
+func checkGuardedFunc(p *Pass, fd *ast.FuncDecl, guarded map[*types.Struct]*guardInfo) {
+	info := p.Pkg.Info
+	// Methods named *Locked document that the caller holds the lock.
+	if fd.Recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	locks := collectLocks(info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldObj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		owner := ownerStruct(selection)
+		gi := guarded[owner]
+		if gi == nil {
+			return true
+		}
+		mu, isGuarded := gi.guards[fieldObj]
+		if !isGuarded {
+			return true
+		}
+		base, root := accessPath(info, sel.X)
+		if root == nil {
+			return true
+		}
+		// Constructor pattern: a value created inside this function is not
+		// yet shared, so its fields need no lock.
+		if v, ok := root.(*types.Var); ok && fd.Body.Pos() <= v.Pos() && v.Pos() <= fd.Body.End() {
+			return true
+		}
+		key := base + "." + mu
+		write := isWriteContext(p.Pkg, sel)
+		if write {
+			if !locks.write[key] {
+				p.Reportf(sel.Sel.Pos(), "write to %s.%s guarded by %s without holding %s.Lock (hold the lock, rename the %s *Locked, or //repro:allow guardedby)", base, fieldObj.Name(), mu, key, funcKind(fd))
+			}
+		} else if !locks.write[key] && !locks.read[key] {
+			p.Reportf(sel.Sel.Pos(), "read of %s.%s guarded by %s without holding %s (hold the lock, rename the %s *Locked, or //repro:allow guardedby)", base, fieldObj.Name(), mu, key, funcKind(fd))
+		}
+		return true
+	})
+}
+
+func funcKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// ownerStruct returns the struct type the selected field belongs to.
+func ownerStruct(selection *types.Selection) *types.Struct {
+	t := selection.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	// Walk the embedding chain: the index path's last hop names the field,
+	// earlier hops name embedded structs.
+	for _, idx := range selection.Index()[:len(selection.Index())-1] {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		t = st.Field(idx).Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// accessPath renders expr as a stable "root.f1.f2" path plus the resolved
+// root object, or ("", nil) when the base is not a plain selector chain.
+func accessPath(info *types.Info, expr ast.Expr) (string, types.Object) {
+	var parts []string
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			if obj == nil {
+				return "", nil
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			if len(parts) == 0 {
+				return e.Name, obj
+			}
+			return e.Name + "." + strings.Join(parts, "."), obj
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return "", nil
+		}
+	}
+}
+
+// collectLocks scans body for <path>.<mu>.Lock() / RLock() calls on sync
+// mutexes and records them by textual path.
+func collectLocks(info *types.Info, body *ast.BlockStmt) lockSet {
+	ls := lockSet{write: map[string]bool{}, read: map[string]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Lock" && name != "RLock" {
+			return true
+		}
+		if mutexKind(deref(info.TypeOf(sel.X))) == 0 {
+			return true
+		}
+		path, root := accessPath(info, sel.X)
+		if root == nil {
+			return true
+		}
+		if name == "Lock" {
+			ls.write[path] = true
+		}
+		ls.read[path] = true
+		return true
+	})
+	return ls
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isWriteContext reports whether sel is written: assignment LHS (including
+// op-assigns), ++/--, or has its address taken (conservatively a write).
+func isWriteContext(pkg *Package, sel *ast.SelectorExpr) bool {
+	fd := pkg.enclosingFunc(sel.Pos())
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	write := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if containsNode(lhs, sel) {
+					write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if containsNode(n.X, sel) {
+				write = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && containsNode(n.X, sel) {
+				write = true
+			}
+		}
+		return !write
+	})
+	return write
+}
+
+// containsNode reports whether target appears within root (identity, not
+// structural, comparison).
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

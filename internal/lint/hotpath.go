@@ -19,9 +19,10 @@ import (
 // (`if x != nil { ... }` where x is an internal/obs Observer — the
 // observability slow path the nil-observer contract makes opt-in).
 var Hotpath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "flags allocation-inducing constructs in //repro:hotpath functions",
-	Run:  runHotpath,
+	Name:    "hotpath",
+	Version: 1,
+	Doc:     "flags allocation-inducing constructs in //repro:hotpath functions",
+	Run:     runHotpath,
 }
 
 func runHotpath(p *Pass) {

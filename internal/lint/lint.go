@@ -19,6 +19,12 @@
 //	                        call sites must sit behind a nil-observer check
 //	//repro:allow <analyzer> <reason>
 //	                        same line, line above, or func doc — suppress
+//	//repro:guardedby <mu>  field doc/line comment — the field is protected
+//	                        by the named mutex path; "none" opts a field out
+//	                        of struct-level inference
+//	//repro:schema <name> v<N>
+//	                        struct type doc — the struct's shape is locked
+//	                        against the committed golden in schemas/
 package lint
 
 import (
@@ -30,11 +36,12 @@ import (
 // Finding is one diagnostic. The JSON field names are the renamelint artifact
 // schema, pinned by cmd/ckjson in make smoke.
 type Finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File            string `json:"file"`
+	Line            int    `json:"line"`
+	Col             int    `json:"col"`
+	Analyzer        string `json:"analyzer"`
+	AnalyzerVersion int    `json:"analyzer_version"`
+	Message         string `json:"message"`
 }
 
 func (f Finding) String() string {
@@ -44,14 +51,15 @@ func (f Finding) String() string {
 // Analyzer is one invariant checker. Run inspects a single loaded package and
 // reports findings through the pass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name    string
+	Doc     string
+	Version int // bumped whenever the analyzer's semantics change; carried per finding
+	Run     func(*Pass)
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, TagPair, ObsGuard}
+	return []*Analyzer{Determinism, Detflow, Hotpath, TagPair, ObsGuard, GuardedBy, Snapshot, SchemaLock}
 }
 
 // Pass couples one analyzer with one package for a Run invocation.
@@ -73,11 +81,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		return
 	}
 	*p.findings = append(*p.findings, Finding{
-		File:     position.Filename,
-		Line:     position.Line,
-		Col:      position.Column,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		File:            position.Filename,
+		Line:            position.Line,
+		Col:             position.Column,
+		Analyzer:        p.Analyzer.Name,
+		AnalyzerVersion: p.Analyzer.Version,
+		Message:         fmt.Sprintf(format, args...),
 	})
 }
 

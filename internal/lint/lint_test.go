@@ -87,6 +87,45 @@ func TestObsGuardGolden(t *testing.T) {
 	checkGolden(t, "obsguard_bad", []*Analyzer{ObsGuard})
 }
 
+func TestGuardedByGolden(t *testing.T) {
+	checkGolden(t, "guardedby_bad", []*Analyzer{GuardedBy})
+}
+
+func TestGuardedByClean(t *testing.T) {
+	checkGolden(t, "guardedby_clean", []*Analyzer{GuardedBy})
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	checkGolden(t, "snapshot_bad", []*Analyzer{Snapshot})
+}
+
+func TestSnapshotClean(t *testing.T) {
+	checkGolden(t, "snapshot_clean", []*Analyzer{Snapshot})
+}
+
+func TestSchemaLockGolden(t *testing.T) {
+	checkGolden(t, "schemalock_bad", []*Analyzer{SchemaLock})
+}
+
+func TestSchemaLockClean(t *testing.T) {
+	checkGolden(t, "schemalock_clean", []*Analyzer{SchemaLock})
+}
+
+func TestDetflowGolden(t *testing.T) {
+	checkGolden(t, "detflow_bad", []*Analyzer{Detflow})
+}
+
+func TestDetflowClean(t *testing.T) {
+	checkGolden(t, "detflow_clean", []*Analyzer{Detflow})
+}
+
+// TestGenericsLoad pins the loader on type-parameterized and build-tagged
+// sources: the package must typecheck (generic decls, instantiations,
+// constraint interfaces) and come out clean under the full suite.
+func TestGenericsLoad(t *testing.T) {
+	checkGolden(t, "generics_ok", All())
+}
+
 // TestCleanPackage runs the full suite over a package built from every
 // allowed idiom (collect-then-sort, keyed writes, commutative accumulation,
 // receiver-owned appends, guarded emissions, paired tags, //repro:allow) and
@@ -96,8 +135,10 @@ func TestCleanPackage(t *testing.T) {
 }
 
 // TestRepoClean pins the tentpole acceptance criterion: the repository's own
-// packages carry zero findings. Wildcard patterns skip testdata directories,
-// so the seeded-violation packages above do not trip it.
+// packages — internal/... AND cmd/..., everything under the repro module —
+// carry zero findings from the full eight-analyzer suite. Wildcard patterns
+// skip testdata directories, so the seeded-violation packages above do not
+// trip it.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping whole-repo lint")

@@ -18,9 +18,10 @@ import (
 // (they document "callers must have checked"); the analyzer transfers the
 // obligation to their call sites.
 var ObsGuard = &Analyzer{
-	Name: "obsguard",
-	Doc:  "flags observer emissions not behind the nil-observer fast path",
-	Run:  runObsGuard,
+	Name:    "obsguard",
+	Version: 1,
+	Doc:     "flags observer emissions not behind the nil-observer fast path",
+	Run:     runObsGuard,
 }
 
 func runObsGuard(p *Pass) {

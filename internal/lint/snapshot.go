@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Snapshot enforces checkpoint completeness: for every struct type with a
+// Snapshot/Restore method pair (or a Marshal<X>/Unmarshal<X> pair — e.g.
+// MarshalBinary/UnmarshalBinary), every mutable stored field of the
+// receiver must be referenced in both directions. Adding a field to
+// emu.State (or a checkpoint-store record) without round-tripping it then
+// fails lint instead of silently corrupting checkpoints.
+//
+// "Referenced" is structural: a selector resolving to the field anywhere in
+// the method body, or one call deep inside a same-package function or
+// method invoked from it. Fields that are not state are skipped
+// automatically: sync.Mutex/RWMutex/Once/WaitGroup, functions and channels.
+// Deliberately unserialized fields (derived caches, identity pointers the
+// caller re-supplies) are annotated on their declaration line with
+// `//repro:allow snapshot <reason>`.
+var Snapshot = &Analyzer{
+	Name:    "snapshot",
+	Version: 1,
+	Doc:     "flags receiver fields missing from a Snapshot/Restore or Marshal/Unmarshal round-trip",
+	Run:     runSnapshot,
+}
+
+// snapPair names the two directions of one serialization contract.
+type snapPair struct{ save, load string }
+
+func runSnapshot(p *Pass) {
+	// Index this package's methods by (receiver named type, method name),
+	// and functions by object for the one-call-deep expansion.
+	type key struct {
+		recv *types.Named
+		name string
+	}
+	methods := map[key]*ast.FuncDecl{}
+	byObj := map[types.Object]*ast.FuncDecl{}
+	var recvNames []*types.Named
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+				byObj[obj] = fd
+			}
+			if named := recvNamed(p.Pkg.Info, fd); named != nil {
+				k := key{named, fd.Name.Name}
+				if _, seen := methods[k]; !seen {
+					methods[k] = fd
+				}
+				recvNames = append(recvNames, named)
+			}
+		}
+	}
+
+	checked := map[*types.Named]bool{}
+	for _, named := range recvNames {
+		if checked[named] {
+			continue
+		}
+		checked[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for _, pair := range snapPairs(named, func(name string) bool {
+			_, ok := methods[key{named, name}]
+			return ok
+		}) {
+			save := methods[key{named, pair.save}]
+			load := methods[key{named, pair.load}]
+			saveRefs := fieldRefs(p.Pkg, save, byObj)
+			loadRefs := fieldRefs(p.Pkg, load, byObj)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !snapshotRelevant(f.Type()) {
+					continue
+				}
+				inSave, inLoad := saveRefs[f], loadRefs[f]
+				if inSave && inLoad {
+					continue
+				}
+				var missing string
+				switch {
+				case !inSave && !inLoad:
+					missing = pair.save + " or " + pair.load
+				case !inSave:
+					missing = pair.save
+				default:
+					missing = pair.load
+				}
+				p.Reportf(f.Pos(), "field %s.%s is not referenced by %s; the %s/%s round-trip would drop it (serialize it or annotate the field //repro:allow snapshot <reason>)",
+					named.Obj().Name(), f.Name(), missing, pair.save, pair.load)
+			}
+		}
+	}
+}
+
+// snapPairs returns the serialization pairs type named actually declares:
+// Snapshot/Restore, plus every Marshal<X> with a matching Unmarshal<X>.
+func snapPairs(named *types.Named, has func(string) bool) []snapPair {
+	var pairs []snapPair
+	if has("Snapshot") && has("Restore") {
+		pairs = append(pairs, snapPair{"Snapshot", "Restore"})
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		name := named.Method(i).Name()
+		suffix, ok := strings.CutPrefix(name, "Marshal")
+		if !ok {
+			continue
+		}
+		if has("Unmarshal" + suffix) {
+			pairs = append(pairs, snapPair{name, "Unmarshal" + suffix})
+		}
+	}
+	return pairs
+}
+
+// recvNamed returns fd's receiver named type (through a pointer), or nil.
+func recvNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// snapshotRelevant reports whether a field of type t is mutable stored
+// state a snapshot must carry. Synchronization primitives, functions and
+// channels are mechanisms, not state.
+func snapshotRelevant(t types.Type) bool {
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return false
+		}
+	}
+	switch t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return false
+	}
+	return true
+}
+
+// fieldRefs collects every field of fd's receiver struct referenced in fd's
+// body, expanding one call deep into same-package functions and methods.
+func fieldRefs(pkg *Package, fd *ast.FuncDecl, byObj map[types.Object]*ast.FuncDecl) map[*types.Var]bool {
+	refs := map[*types.Var]bool{}
+	recv := recvNamed(pkg.Info, fd)
+	if recv == nil {
+		return refs
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return refs
+	}
+	bodies := []*ast.BlockStmt{fd.Body}
+	// One call deep: any same-package callee's body also counts.
+	seen := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = pkg.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = pkg.Info.Uses[fun.Sel]
+		}
+		if callee == nil || seen[callee] {
+			return true
+		}
+		seen[callee] = true
+		if cfd := byObj[callee]; cfd != nil && cfd.Body != nil {
+			bodies = append(bodies, cfd.Body)
+		}
+		return true
+	})
+	for _, body := range bodies {
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if v, ok := selection.Obj().(*types.Var); ok && fieldOfStruct(st, v) {
+				refs[v] = true
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// fieldOfStruct reports whether v is one of st's direct fields.
+func fieldOfStruct(st *types.Struct, v *types.Var) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -17,9 +17,10 @@ import (
 // fields, in every package except regfile itself (the layer that owns the
 // versioned cells and legitimately addresses bare registers).
 var TagPair = &Analyzer{
-	Name: "tagpair",
-	Doc:  "flags exported signatures/fields carrying regfile.PhysReg without an accompanying version",
-	Run:  runTagPair,
+	Name:    "tagpair",
+	Version: 1,
+	Doc:     "flags exported signatures/fields carrying regfile.PhysReg without an accompanying version",
+	Run:     runTagPair,
 }
 
 func runTagPair(p *Pass) {

@@ -1,0 +1,66 @@
+// Package detflow_clean exercises every flow the detflow analyzer must
+// accept: sorted emission, order-independent folds, keyed writes,
+// length-only observations.
+//
+//repro:deterministic
+package detflow_clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys is the canonical collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrintSorted emits only after sorting.
+func PrintSorted(w io.Writer, m map[string]int) {
+	keys := SortedKeys(m)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Sum folds commutatively: numeric += is order-independent.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Count observes only the cardinality.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert writes through keys: map contents are a set, order-free.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Size returns only the length of the collected slice.
+func Size(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}

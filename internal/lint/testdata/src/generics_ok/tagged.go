@@ -1,0 +1,16 @@
+//go:build !lint_excluded
+
+package generics_ok
+
+// Pair is declared in a build-tagged file the loader must include (the
+// constraint is always satisfied), proving tag filtering flows through
+// `go list` into the typecheck file set.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// Swap returns the mirrored pair.
+func Swap[A, B any](p Pair[A, B]) Pair[B, A] {
+	return Pair[B, A]{First: p.Second, Second: p.First}
+}

@@ -1,0 +1,76 @@
+// Package guardedby_bad seeds mutex-discipline violations for the lint
+// golden tests.
+package guardedby_bad
+
+import "sync"
+
+// Counter follows the repo's layout convention: name (before mu) is set at
+// construction; n and hits (after mu) are inferred guarded by mu.
+type Counter struct {
+	name string
+
+	mu   sync.Mutex
+	n    int
+	hits map[string]int
+}
+
+// Add mutates guarded state with no lock.
+func (c *Counter) Add() {
+	c.n++ // want `write to c.n guarded by mu without holding c.mu.Lock`
+}
+
+// Get reads guarded state with no lock.
+func (c *Counter) Get() int {
+	return c.n // want `read of c.n guarded by mu without holding c.mu`
+}
+
+// Bump is a non-receiver function poking at guarded state.
+func Bump(c *Counter) {
+	c.hits["x"]++ // want `write to c.hits guarded by mu without holding c.mu.Lock`
+}
+
+// Name reads a field declared before the mutex: construction-immutable, ok.
+func (c *Counter) Name() string { return c.name }
+
+// addLocked follows the caller-holds-the-lock convention: ok.
+func (c *Counter) addLocked() { c.n++ }
+
+// SafeAdd locks: ok.
+func (c *Counter) SafeAdd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// New exercises the constructor exemption: a value created here is unshared.
+func New(name string) *Counter {
+	c := &Counter{name: name, hits: map[string]int{}}
+	c.n = 1
+	return c
+}
+
+// Table has an RWMutex: reads accept RLock, writes require Lock.
+type Table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+// Load reads under RLock: ok.
+func (t *Table) Load(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// Store writes under only a read lock.
+func (t *Table) Store(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows[k] = v // want `write to t.rows guarded by mu without holding t.mu.Lock`
+}
+
+// Broken's directive names a field that is not a mutex of the struct.
+type Broken struct {
+	mu sync.Mutex
+	x  int //repro:guardedby lock // want `//repro:guardedby names "lock", which is not a sync.Mutex/RWMutex field of this struct`
+}

@@ -1,0 +1,69 @@
+// Package guardedby_clean exercises every way a guarded-field access can be
+// legitimate; the guardedby analyzer must report nothing.
+package guardedby_clean
+
+import "sync"
+
+// Counter: name precedes mu (construction-immutable); n and hits are
+// inferred guarded; gen opts out of the inference.
+type Counter struct {
+	name string
+
+	mu   sync.Mutex
+	n    int
+	hits map[string]int
+	gen  uint64 //repro:guardedby none - updated only via atomics in this fixture
+}
+
+// New builds an unshared value: the constructor exemption.
+func New(name string) *Counter {
+	c := &Counter{name: name, hits: map[string]int{}}
+	c.n = 1
+	return c
+}
+
+// Add holds the lock across every access.
+func (c *Counter) Add(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits[k]++
+}
+
+// addLocked documents that its caller holds c.mu.
+func (c *Counter) addLocked(k string) {
+	c.n++
+	c.hits[k]++
+}
+
+// Gen reads the opted-out field without the lock.
+func (c *Counter) Gen() uint64 { return c.gen }
+
+// Name reads pre-mutex construction state.
+func (c *Counter) Name() string { return c.name }
+
+// Racy is a deliberate exception, suppressed with an allow directive.
+func (c *Counter) Racy() int {
+	return c.n //repro:allow guardedby approximate read is fine for a progress meter
+}
+
+// Pair guards fields declared before the mutex via explicit directives.
+type Pair struct {
+	a   int //repro:guardedby big
+	b   int //repro:guardedby big
+	big sync.RWMutex
+}
+
+// Get reads under the read lock.
+func (p *Pair) Get() int {
+	p.big.RLock()
+	defer p.big.RUnlock()
+	return p.a + p.b
+}
+
+// Set writes under the write lock.
+func (p *Pair) Set(a, b int) {
+	p.big.Lock()
+	defer p.big.Unlock()
+	p.a, p.b = a, b
+}

@@ -1,0 +1,48 @@
+// Package schemalock_bad seeds schema-lock violations for the lint golden
+// tests. The goldens under schemas/ in this directory were generated from
+// earlier shapes/versions of these structs (see the seed comments).
+package schemalock_bad
+
+// MissingGolden has no committed golden at all.
+//
+//repro:schema missing-golden v1
+type MissingGolden struct { // want `schema "missing-golden" v1 has no committed golden`
+	A int `json:"a"`
+}
+
+// Drifted gained field B after its v1 golden was committed, with no bump.
+//
+//repro:schema drifted v1
+type Drifted struct { // want `schema "drifted" shape changed without a version bump .golden and source both say v1 but fingerprints differ: \+B`
+	A int    `json:"a"`
+	B string `json:"b"`
+}
+
+// Stale was bumped to v2 with a new field, but the golden is still the v1
+// shape: a declared change whose regeneration was forgotten.
+//
+//repro:schema stale v2
+type Stale struct { // want `schema "stale" golden is stale .golden v1, source v2.`
+	A int  `json:"a"`
+	C bool `json:"c"`
+}
+
+// VerBump bumped the version with an identical shape; the golden still says
+// v1.
+//
+//repro:schema verbump v2
+type VerBump struct { // want `schema "verbump" version mismatch .golden v1, source v2. with an identical shape`
+	A int `json:"a"`
+}
+
+// BadDirective's annotation is missing the version argument.
+//
+//repro:schema malformed
+type BadDirective struct { // want `bad //repro:schema directive: got 1 arguments, want 2`
+	A int
+}
+
+// NotAStruct carries the directive on a non-struct type.
+//
+//repro:schema notastruct v1
+type NotAStruct int // want `//repro:schema on non-struct type NotAStruct`

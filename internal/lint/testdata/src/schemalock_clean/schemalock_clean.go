@@ -1,0 +1,17 @@
+// Package schemalock_clean has an annotated struct whose committed golden
+// matches exactly; the schemalock analyzer must report nothing.
+package schemalock_clean
+
+// Point is a locked wire shape.
+//
+//repro:schema clean-point v2
+type Point struct {
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Label string `json:"label,omitempty"`
+}
+
+// Unannotated is shape-free: no directive, no check.
+type Unannotated struct {
+	Whatever []byte
+}

@@ -1,0 +1,45 @@
+// Package snapshot_bad seeds checkpoint-completeness violations for the lint
+// golden tests.
+package snapshot_bad
+
+// Image is the serialized form of Machine.
+type Image struct {
+	PC    uint64
+	Regs  [4]uint64
+	Steps uint64
+}
+
+// Machine's Snapshot/Restore pair drops fields.
+type Machine struct {
+	pc    uint64
+	regs  [4]uint64
+	steps uint64        // want `field Machine.steps is not referenced by Restore`
+	cache []byte        // want `field Machine.cache is not referenced by Snapshot or Restore`
+	done  chan struct{} // channels are mechanism, not state: skipped
+}
+
+// Snapshot saves steps but Restore never puts it back.
+func (m *Machine) Snapshot() Image {
+	return Image{PC: m.pc, Regs: m.regs, Steps: m.steps}
+}
+
+// Restore drops steps and cache.
+func (m *Machine) Restore(img Image) {
+	m.pc = img.PC
+	m.regs = img.Regs
+}
+
+// Blob's Marshal/Unmarshal pair drops dirty.
+type Blob struct {
+	data  []byte
+	dirty bool // want `field Blob.dirty is not referenced by MarshalBinary or UnmarshalBinary`
+}
+
+// MarshalBinary serializes only data.
+func (b *Blob) MarshalBinary() ([]byte, error) { return b.data, nil }
+
+// UnmarshalBinary restores only data.
+func (b *Blob) UnmarshalBinary(p []byte) error {
+	b.data = append(b.data[:0], p...)
+	return nil
+}

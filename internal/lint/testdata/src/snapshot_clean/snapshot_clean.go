@@ -1,0 +1,38 @@
+// Package snapshot_clean round-trips every mutable stored field; the
+// snapshot analyzer must report nothing.
+package snapshot_clean
+
+import "sync"
+
+// Image is the serialized form of Machine.
+type Image struct {
+	PC   uint64
+	Regs [4]uint64
+}
+
+// Machine: mu is a sync primitive (skipped), step is a func and done a
+// channel (mechanism, skipped), cache is a derived value that is annotated
+// as deliberately unserialized, pc and regs round-trip — regs one call deep.
+type Machine struct {
+	mu    sync.Mutex
+	pc    uint64
+	regs  [4]uint64
+	cache []byte //repro:allow snapshot derived from regs on first use
+	step  func()
+	done  chan struct{}
+}
+
+// Snapshot saves the architectural state.
+func (m *Machine) Snapshot() Image {
+	return Image{PC: m.pc, Regs: m.regs}
+}
+
+// Restore reinstates it, restoring regs through a helper.
+func (m *Machine) Restore(img Image) {
+	m.pc = img.PC
+	m.restoreRegs(img)
+}
+
+func (m *Machine) restoreRegs(img Image) {
+	m.regs = img.Regs
+}

@@ -180,6 +180,8 @@ type GaugeSnap struct {
 // Snapshot is a point-in-time copy of a registry, shaped for JSON output.
 // Gauges is omitted when empty so registries that predate gauges (the
 // simulator run artifacts) serialize exactly as before.
+//
+//repro:schema obs-snapshot v1
 type Snapshot struct {
 	Counters   []CounterSnap `json:"counters"`
 	Gauges     []GaugeSnap   `json:"gauges,omitempty"`

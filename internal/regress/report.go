@@ -72,6 +72,8 @@ func (g *GoldenStatus) evidence(headCommit string) []EvidenceRef {
 // Convergence is the asterisk-style confidence score: the fraction of
 // checks (trajectory bands + paper bands + golden fingerprint) that landed
 // in band, 1.0 meaning fully converged with the recorded trajectory.
+//
+//repro:schema regress-report v1
 type Report struct {
 	SchemaVersion int           `json:"schema_version"`
 	Commit        string        `json:"commit"`

@@ -146,7 +146,7 @@ func (s *Store) Ingest(commit string, changedFiles []string, arts []Artifact) (I
 		if err := s.writeObject(digest, a.Data); err != nil {
 			return res, err
 		}
-		if s.lastDigest(commit, a.Kind, a.Name) == digest {
+		if s.lastDigestLocked(commit, a.Kind, a.Name) == digest {
 			continue // idempotent re-ingest
 		}
 		rec := IngestRecord{
@@ -158,7 +158,7 @@ func (s *Store) Ingest(commit string, changedFiles []string, arts []Artifact) (I
 			Name:          a.Name,
 			Digest:        digest,
 		}
-		if err := s.appendRecord(rec); err != nil {
+		if err := s.appendRecordLocked(rec); err != nil {
 			return res, err
 		}
 		s.records = append(s.records, rec)
@@ -168,9 +168,9 @@ func (s *Store) Ingest(commit string, changedFiles []string, arts []Artifact) (I
 	return res, nil
 }
 
-// lastDigest returns the most recent recorded digest for commit's artifact,
-// or "".
-func (s *Store) lastDigest(commit, kind, name string) string {
+// lastDigestLocked returns the most recent recorded digest for commit's
+// artifact, or "" (s.mu held).
+func (s *Store) lastDigestLocked(commit, kind, name string) string {
 	for i := len(s.records) - 1; i >= 0; i-- {
 		r := s.records[i]
 		if r.Commit == commit && r.Kind == kind && r.Name == name {
@@ -204,7 +204,7 @@ func (s *Store) writeObject(digest string, data []byte) error {
 }
 
 //repro:deterministic
-func (s *Store) appendRecord(rec IngestRecord) error {
+func (s *Store) appendRecordLocked(rec IngestRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err

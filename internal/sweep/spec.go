@@ -20,6 +20,8 @@ import (
 // baseline register-file sizes at one scale, with optional reuse-scheme
 // ablation knobs. The zero values of the optional fields select the paper's
 // defaults (scale 4, the scheme's default register file).
+//
+//repro:schema sweep-spec v1
 type Spec struct {
 	// Name labels the sweep in status output; it does not affect job
 	// identity or caching.
@@ -70,6 +72,8 @@ type Spec struct {
 // Job is one fully-specified simulation point. Its field values — and
 // nothing else — determine the cache key, so two jobs with equal fields are
 // interchangeable across sweeps and processes.
+//
+//repro:schema sweep-job v1
 type Job struct {
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
